@@ -1,0 +1,56 @@
+/// Extension experiment for the paper's §5.1 suggestion that CHAI-style
+/// rule-based candidate filtering "would potentially be a good complement
+/// to the discussed fact discovery": compare discovery with and without
+/// the relation-signature (domain/range) candidate filter across the
+/// comparative strategies. The filter should raise fact quality (MRR) and
+/// per-candidate hit rate by pruning type-nonsense candidates before the
+/// model ever scores them.
+
+#include <cstdio>
+
+#include "bench_hparam_common.h"
+#include "core/type_filter.h"
+
+int main(int argc, char** argv) {
+  using namespace kgfd;
+  std::printf("Ablation: CHAI-style relation-signature candidate filter "
+              "(FB15K-237, TransE).\n\n");
+  const bench::HparamSetup setup = bench::MakeHparamSetup(argc, argv);
+
+  Table table({"strategy", "facts (raw)", "facts (filtered)", "MRR (raw)",
+               "MRR (filtered)", "hit-rate raw", "hit-rate filtered"});
+  for (SamplingStrategy strategy :
+       {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
+        SamplingStrategy::kGraphDegree,
+        SamplingStrategy::kClusteringTriangles}) {
+    DiscoveryOptions options;
+    options.strategy = strategy;
+    options.top_n = 100;
+    options.max_candidates = 500;
+    options.seed = 31;
+    const DiscoveryResult raw =
+        std::move(DiscoverFacts(*setup.model, setup.dataset.train(),
+                                options))
+            .ValueOrDie("raw");
+    options.type_filter = true;
+    const DiscoveryResult filtered =
+        std::move(DiscoverFacts(*setup.model, setup.dataset.train(),
+                                options))
+            .ValueOrDie("filtered");
+    auto hit_rate = [](const DiscoveryResult& r) {
+      return r.stats.num_candidates > 0
+                 ? static_cast<double>(r.stats.num_facts) /
+                       static_cast<double>(r.stats.num_candidates)
+                 : 0.0;
+    };
+    table.AddRow({SamplingStrategyName(strategy),
+                  Table::Fmt(raw.stats.num_facts),
+                  Table::Fmt(filtered.stats.num_facts),
+                  Table::Fmt(DiscoveryMrr(raw.facts), 4),
+                  Table::Fmt(DiscoveryMrr(filtered.facts), 4),
+                  Table::Fmt(hit_rate(raw), 3),
+                  Table::Fmt(hit_rate(filtered), 3)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  return 0;
+}

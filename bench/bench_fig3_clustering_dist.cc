@@ -1,0 +1,40 @@
+/// Reproduces Figure 3: the distribution of local clustering coefficients
+/// of all nodes per dataset, with the average marked. Expected shape:
+/// FB15K-237 by far the densest (highest average), WN18RR the sparsest
+/// (average near the paper's 0.059), YAGO3-10 and CoDEx-L in between.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace kgfd;
+  const ExperimentConfig config = bench::ConfigFromFlags(argc, argv);
+  std::printf("Figure 3: distribution of local clustering coefficients per "
+              "dataset (scale %.0f).\n\n",
+              config.scale);
+
+  Table summary({"dataset", "avg_cc (red line)", "median", "p90", "max"});
+  for (const SyntheticConfig& dataset_config :
+       AllDatasetConfigs(config.scale, config.seed)) {
+    Dataset dataset = std::move(GenerateSyntheticDataset(dataset_config))
+                          .ValueOrDie("generate");
+    const Adjacency adj = Adjacency::FromTripleStore(dataset.train());
+    const std::vector<double> cc = LocalClusteringCoefficients(adj);
+    const Summary s = Summarize(cc);
+    std::printf("(%s) nodes=%zu\n", dataset.name().c_str(), cc.size());
+    Histogram hist(0.0, 1.0, 12);
+    hist.AddAll(cc);
+    std::printf("%s  average = %.4f\n\n", hist.ToAscii(44).c_str(), s.mean);
+    summary.AddRow({dataset.name(), Table::Fmt(s.mean, 4),
+                    Table::Fmt(s.median, 4), Table::Fmt(s.p90, 4),
+                    Table::Fmt(s.max, 4)});
+  }
+  std::printf("%s", summary.ToAscii().c_str());
+  std::printf("\npaper shape: FB15K-237 densest; WN18RR average ~0.059 and "
+              "far sparser than the rest.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Reproduces Figure 5: per-node triangle counts (a) versus local
+/// clustering coefficients (b) on FB15K-237, the evidence for the paper's
+/// argument that the clustering coefficient does not correlate with node
+/// popularity (a star center is popular yet has coefficient 0).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace kgfd;
+  const ExperimentConfig config = bench::ConfigFromFlags(argc, argv);
+  Dataset dataset = std::move(GenerateSyntheticDataset(
+                                  Fb15k237Config(config.scale, config.seed)))
+                        .ValueOrDie("generate");
+  const Adjacency adj = Adjacency::FromTripleStore(dataset.train());
+  const std::vector<uint64_t> triangles = LocalTriangleCounts(adj);
+  const std::vector<double> cc =
+      LocalClusteringCoefficients(adj, triangles);
+  const std::vector<uint64_t> degrees = Degrees(adj);
+
+  std::printf("Figure 5: FB15K-237 per-node metrics (scale %.0f, %zu "
+              "nodes).\n\n",
+              config.scale, triangles.size());
+
+  // Sample of nodes across the popularity spectrum (ids sorted by degree).
+  std::vector<size_t> order(triangles.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return degrees[a] > degrees[b];
+  });
+  Table table({"node (by popularity)", "degree", "triangles T(v)",
+               "clustering c(v)"});
+  for (size_t rank : {size_t{0}, size_t{1}, size_t{2},
+                      order.size() / 4, order.size() / 2,
+                      3 * order.size() / 4, order.size() - 1}) {
+    const size_t v = order[std::min(rank, order.size() - 1)];
+    table.AddRow({"#" + std::to_string(rank), Table::Fmt(degrees[v]),
+                  Table::Fmt(triangles[v]), Table::Fmt(cc[v], 4)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+
+  std::vector<double> tri_d(triangles.size()), deg_d(triangles.size());
+  for (size_t i = 0; i < triangles.size(); ++i) {
+    tri_d[i] = static_cast<double>(triangles[i]);
+    deg_d[i] = static_cast<double>(degrees[i]);
+  }
+  std::printf("correlation(triangles, degree)      = %+.3f  "
+              "(paper: strong, popularity-aligned)\n",
+              PearsonCorrelation(tri_d, deg_d));
+  std::printf("correlation(clustering, degree)     = %+.3f  "
+              "(paper: weak/none — 'fluctuates regardless')\n",
+              PearsonCorrelation(cc, deg_d));
+  std::printf("correlation(clustering, triangles)  = %+.3f\n",
+              PearsonCorrelation(cc, tri_d));
+  return 0;
+}

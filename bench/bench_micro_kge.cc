@@ -1,0 +1,89 @@
+/// Microbenchmarks of the KGE substrate: single-triple scoring, batched
+/// 1-vs-all scoring (the discovery pipeline's hot loop) and gradient
+/// accumulation, per model.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "kge/grad.h"
+#include "kge/model.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+constexpr size_t kEntities = 2000;
+constexpr size_t kRelations = 16;
+
+std::unique_ptr<Model> MakeModel(ModelKind kind) {
+  ModelConfig config;
+  config.num_entities = kEntities;
+  config.num_relations = kRelations;
+  config.embedding_dim = 32;
+  config.conve_reshape_height = 4;
+  config.conve_num_filters = 6;
+  Rng rng(8);
+  return std::move(CreateModel(kind, config, &rng)).ValueOrDie("model");
+}
+
+void BM_ScoreSingle(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  auto model = MakeModel(kind);
+  Rng rng(9);
+  for (auto _ : state) {
+    const Triple t{static_cast<EntityId>(rng.UniformInt(kEntities)),
+                   static_cast<RelationId>(rng.UniformInt(kRelations)),
+                   static_cast<EntityId>(rng.UniformInt(kEntities))};
+    benchmark::DoNotOptimize(model->Score(t));
+  }
+  state.SetLabel(ModelKindName(kind));
+}
+
+void BM_ScoreObjects(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  auto model = MakeModel(kind);
+  Rng rng(10);
+  std::vector<double> scores;
+  for (auto _ : state) {
+    model->ScoreObjects(static_cast<EntityId>(rng.UniformInt(kEntities)),
+                        static_cast<RelationId>(rng.UniformInt(kRelations)),
+                        &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * kEntities);
+  state.SetLabel(ModelKindName(kind));
+}
+
+void BM_AccumulateGradient(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  auto model = MakeModel(kind);
+  Rng rng(11);
+  GradientBatch grads;
+  int count = 0;
+  for (auto _ : state) {
+    const Triple t{static_cast<EntityId>(rng.UniformInt(kEntities)),
+                   static_cast<RelationId>(rng.UniformInt(kRelations)),
+                   static_cast<EntityId>(rng.UniformInt(kEntities))};
+    model->AccumulateScoreGradient(t, 1.0, &grads);
+    if (++count % 128 == 0) grads.Clear();  // bound the map like a batch
+  }
+  state.SetLabel(ModelKindName(kind));
+}
+
+#define KGFD_BENCH_ALL_MODELS(fn)                            \
+  BENCHMARK(fn)                                              \
+      ->Arg(static_cast<int>(ModelKind::kTransE))            \
+      ->Arg(static_cast<int>(ModelKind::kDistMult))          \
+      ->Arg(static_cast<int>(ModelKind::kComplEx))           \
+      ->Arg(static_cast<int>(ModelKind::kRescal))            \
+      ->Arg(static_cast<int>(ModelKind::kHolE))              \
+      ->Arg(static_cast<int>(ModelKind::kConvE))
+
+KGFD_BENCH_ALL_MODELS(BM_ScoreSingle);
+KGFD_BENCH_ALL_MODELS(BM_ScoreObjects);
+KGFD_BENCH_ALL_MODELS(BM_AccumulateGradient);
+
+}  // namespace
+}  // namespace kgfd

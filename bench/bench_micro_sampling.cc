@@ -1,0 +1,91 @@
+/// Microbenchmarks of the sampling machinery: strategy weight computation
+/// (the per-relation cost the faithful Algorithm 1 pays K times) and the
+/// alias sampler's build/draw costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/strategy.h"
+#include "kg/synthetic.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+const Dataset& SharedDataset() {
+  static const Dataset* dataset = [] {
+    SyntheticConfig c;
+    c.num_entities = 2000;
+    c.num_relations = 20;
+    c.num_train = 20000;
+    c.num_valid = 10;
+    c.num_test = 10;
+    c.seed = 4;
+    return new Dataset(
+        std::move(GenerateSyntheticDataset(c)).ValueOrDie("dataset"));
+  }();
+  return *dataset;
+}
+
+void BM_ComputeWeights(benchmark::State& state) {
+  const auto strategy = static_cast<SamplingStrategy>(state.range(0));
+  const Dataset& dataset = SharedDataset();
+  for (auto _ : state) {
+    auto weights = ComputeStrategyWeights(strategy, dataset.train());
+    benchmark::DoNotOptimize(weights);
+  }
+  state.SetLabel(SamplingStrategyName(strategy));
+}
+BENCHMARK(BM_ComputeWeights)
+    ->Arg(static_cast<int>(SamplingStrategy::kUniformRandom))
+    ->Arg(static_cast<int>(SamplingStrategy::kEntityFrequency))
+    ->Arg(static_cast<int>(SamplingStrategy::kGraphDegree))
+    ->Arg(static_cast<int>(SamplingStrategy::kClusteringCoefficient))
+    ->Arg(static_cast<int>(SamplingStrategy::kClusteringTriangles))
+    ->Arg(static_cast<int>(SamplingStrategy::kClusteringSquares));
+
+void BM_AliasBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.UniformDouble() + 1e-6;
+  for (auto _ : state) {
+    auto sampler = AliasSampler::Build(weights);
+    benchmark::DoNotOptimize(sampler);
+  }
+}
+BENCHMARK(BM_AliasBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.UniformDouble() + 1e-6;
+  AliasSampler sampler =
+      std::move(AliasSampler::Build(weights)).ValueOrDie("build");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(100000);
+
+/// Baseline to justify the alias method: linear cumulative-sum sampling.
+void BM_LinearScanSample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.UniformDouble() + 1e-6;
+    total += w;
+  }
+  for (auto _ : state) {
+    double target = rng.UniformDouble() * total;
+    size_t index = 0;
+    for (; index + 1 < weights.size() && target > weights[index]; ++index) {
+      target -= weights[index];
+    }
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_LinearScanSample)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,48 @@
+/// Companion to the paper's §6 lessons-learned: aggregate link-prediction
+/// metrics hide that KGE models serve popular entities far better than the
+/// long tail (Mohamed et al. 2020, cited by the paper). This bench trains
+/// one model per dataset and reports filtered test MRR stratified by the
+/// predicted entity's training-graph degree quantile.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "kge/evaluator.h"
+
+int main(int argc, char** argv) {
+  using namespace kgfd;
+  const ExperimentConfig config = bench::ConfigFromFlags(argc, argv);
+  std::printf("Popularity-stratified link-prediction evaluation "
+              "(scale %.0f, ComplEx).\n\n",
+              config.scale);
+
+  Table table({"dataset", "tail 25%", "25-50%", "50-75%", "head 25%",
+               "aggregate"});
+  for (const SyntheticConfig& dataset_config :
+       AllDatasetConfigs(config.scale, config.seed)) {
+    Dataset dataset = std::move(GenerateSyntheticDataset(dataset_config))
+                          .ValueOrDie("generate");
+    const ModelKind kind = ModelKind::kComplEx;
+    auto model =
+        std::move(TrainModel(kind, DefaultModelConfig(kind, dataset, config),
+                             dataset.train(),
+                             DefaultTrainerConfig(kind, config)))
+            .ValueOrDie("train");
+    auto stratified =
+        std::move(EvaluateByPopularity(*model, dataset, dataset.test(), 4))
+            .ValueOrDie("stratified");
+    auto aggregate =
+        std::move(EvaluateLinkPrediction(*model, dataset, dataset.test()))
+            .ValueOrDie("aggregate");
+    std::vector<std::string> row = {dataset.name()};
+    for (const LinkPredictionMetrics& m : stratified.buckets) {
+      row.push_back(m.num_ranks > 0 ? Table::Fmt(m.mrr, 4) : "-");
+    }
+    row.push_back(Table::Fmt(aggregate.mrr, 4));
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf("expected shape: MRR rises with popularity bucket — the "
+              "aggregate is dominated by head entities.\n");
+  return 0;
+}

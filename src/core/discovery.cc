@@ -1,0 +1,300 @@
+#include "core/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/type_filter.h"
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+#include "kge/evaluator.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace kgfd {
+
+double DiscoveryMrr(const std::vector<DiscoveredFact>& facts) {
+  if (facts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const DiscoveredFact& f : facts) sum += 1.0 / f.rank;
+  return sum / static_cast<double>(facts.size());
+}
+
+double LongTailShare(const std::vector<DiscoveredFact>& facts,
+                     const TripleStore& kg, double quantile) {
+  if (facts.empty()) return 0.0;
+  const Adjacency adj = Adjacency::FromTripleStore(kg);
+  std::vector<uint64_t> degrees = Degrees(adj);
+  std::vector<uint64_t> connected;
+  connected.reserve(degrees.size());
+  for (uint64_t d : degrees) {
+    if (d > 0) connected.push_back(d);
+  }
+  if (connected.empty()) return 0.0;
+  std::sort(connected.begin(), connected.end());
+  const size_t idx = std::min(
+      connected.size() - 1,
+      static_cast<size_t>(quantile *
+                          static_cast<double>(connected.size() - 1)));
+  const uint64_t threshold = connected[idx];
+  size_t touching = 0;
+  for (const DiscoveredFact& f : facts) {
+    if (degrees[f.triple.subject] <= threshold ||
+        degrees[f.triple.object] <= threshold) {
+      ++touching;
+    }
+  }
+  return static_cast<double>(touching) / static_cast<double>(facts.size());
+}
+
+namespace {
+
+double Aggregate(RankAggregation agg, double subject_rank,
+                 double object_rank) {
+  switch (agg) {
+    case RankAggregation::kMean:
+      return 0.5 * (subject_rank + object_rank);
+    case RankAggregation::kMin:
+      return std::min(subject_rank, object_rank);
+    case RankAggregation::kMax:
+      return std::max(subject_rank, object_rank);
+  }
+  return 0.5 * (subject_rank + object_rank);
+}
+
+/// Caches ScoreObjects / ScoreSubjects results so all mesh-grid candidates
+/// sharing an (s, r) or (r, o) pair rank against one scoring pass.
+class SideScoreCache {
+ public:
+  struct Entry {
+    std::vector<double> scores;
+    std::vector<char> excluded;
+  };
+
+  const Entry& ObjectsEntry(const Model& model, const TripleStore& kg,
+                            EntityId s, RelationId r, bool filtered) {
+    auto it = by_subject_.find(s);
+    if (it != by_subject_.end()) return it->second;
+    Entry entry;
+    model.ScoreObjects(s, r, &entry.scores);
+    entry.excluded.assign(entry.scores.size(), 0);
+    if (filtered) {
+      for (EntityId o : kg.ObjectsOf(s, r)) entry.excluded[o] = 1;
+    }
+    return by_subject_.emplace(s, std::move(entry)).first->second;
+  }
+
+  const Entry& SubjectsEntry(const Model& model, const TripleStore& kg,
+                             RelationId r, EntityId o, bool filtered) {
+    auto it = by_object_.find(o);
+    if (it != by_object_.end()) return it->second;
+    Entry entry;
+    model.ScoreSubjects(r, o, &entry.scores);
+    entry.excluded.assign(entry.scores.size(), 0);
+    if (filtered) {
+      for (EntityId s : kg.SubjectsOf(r, o)) entry.excluded[s] = 1;
+    }
+    return by_object_.emplace(o, std::move(entry)).first->second;
+  }
+
+  void Clear() {
+    by_subject_.clear();
+    by_object_.clear();
+  }
+
+ private:
+  std::unordered_map<EntityId, Entry> by_subject_;
+  std::unordered_map<EntityId, Entry> by_object_;
+};
+
+}  // namespace
+
+Result<DiscoveryResult> DiscoverFacts(const Model& model,
+                                      const TripleStore& kg,
+                                      const DiscoveryOptions& options,
+                                      ThreadPool* pool) {
+  if (options.max_candidates == 0 || options.top_n == 0) {
+    return Status::InvalidArgument("top_n and max_candidates must be > 0");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be > 0");
+  }
+  if (model.num_entities() != kg.num_entities() ||
+      model.num_relations() < kg.num_relations()) {
+    return Status::InvalidArgument(
+        "model and KG disagree on entity/relation counts");
+  }
+  for (RelationId r : options.relations) {
+    if (r >= kg.num_relations()) {
+      return Status::OutOfRange("relation id out of range");
+    }
+  }
+
+  // Algorithm 1 line 3: default to every relation present in the KG.
+  std::vector<RelationId> relations = options.relations;
+  if (relations.empty()) relations = kg.UsedRelations();
+
+  // Line 4: mesh-grid side length.
+  const size_t sample_size =
+      static_cast<size_t>(
+          std::sqrt(static_cast<double>(options.max_candidates))) +
+      10;
+
+  WallTimer total_timer;
+
+  // Optional weight-caching ablation: hoist line 7 out of the loop.
+  StrategyWeights hoisted_weights;
+  AliasSampler hoisted_subject_sampler;
+  AliasSampler hoisted_object_sampler;
+  double hoisted_weight_seconds = 0.0;
+  if (options.cache_weights) {
+    WallTimer weight_timer;
+    KGFD_ASSIGN_OR_RETURN(hoisted_weights,
+                          ComputeStrategyWeights(options.strategy, kg));
+    KGFD_ASSIGN_OR_RETURN(hoisted_subject_sampler,
+                          AliasSampler::Build(hoisted_weights.subject_weights));
+    KGFD_ASSIGN_OR_RETURN(hoisted_object_sampler,
+                          AliasSampler::Build(hoisted_weights.object_weights));
+    hoisted_weight_seconds = weight_timer.ElapsedSeconds();
+  }
+
+  std::unique_ptr<RelationTypeFilter> type_filter;
+  if (options.type_filter) {
+    type_filter = std::make_unique<RelationTypeFilter>(kg);
+  }
+
+  // Per-relation outcomes with fixed slots so a thread pool can fill them
+  // in any order; each relation draws from its own seed-derived RNG stream,
+  // making the output identical whether the loop runs serially or
+  // in parallel.
+  struct RelationOutcome {
+    std::vector<DiscoveredFact> facts;
+    size_t num_candidates = 0;
+    double generation_seconds = 0.0;
+    double evaluation_seconds = 0.0;
+    double weight_seconds = 0.0;
+    Status status;
+  };
+  std::vector<RelationOutcome> outcomes(relations.size());
+
+  auto process_relation = [&](size_t index) {
+    const RelationId r = relations[index];
+    RelationOutcome& out = outcomes[index];
+    Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL *
+                            (static_cast<uint64_t>(r) + 1)));
+    WallTimer generation_timer;
+
+    // Line 7: compute_weights(strategy) — inside the loop, as published
+    // (unless the caching ablation hoisted it above).
+    const StrategyWeights* weights = &hoisted_weights;
+    const AliasSampler* subject_sampler = &hoisted_subject_sampler;
+    const AliasSampler* object_sampler = &hoisted_object_sampler;
+    StrategyWeights local_weights;
+    AliasSampler local_subject_sampler;
+    AliasSampler local_object_sampler;
+    if (!options.cache_weights) {
+      WallTimer weight_timer;
+      auto weights_or = ComputeStrategyWeights(options.strategy, kg);
+      if (!weights_or.ok()) {
+        out.status = weights_or.status();
+        return;
+      }
+      local_weights = std::move(weights_or).value();
+      auto subject_or = AliasSampler::Build(local_weights.subject_weights);
+      auto object_or = AliasSampler::Build(local_weights.object_weights);
+      if (!subject_or.ok() || !object_or.ok()) {
+        out.status = subject_or.ok() ? object_or.status()
+                                     : subject_or.status();
+        return;
+      }
+      local_subject_sampler = std::move(subject_or).value();
+      local_object_sampler = std::move(object_or).value();
+      out.weight_seconds = weight_timer.ElapsedSeconds();
+      weights = &local_weights;
+      subject_sampler = &local_subject_sampler;
+      object_sampler = &local_object_sampler;
+    }
+
+    // Lines 8-13: sample, mesh-grid, filter seen, until enough candidates.
+    std::vector<Triple> local_facts;
+    std::unordered_set<uint64_t> local_seen;
+    for (size_t iteration = 0;
+         iteration < options.max_iterations &&
+         local_facts.size() < options.max_candidates;
+         ++iteration) {
+      std::vector<EntityId> s_samples(sample_size);
+      std::vector<EntityId> o_samples(sample_size);
+      for (size_t i = 0; i < sample_size; ++i) {
+        s_samples[i] = weights->subject_pool[subject_sampler->Sample(&rng)];
+        o_samples[i] = weights->object_pool[object_sampler->Sample(&rng)];
+      }
+      for (EntityId s : s_samples) {
+        if (local_facts.size() >= options.max_candidates) break;
+        for (EntityId o : o_samples) {
+          if (local_facts.size() >= options.max_candidates) break;
+          const Triple t{s, r, o};
+          if (kg.Contains(t)) continue;  // line 12: filter seen triples
+          if (type_filter != nullptr && !type_filter->Admissible(t)) {
+            continue;
+          }
+          if (!local_seen.insert(PackTriple(t)).second) continue;
+          local_facts.push_back(t);
+        }
+      }
+    }
+    out.num_candidates = local_facts.size();
+    out.generation_seconds = generation_timer.ElapsedSeconds();
+
+    // Lines 14-15: rank candidates against corruptions, keep rank <= top_n.
+    WallTimer evaluation_timer;
+    SideScoreCache score_cache;
+    for (const Triple& t : local_facts) {
+      const SideScoreCache::Entry& obj_entry = score_cache.ObjectsEntry(
+          model, kg, t.subject, r, options.filtered_ranking);
+      const double object_rank =
+          RankAgainstScores(obj_entry.scores, t.object, &obj_entry.excluded);
+      const SideScoreCache::Entry& subj_entry = score_cache.SubjectsEntry(
+          model, kg, r, t.object, options.filtered_ranking);
+      const double subject_rank = RankAgainstScores(
+          subj_entry.scores, t.subject, &subj_entry.excluded);
+      const double rank =
+          Aggregate(options.rank_aggregation, subject_rank, object_rank);
+      if (rank <= static_cast<double>(options.top_n)) {
+        DiscoveredFact fact;
+        fact.triple = t;
+        fact.rank = rank;
+        fact.subject_rank = subject_rank;
+        fact.object_rank = object_rank;
+        out.facts.push_back(fact);
+      }
+    }
+    out.evaluation_seconds = evaluation_timer.ElapsedSeconds();
+  };
+
+  ParallelFor(pool, relations.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) process_relation(i);
+  });
+
+  DiscoveryResult result;
+  result.stats.weight_seconds = hoisted_weight_seconds;
+  result.stats.generation_seconds = hoisted_weight_seconds;
+  for (RelationOutcome& out : outcomes) {
+    KGFD_RETURN_NOT_OK(out.status);
+    result.facts.insert(result.facts.end(), out.facts.begin(),
+                        out.facts.end());
+    result.stats.num_candidates += out.num_candidates;
+    result.stats.generation_seconds += out.generation_seconds;
+    result.stats.evaluation_seconds += out.evaluation_seconds;
+    result.stats.weight_seconds += out.weight_seconds;
+    ++result.stats.num_relations_processed;
+  }
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  result.stats.num_facts = result.facts.size();
+  return result;
+}
+
+}  // namespace kgfd

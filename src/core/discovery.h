@@ -1,0 +1,119 @@
+#ifndef KGFD_CORE_DISCOVERY_H_
+#define KGFD_CORE_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "kg/triple_store.h"
+#include "kg/types.h"
+#include "kge/model.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// How the two side ranks of a candidate collapse into the single rank the
+/// paper's Algorithm 1 filters on.
+enum class RankAggregation { kMean, kMin, kMax };
+
+/// Hyperparameters of the Discover Facts algorithm (paper Algorithm 1).
+struct DiscoveryOptions {
+  /// Candidates ranking worse than this against their corruptions are
+  /// dropped (the paper's quality threshold; its experiments use 500).
+  size_t top_n = 500;
+  /// Maximum number of candidates generated per relation.
+  size_t max_candidates = 500;
+  SamplingStrategy strategy = SamplingStrategy::kEntityFrequency;
+  /// Relations to discover facts for; empty = every relation used in the KG
+  /// (Algorithm 1 line 3).
+  std::vector<RelationId> relations;
+  /// Generation retries per relation; the paper fixes this at 5.
+  size_t max_iterations = 5;
+  /// Exclude known-true corruptions when ranking (standard filtered
+  /// protocol).
+  bool filtered_ranking = true;
+  /// Faithful mode (false) recomputes strategy weights inside the relation
+  /// loop exactly like Algorithm 1 line 7; true computes them once — the
+  /// weight-caching ablation.
+  bool cache_weights = false;
+  RankAggregation rank_aggregation = RankAggregation::kMean;
+  /// CHAI-style rule filter (see core/type_filter.h): drop generated
+  /// candidates whose subject/object fall outside the relation's observed
+  /// domain/range. An extension beyond the paper's Algorithm 1, motivated
+  /// by its §5.1 discussion of rule-based candidate filtering.
+  bool type_filter = false;
+  uint64_t seed = 123;
+};
+
+/// One discovered fact: a triple absent from the KG that the model ranks
+/// within top_n.
+struct DiscoveredFact {
+  Triple triple;
+  /// Aggregated rank (per DiscoveryOptions::rank_aggregation).
+  double rank = 0.0;
+  double subject_rank = 0.0;
+  double object_rank = 0.0;
+};
+
+/// Phase-split accounting of one discovery run.
+struct DiscoveryStats {
+  double total_seconds = 0.0;
+  /// Weight computation + sampling + mesh-grid + dedup/filtering.
+  double generation_seconds = 0.0;
+  /// Of which: compute_weights() alone.
+  double weight_seconds = 0.0;
+  /// Candidate ranking against corruptions.
+  double evaluation_seconds = 0.0;
+  size_t num_candidates = 0;
+  size_t num_facts = 0;
+  size_t num_relations_processed = 0;
+
+  /// The paper's efficiency metric: discovered facts per hour of total
+  /// runtime.
+  double FactsPerHour() const {
+    return total_seconds > 0.0
+               ? static_cast<double>(num_facts) / (total_seconds / 3600.0)
+               : 0.0;
+  }
+};
+
+struct DiscoveryResult {
+  std::vector<DiscoveredFact> facts;
+  DiscoveryStats stats;
+};
+
+/// Mean reciprocal rank of the discovered facts — the paper's quality
+/// metric (Eq. 7). Zero when no facts were found.
+double DiscoveryMrr(const std::vector<DiscoveredFact>& facts);
+
+/// Fraction of discovered facts touching a long-tail entity: an entity
+/// whose undirected degree in `kg` is <= the `quantile` degree over
+/// connected entities. The coverage metric of the exploration-strategy
+/// extension (the paper's §6 observes that popularity-based sampling
+/// "leaves out long-tail entities where the need for discovering new facts
+/// is higher"). Zero if no facts.
+double LongTailShare(const std::vector<DiscoveredFact>& facts,
+                     const TripleStore& kg, double quantile = 0.5);
+
+class ThreadPool;
+
+/// The Discover Facts algorithm (paper Algorithm 1). For each relation:
+/// compute strategy weights, sample sqrt(max_candidates)+10 subjects and
+/// objects, mesh-grid them into candidates, drop triples already in `kg`,
+/// repeat (<= max_iterations) until max_candidates candidates exist, rank
+/// each candidate against its corruptions with `model`, and keep those with
+/// aggregated rank <= top_n.
+///
+/// Each relation draws from its own seed-derived RNG stream, so the output
+/// is deterministic in options.seed and identical whether relations are
+/// processed serially (pool == nullptr) or in parallel on `pool`. Under a
+/// pool, the per-phase stats are summed CPU time across workers and may
+/// exceed total_seconds (wall clock).
+Result<DiscoveryResult> DiscoverFacts(const Model& model,
+                                      const TripleStore& kg,
+                                      const DiscoveryOptions& options,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_DISCOVERY_H_

@@ -1,0 +1,233 @@
+#include "core/embedding_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kgfd {
+namespace {
+
+/// The entity table of a model: by convention every model names it
+/// "entities" (ConvE shares input/output embeddings the same way).
+Result<const Tensor*> EntityTable(const Model& model) {
+  // Parameters() is non-const by design (the optimizer mutates through
+  // it); analysis only reads.
+  auto& mutable_model = const_cast<Model&>(model);
+  for (const NamedTensor& p : mutable_model.Parameters()) {
+    if (p.name == "entities") return static_cast<const Tensor*>(p.tensor);
+  }
+  return Status::Internal("model exposes no 'entities' parameter");
+}
+
+double SquaredDistance(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<std::vector<ScoredTriple>> QueryTopN(const Model& model,
+                                            const TripleStore& kg,
+                                            const Triple& partial,
+                                            QuerySlot unknown, size_t n) {
+  if (n == 0) return Status::InvalidArgument("n must be > 0");
+  if (partial.relation >= model.num_relations()) {
+    return Status::OutOfRange("relation id out of range");
+  }
+  const EntityId known = unknown == QuerySlot::kSubject ? partial.object
+                                                        : partial.subject;
+  if (known >= model.num_entities()) {
+    return Status::OutOfRange("entity id out of range");
+  }
+
+  std::vector<double> scores;
+  if (unknown == QuerySlot::kObject) {
+    model.ScoreObjects(partial.subject, partial.relation, &scores);
+  } else {
+    model.ScoreSubjects(partial.relation, partial.object, &scores);
+  }
+
+  std::vector<ScoredTriple> candidates;
+  candidates.reserve(scores.size());
+  for (EntityId e = 0; e < scores.size(); ++e) {
+    Triple t = partial;
+    if (unknown == QuerySlot::kObject) {
+      t.object = e;
+    } else {
+      t.subject = e;
+    }
+    if (kg.Contains(t)) continue;  // known facts are not discoveries
+    candidates.push_back(ScoredTriple{t, scores[e]});
+  }
+  const size_t keep = std::min(n, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end(),
+                    [](const ScoredTriple& a, const ScoredTriple& b) {
+                      return a.score > b.score;
+                    });
+  candidates.resize(keep);
+  return candidates;
+}
+
+Result<std::vector<DuplicatePair>> FindDuplicates(const Model& model,
+                                                  double threshold,
+                                                  size_t max_entities,
+                                                  uint64_t seed) {
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be >= 0");
+  }
+  KGFD_ASSIGN_OR_RETURN(const Tensor* entities, EntityTable(model));
+  std::vector<EntityId> pool(entities->rows());
+  for (EntityId e = 0; e < pool.size(); ++e) pool[e] = e;
+  if (max_entities > 0 && pool.size() > max_entities) {
+    Rng rng(seed);
+    rng.Shuffle(&pool);
+    pool.resize(max_entities);
+    std::sort(pool.begin(), pool.end());
+  }
+
+  const double threshold_sq = threshold * threshold;
+  std::vector<DuplicatePair> out;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const float* a = entities->Row(pool[i]);
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double d2 =
+          SquaredDistance(a, entities->Row(pool[j]), entities->cols());
+      if (d2 <= threshold_sq) {
+        out.push_back(DuplicatePair{pool[i], pool[j], std::sqrt(d2)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DuplicatePair& x, const DuplicatePair& y) {
+              return x.distance < y.distance;
+            });
+  return out;
+}
+
+Result<std::vector<Neighbor>> FindNearestNeighbors(const Model& model,
+                                                   EntityId entity,
+                                                   size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  KGFD_ASSIGN_OR_RETURN(const Tensor* entities, EntityTable(model));
+  if (entity >= entities->rows()) {
+    return Status::OutOfRange("entity id out of range");
+  }
+  const float* query = entities->Row(entity);
+  std::vector<Neighbor> all;
+  all.reserve(entities->rows() - 1);
+  for (EntityId e = 0; e < entities->rows(); ++e) {
+    if (e == entity) continue;
+    all.push_back(Neighbor{
+        e, std::sqrt(SquaredDistance(query, entities->Row(e),
+                                     entities->cols()))});
+  }
+  const size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+Result<ClusteringResult> FindClusters(const Model& model, size_t k,
+                                      size_t max_iterations,
+                                      uint64_t seed) {
+  KGFD_ASSIGN_OR_RETURN(const Tensor* entities, EntityTable(model));
+  const size_t n = entities->rows();
+  const size_t dim = entities->cols();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, num_entities]");
+  }
+
+  // k-means++ style seeding: first centroid uniform, the rest by squared
+  // distance to the nearest chosen centroid.
+  Rng rng(seed);
+  ClusteringResult result;
+  result.centroids.assign(k, std::vector<double>(dim, 0.0));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  std::vector<EntityId> chosen;
+  {
+    const EntityId first = static_cast<EntityId>(rng.UniformInt(n));
+    chosen.push_back(first);
+    for (size_t c = 1; c < k; ++c) {
+      const float* last = entities->Row(chosen.back());
+      double total = 0.0;
+      for (size_t e = 0; e < n; ++e) {
+        min_dist[e] = std::min(
+            min_dist[e], SquaredDistance(entities->Row(e), last, dim));
+        total += min_dist[e];
+      }
+      double target = rng.UniformDouble() * total;
+      EntityId pick = static_cast<EntityId>(n - 1);
+      for (size_t e = 0; e < n; ++e) {
+        target -= min_dist[e];
+        if (target <= 0.0) {
+          pick = static_cast<EntityId>(e);
+          break;
+        }
+      }
+      chosen.push_back(pick);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      const float* row = entities->Row(chosen[c]);
+      for (size_t i = 0; i < dim; ++i) result.centroids[c][i] = row[i];
+    }
+  }
+
+  result.assignment.assign(n, 0);
+  std::vector<size_t> counts(k, 0);
+  for (size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    // Assign.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t e = 0; e < n; ++e) {
+      const float* row = entities->Row(e);
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (size_t i = 0; i < dim; ++i) {
+          const double d = static_cast<double>(row[i]) -
+                           result.centroids[c][i];
+          d2 += d * d;
+        }
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignment[e] != best_c) {
+        result.assignment[e] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    result.iterations = iteration + 1;
+    if (!changed && iteration > 0) break;
+    // Update into fresh accumulators; an empty cluster keeps its previous
+    // centroid.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t e = 0; e < n; ++e) {
+      const float* row = entities->Row(e);
+      auto& sum = sums[result.assignment[e]];
+      for (size_t i = 0; i < dim; ++i) sum[i] += row[i];
+      ++counts[result.assignment[e]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t i = 0; i < dim; ++i) {
+        result.centroids[c][i] = sums[c][i] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kgfd

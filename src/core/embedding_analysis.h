@@ -1,0 +1,85 @@
+#ifndef KGFD_CORE_EMBEDDING_ANALYSIS_H_
+#define KGFD_CORE_EMBEDDING_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+#include "kge/model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Companions of DiscoverFacts mirroring the rest of AmpliGraph's Discovery
+/// API (the library whose discover_facts the paper evaluates): top-n
+/// completion of partial triples, embedding-space duplicate detection, and
+/// embedding-space clustering.
+
+/// A scored completion of a partial triple.
+struct ScoredTriple {
+  Triple triple;
+  double score = 0.0;
+};
+
+/// Which slot of the query triple is unknown.
+enum class QuerySlot { kSubject, kObject };
+
+/// Top-n completions of a partial triple (s, r, ?) or (?, r, o) by model
+/// score, descending. Entities already forming a known triple in `kg` are
+/// skipped (the caller wants *new* facts). n is clamped to the number of
+/// admissible entities.
+Result<std::vector<ScoredTriple>> QueryTopN(const Model& model,
+                                            const TripleStore& kg,
+                                            const Triple& partial,
+                                            QuerySlot unknown, size_t n);
+
+/// A pair of entities whose embeddings are closer than a threshold.
+struct DuplicatePair {
+  EntityId a = 0;
+  EntityId b = 0;
+  double distance = 0.0;
+};
+
+/// Finds entity pairs with L2 embedding distance below `threshold` —
+/// AmpliGraph's find_duplicates: near-identical embeddings usually indicate
+/// duplicate real-world entities. O(n^2) over the sampled candidate set:
+/// `max_entities` entities are considered (0 = all), sampled uniformly with
+/// `seed` when the entity count exceeds the cap.
+Result<std::vector<DuplicatePair>> FindDuplicates(const Model& model,
+                                                  double threshold,
+                                                  size_t max_entities = 0,
+                                                  uint64_t seed = 1);
+
+/// A neighbor of a query entity in embedding space.
+struct Neighbor {
+  EntityId entity = 0;
+  double distance = 0.0;
+};
+
+/// The k entities with smallest L2 embedding distance to `entity`
+/// (excluding itself), ascending by distance — AmpliGraph's
+/// find_nearest_neighbours. k is clamped to num_entities - 1.
+Result<std::vector<Neighbor>> FindNearestNeighbors(const Model& model,
+                                                   EntityId entity,
+                                                   size_t k);
+
+/// K-means clustering of entity embeddings (AmpliGraph's find_clusters).
+struct ClusteringResult {
+  /// cluster id per entity, in [0, k).
+  std::vector<uint32_t> assignment;
+  /// k x dim centroids, row-major.
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  size_t iterations = 0;
+};
+
+Result<ClusteringResult> FindClusters(const Model& model, size_t k,
+                                      size_t max_iterations = 50,
+                                      uint64_t seed = 1);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_EMBEDDING_ANALYSIS_H_

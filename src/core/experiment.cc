@@ -1,0 +1,118 @@
+#include "core/experiment.h"
+
+#include "util/logging.h"
+
+namespace kgfd {
+
+TrainerConfig DefaultTrainerConfig(ModelKind kind,
+                                   const ExperimentConfig& config) {
+  TrainerConfig t;
+  t.epochs = config.epochs;
+  t.batch_size = config.batch_size;
+  t.negatives_per_positive = config.negatives_per_positive;
+  t.optimizer.kind = OptimizerKind::kAdam;  // the paper trains with Adam
+  t.optimizer.learning_rate = config.learning_rate;
+  t.seed = config.seed;
+  switch (kind) {
+    case ModelKind::kTransE:
+      t.loss = LossKind::kMarginRanking;
+      t.margin = 1.0;
+      break;
+    case ModelKind::kConvE:
+      t.loss = LossKind::kBinaryCrossEntropy;
+      break;
+    default:
+      t.loss = LossKind::kSoftplus;
+      break;
+  }
+  return t;
+}
+
+ModelConfig DefaultModelConfig(ModelKind kind, const Dataset& dataset,
+                               const ExperimentConfig& config) {
+  ModelConfig m;
+  m.num_entities = dataset.num_entities();
+  m.num_relations = dataset.num_relations();
+  m.embedding_dim = config.embedding_dim;
+  if (kind == ModelKind::kComplEx && m.embedding_dim % 2 != 0) {
+    ++m.embedding_dim;
+  }
+  if (kind == ModelKind::kConvE) {
+    // Keep the reshape valid: height 4 needs width >= 3.
+    m.conve_reshape_height = 4;
+    while (m.embedding_dim % m.conve_reshape_height != 0 ||
+           m.embedding_dim / m.conve_reshape_height < 3) {
+      ++m.embedding_dim;
+    }
+    m.conve_num_filters = 6;
+  }
+  if (kind == ModelKind::kRescal && m.embedding_dim > 24) {
+    m.embedding_dim = 24;  // dim^2 relation matrices; cap the blow-up
+  }
+  return m;
+}
+
+Result<std::vector<TrainedModel>> TrainAllModels(
+    const Dataset& dataset, const ExperimentConfig& config) {
+  std::vector<TrainedModel> out;
+  out.reserve(config.models.size());
+  for (ModelKind kind : config.models) {
+    const ModelConfig model_config =
+        DefaultModelConfig(kind, dataset, config);
+    const TrainerConfig trainer_config = DefaultTrainerConfig(kind, config);
+    KGFD_LOG(Debug) << "training " << ModelKindName(kind) << " on "
+                    << dataset.name();
+    KGFD_ASSIGN_OR_RETURN(auto model,
+                          TrainModel(kind, model_config, dataset.train(),
+                                     trainer_config));
+    out.push_back(TrainedModel{kind, std::move(model)});
+  }
+  return out;
+}
+
+Result<std::vector<ExperimentCell>> RunGridOnDataset(
+    const Dataset& dataset, const ExperimentConfig& config) {
+  KGFD_ASSIGN_OR_RETURN(auto models, TrainAllModels(dataset, config));
+  std::vector<ExperimentCell> cells;
+  cells.reserve(models.size() * config.strategies.size());
+  for (const TrainedModel& tm : models) {
+    for (SamplingStrategy strategy : config.strategies) {
+      DiscoveryOptions options = config.discovery;
+      options.strategy = strategy;
+      options.seed = config.seed ^ (static_cast<uint64_t>(strategy) << 8) ^
+                     static_cast<uint64_t>(tm.kind);
+      KGFD_ASSIGN_OR_RETURN(DiscoveryResult result,
+                            DiscoverFacts(*tm.model, dataset.train(),
+                                          options));
+      ExperimentCell cell;
+      cell.dataset = dataset.name();
+      cell.model = ModelKindName(tm.kind);
+      cell.strategy = SamplingStrategyName(strategy);
+      cell.strategy_abbrev = SamplingStrategyAbbrev(strategy);
+      cell.stats = result.stats;
+      cell.mrr = DiscoveryMrr(result.facts);
+      cells.push_back(cell);
+      KGFD_LOG(Debug) << dataset.name() << " " << cell.model << " "
+                      << cell.strategy << ": facts=" << cell.stats.num_facts
+                      << " mrr=" << cell.mrr
+                      << " t=" << cell.stats.total_seconds << "s";
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<ExperimentCell>> RunComparativeGrid(
+    const ExperimentConfig& config) {
+  std::vector<ExperimentCell> cells;
+  for (const SyntheticConfig& dataset_config :
+       AllDatasetConfigs(config.scale, config.seed)) {
+    KGFD_ASSIGN_OR_RETURN(Dataset dataset,
+                          GenerateSyntheticDataset(dataset_config));
+    KGFD_ASSIGN_OR_RETURN(auto dataset_cells,
+                          RunGridOnDataset(dataset, config));
+    cells.insert(cells.end(), dataset_cells.begin(), dataset_cells.end());
+  }
+  return cells;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,80 @@
+#ifndef KGFD_CORE_EXPERIMENT_H_
+#define KGFD_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "kg/dataset.h"
+#include "kg/synthetic.h"
+#include "kge/model.h"
+#include "kge/trainer.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Knobs shared by the paper-reproduction benches: which datasets (by scale),
+/// which models, training setup and discovery hyperparameters. Defaults are
+/// sized for a single-core CI run; raise --scale toward 1 to approach the
+/// paper's full dataset sizes.
+struct ExperimentConfig {
+  /// Dataset downscale divisor (see synthetic.h); larger = smaller data.
+  double scale = 150.0;
+  size_t embedding_dim = 16;
+  size_t epochs = 12;
+  size_t batch_size = 128;
+  size_t negatives_per_positive = 2;
+  double learning_rate = 0.05;
+  DiscoveryOptions discovery;
+  std::vector<ModelKind> models = {ModelKind::kTransE, ModelKind::kDistMult,
+                                   ModelKind::kComplEx, ModelKind::kRescal,
+                                   ModelKind::kConvE};
+  std::vector<SamplingStrategy> strategies = ComparativeStrategies();
+  uint64_t seed = 42;
+};
+
+/// Per-model loss defaults mirroring common LibKGE practice: margin ranking
+/// for the translational model, pointwise losses for the (convolutional)
+/// bilinear family.
+TrainerConfig DefaultTrainerConfig(ModelKind kind,
+                                   const ExperimentConfig& config);
+
+/// Model hyperparameters derived from a dataset + experiment config.
+ModelConfig DefaultModelConfig(ModelKind kind, const Dataset& dataset,
+                               const ExperimentConfig& config);
+
+/// A trained model paired with its dataset, reused across strategies.
+struct TrainedModel {
+  ModelKind kind;
+  std::unique_ptr<Model> model;
+};
+
+/// Trains every configured model on `dataset`.
+Result<std::vector<TrainedModel>> TrainAllModels(
+    const Dataset& dataset, const ExperimentConfig& config);
+
+/// One (dataset, model, strategy) grid cell of the comparative study.
+struct ExperimentCell {
+  std::string dataset;
+  std::string model;
+  std::string strategy;
+  std::string strategy_abbrev;
+  DiscoveryStats stats;
+  double mrr = 0.0;
+};
+
+/// Runs the full comparative grid of the paper's Section 4.2: every dataset
+/// x model x strategy combination, returning one cell per run. This backs
+/// Figures 2 (runtime), 4 (MRR) and 6 (efficiency).
+Result<std::vector<ExperimentCell>> RunComparativeGrid(
+    const ExperimentConfig& config);
+
+/// Same grid over a single pre-generated dataset (used by the
+/// hyperparameter benches that only look at FB15K-237 + TransE).
+Result<std::vector<ExperimentCell>> RunGridOnDataset(
+    const Dataset& dataset, const ExperimentConfig& config);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_EXPERIMENT_H_

@@ -1,0 +1,71 @@
+#ifndef KGFD_CORE_JOB_H_
+#define KGFD_CORE_JOB_H_
+
+#include <memory>
+#include <string>
+
+#include "core/discovery.h"
+#include "kg/dataset.h"
+#include "kge/evaluator.h"
+#include "kge/model.h"
+#include "kge/trainer.h"
+#include "util/config_file.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// A declarative experiment job — the kgfd analogue of LibKGE's YAML job
+/// definitions (the workflow the paper runs its study on): one config file
+/// describes dataset, model, training and (optionally) discovery, and
+/// RunJob executes the whole pipeline. Recognized keys:
+///
+///   dataset.preset    = FB15K-237 | WN18RR | YAGO3-10 | CoDEx-L
+///   dataset.dir       = <path>      # alternative: load TSV directory
+///   dataset.scale     = 100         # preset downscale divisor
+///   model.type        = TransE | DistMult | ComplEx | RESCAL | HolE | ConvE
+///   model.dim         = 32
+///   train.epochs      = 25
+///   train.batch_size  = 128
+///   train.lr          = 0.03
+///   train.loss        = margin_ranking | bce | softplus
+///   train.negatives   = 2
+///   train.mode        = negative_sampling | 1vsAll
+///   train.bernoulli   = false
+///   eval.enabled      = true
+///   discovery.enabled = true
+///   discovery.strategy        = ENTITY_FREQUENCY (or any strategy name)
+///   discovery.top_n           = 500
+///   discovery.max_candidates  = 500
+///   discovery.type_filter     = false
+///   seed              = 42
+struct JobSpec {
+  std::string dataset_preset = "FB15K-237";
+  std::string dataset_dir;       // non-empty overrides the preset
+  double dataset_scale = 100.0;
+  ModelKind model = ModelKind::kTransE;
+  size_t embedding_dim = 32;
+  TrainerConfig trainer;
+  bool run_eval = true;
+  bool run_discovery = true;
+  DiscoveryOptions discovery;
+  uint64_t seed = 42;
+
+  /// Parses a config file; unknown keys are an error (typo safety).
+  static Result<JobSpec> FromConfig(const ConfigFile& config);
+};
+
+/// Everything a job produces.
+struct JobResult {
+  std::string dataset_name;
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<Model> model;
+  LinkPredictionMetrics test_metrics;  // valid iff spec.run_eval
+  DiscoveryResult discovery;           // valid iff spec.run_discovery
+};
+
+/// Runs dataset acquisition -> training -> (evaluation) -> (discovery).
+Result<JobResult> RunJob(const JobSpec& spec);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_JOB_H_

@@ -1,0 +1,45 @@
+#ifndef KGFD_CORE_REPORT_H_
+#define KGFD_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "kg/vocab.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Per-relation roll-up of one discovery run — which relations actually
+/// yield facts (the discovery loop spends equal budget on every relation,
+/// but dense relations dominate the output).
+struct RelationDiscoverySummary {
+  RelationId relation = 0;
+  size_t num_facts = 0;
+  double best_rank = 0.0;
+  double mean_rank = 0.0;
+  double mrr = 0.0;
+};
+
+/// Summaries for every relation with at least one discovered fact,
+/// ascending by relation id.
+std::vector<RelationDiscoverySummary> SummarizeByRelation(
+    const std::vector<DiscoveredFact>& facts);
+
+/// Writes discovered facts as `subject<TAB>relation<TAB>object<TAB>rank`
+/// with names resolved through the vocabularies (ids without names print
+/// as decimals).
+Status WriteFactsTsv(const std::string& path,
+                     const std::vector<DiscoveredFact>& facts,
+                     const Vocabulary& entities,
+                     const Vocabulary& relations);
+
+/// Reads facts written by WriteFactsTsv back (names resolved through, and
+/// added to, the vocabularies).
+Result<std::vector<DiscoveredFact>> ReadFactsTsv(const std::string& path,
+                                                 Vocabulary* entities,
+                                                 Vocabulary* relations);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_REPORT_H_

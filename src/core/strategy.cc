@@ -1,0 +1,216 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+#include "graph/pagerank.h"
+#include "kg/kg_stats.h"
+
+namespace kgfd {
+
+const char* SamplingStrategyName(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kUniformRandom:
+      return "UNIFORM_RANDOM";
+    case SamplingStrategy::kEntityFrequency:
+      return "ENTITY_FREQUENCY";
+    case SamplingStrategy::kGraphDegree:
+      return "GRAPH_DEGREE";
+    case SamplingStrategy::kClusteringCoefficient:
+      return "CLUSTERING_COEFFICIENT";
+    case SamplingStrategy::kClusteringTriangles:
+      return "CLUSTERING_TRIANGLES";
+    case SamplingStrategy::kClusteringSquares:
+      return "CLUSTERING_SQUARES";
+    case SamplingStrategy::kInverseDegree:
+      return "INVERSE_DEGREE";
+    case SamplingStrategy::kExplorationMixture:
+      return "EXPLORATION_MIXTURE";
+    case SamplingStrategy::kPageRank:
+      return "PAGERANK";
+  }
+  return "UNKNOWN";
+}
+
+const char* SamplingStrategyAbbrev(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kUniformRandom:
+      return "UR";
+    case SamplingStrategy::kEntityFrequency:
+      return "EF";
+    case SamplingStrategy::kGraphDegree:
+      return "GD";
+    case SamplingStrategy::kClusteringCoefficient:
+      return "CC";
+    case SamplingStrategy::kClusteringTriangles:
+      return "CT";
+    case SamplingStrategy::kClusteringSquares:
+      return "CS";
+    case SamplingStrategy::kInverseDegree:
+      return "ID";
+    case SamplingStrategy::kExplorationMixture:
+      return "EX";
+    case SamplingStrategy::kPageRank:
+      return "PR";
+  }
+  return "??";
+}
+
+Result<SamplingStrategy> SamplingStrategyFromName(const std::string& name) {
+  for (SamplingStrategy s :
+       {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
+        SamplingStrategy::kGraphDegree,
+        SamplingStrategy::kClusteringCoefficient,
+        SamplingStrategy::kClusteringTriangles,
+        SamplingStrategy::kClusteringSquares, SamplingStrategy::kInverseDegree,
+        SamplingStrategy::kExplorationMixture, SamplingStrategy::kPageRank}) {
+    if (name == SamplingStrategyName(s) || name == SamplingStrategyAbbrev(s)) {
+      return s;
+    }
+  }
+  return Status::NotFound("unknown sampling strategy: " + name);
+}
+
+std::vector<SamplingStrategy> ComparativeStrategies() {
+  return {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
+          SamplingStrategy::kGraphDegree,
+          SamplingStrategy::kClusteringCoefficient,
+          SamplingStrategy::kClusteringTriangles};
+}
+
+namespace {
+
+/// Builds a one-pool-for-both-sides StrategyWeights from per-node topology
+/// metrics, falling back to the uniform distribution over all entities when
+/// the metric is identically zero (paper formulas would divide by zero).
+template <typename MetricVector>
+StrategyWeights FromNodeMetric(const TripleStore& kg,
+                               const MetricVector& metric) {
+  StrategyWeights w;
+  const size_t n = kg.num_entities();
+  w.subject_pool.resize(n);
+  std::iota(w.subject_pool.begin(), w.subject_pool.end(), 0);
+  w.object_pool = w.subject_pool;
+  double total = 0.0;
+  w.subject_weights.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    w.subject_weights[i] = static_cast<double>(metric[i]);
+    total += w.subject_weights[i];
+  }
+  if (total <= 0.0) {
+    std::fill(w.subject_weights.begin(), w.subject_weights.end(),
+              1.0 / static_cast<double>(n));
+    w.fell_back_to_uniform = true;
+  } else {
+    for (double& v : w.subject_weights) v /= total;
+  }
+  w.object_weights = w.subject_weights;
+  return w;
+}
+
+}  // namespace
+
+Result<StrategyWeights> ComputeStrategyWeights(SamplingStrategy strategy,
+                                               const TripleStore& kg) {
+  if (kg.size() == 0) {
+    return Status::InvalidArgument("cannot compute weights on an empty KG");
+  }
+  switch (strategy) {
+    case SamplingStrategy::kUniformRandom: {
+      // weight(x, side) = 1 / len(side)  (Eq. 1)
+      const SideCounts counts = ComputeSideCounts(kg);
+      StrategyWeights w;
+      w.subject_pool = counts.unique_subjects;
+      w.object_pool = counts.unique_objects;
+      w.subject_weights.assign(
+          w.subject_pool.size(),
+          1.0 / static_cast<double>(w.subject_pool.size()));
+      w.object_weights.assign(
+          w.object_pool.size(),
+          1.0 / static_cast<double>(w.object_pool.size()));
+      return w;
+    }
+    case SamplingStrategy::kEntityFrequency: {
+      // weight(x, side) = count(x, side) / len(side)  (Eq. 2)
+      const SideCounts counts = ComputeSideCounts(kg);
+      StrategyWeights w;
+      w.subject_pool = counts.unique_subjects;
+      w.object_pool = counts.unique_objects;
+      w.subject_weights.reserve(w.subject_pool.size());
+      for (EntityId e : w.subject_pool) {
+        w.subject_weights.push_back(
+            static_cast<double>(counts.subject_count[e]) /
+            static_cast<double>(w.subject_pool.size()));
+      }
+      w.object_weights.reserve(w.object_pool.size());
+      for (EntityId e : w.object_pool) {
+        w.object_weights.push_back(
+            static_cast<double>(counts.object_count[e]) /
+            static_cast<double>(w.object_pool.size()));
+      }
+      return w;
+    }
+    case SamplingStrategy::kGraphDegree: {
+      // weight(x) = deg(x) / sum deg  (Eq. 3)
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      return FromNodeMetric(kg, Degrees(adj));
+    }
+    case SamplingStrategy::kClusteringTriangles: {
+      // weight(x) = T(x) / sum T  (Eq. 4)
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      return FromNodeMetric(kg, LocalTriangleCounts(adj));
+    }
+    case SamplingStrategy::kClusteringCoefficient: {
+      // weight(x) = c(x) / sum c  (Eq. 5)
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      return FromNodeMetric(kg, LocalClusteringCoefficients(adj));
+    }
+    case SamplingStrategy::kClusteringSquares: {
+      // weight(x) = c4(x) / sum c4  (Eq. 6)
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      return FromNodeMetric(kg, SquareClusteringCoefficients(adj));
+    }
+    case SamplingStrategy::kInverseDegree: {
+      // Extension: weight(x) ∝ 1/deg(x) over connected entities. Isolated
+      // entities stay at weight 0 — the model has never seen them, so
+      // proposing facts about them is pure noise.
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      const std::vector<uint64_t> degrees = Degrees(adj);
+      std::vector<double> inverse(degrees.size(), 0.0);
+      for (size_t i = 0; i < degrees.size(); ++i) {
+        if (degrees[i] > 0) inverse[i] = 1.0 / static_cast<double>(degrees[i]);
+      }
+      return FromNodeMetric(kg, inverse);
+    }
+    case SamplingStrategy::kExplorationMixture: {
+      // Extension: ε-greedy mixture, ε = 0.5 — half uniform over connected
+      // entities, half proportional to degree.
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      const std::vector<uint64_t> degrees = Degrees(adj);
+      double degree_total = 0.0;
+      size_t connected = 0;
+      for (uint64_t d : degrees) {
+        degree_total += static_cast<double>(d);
+        if (d > 0) ++connected;
+      }
+      std::vector<double> mixed(degrees.size(), 0.0);
+      for (size_t i = 0; i < degrees.size(); ++i) {
+        if (degrees[i] == 0) continue;
+        mixed[i] = 0.5 / static_cast<double>(connected) +
+                   0.5 * static_cast<double>(degrees[i]) /
+                       std::max(1.0, degree_total);
+      }
+      return FromNodeMetric(kg, mixed);
+    }
+    case SamplingStrategy::kPageRank: {
+      // Extension: weight(x) ∝ PageRank(x) on the undirected projection.
+      const Adjacency adj = Adjacency::FromTripleStore(kg);
+      return FromNodeMetric(kg, PageRank(adj));
+    }
+  }
+  return Status::InvalidArgument("unhandled strategy");
+}
+
+}  // namespace kgfd

@@ -1,0 +1,23 @@
+#include "core/type_filter.h"
+
+namespace kgfd {
+
+RelationTypeFilter::RelationTypeFilter(const TripleStore& kg)
+    : domain_(kg.num_relations(),
+              std::vector<char>(kg.num_entities(), 0)),
+      range_(kg.num_relations(), std::vector<char>(kg.num_entities(), 0)),
+      domain_size_(kg.num_relations(), 0),
+      range_size_(kg.num_relations(), 0) {
+  for (const Triple& t : kg.triples()) {
+    if (domain_[t.relation][t.subject] == 0) {
+      domain_[t.relation][t.subject] = 1;
+      ++domain_size_[t.relation];
+    }
+    if (range_[t.relation][t.object] == 0) {
+      range_[t.relation][t.object] = 1;
+      ++range_size_[t.relation];
+    }
+  }
+}
+
+}  // namespace kgfd

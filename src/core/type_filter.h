@@ -1,0 +1,49 @@
+#ifndef KGFD_CORE_TYPE_FILTER_H_
+#define KGFD_CORE_TYPE_FILTER_H_
+
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+
+namespace kgfd {
+
+/// CHAI-style rule-based candidate filter (Borrego et al. 2019, the
+/// complement the paper's §5.1 suggests pairing with sampling-based
+/// discovery): rejects candidates that are "illogical" with respect to the
+/// relation's observed signature. Without an explicit ontology, the domain
+/// and range of each relation are induced from the training graph — the
+/// entities seen as its subjects and objects. A candidate (s, r, o) is
+/// admissible iff s was ever a subject of r and o ever an object of r.
+///
+/// This prunes type-nonsense like (disease, treats, drug) in a biomedical
+/// KG where `treats` only ever links drugs to diseases, at the cost of
+/// never proposing a relation for an entity outside its observed signature
+/// (a deliberate precision/recall trade governed by `enabled`).
+class RelationTypeFilter {
+ public:
+  /// Learns the per-relation domain/range signatures from `kg`.
+  explicit RelationTypeFilter(const TripleStore& kg);
+
+  /// True if the candidate respects the relation's observed signature.
+  bool Admissible(const Triple& t) const {
+    return domain_[t.relation][t.subject] != 0 &&
+           range_[t.relation][t.object] != 0;
+  }
+
+  /// Number of entities in the observed domain/range of `r`.
+  size_t DomainSize(RelationId r) const { return domain_size_[r]; }
+  size_t RangeSize(RelationId r) const { return range_size_[r]; }
+
+ private:
+  // relation -> byte-per-entity membership (dense; relations x entities is
+  // small at the scales this library targets, and lookups are O(1)).
+  std::vector<std::vector<char>> domain_;
+  std::vector<std::vector<char>> range_;
+  std::vector<size_t> domain_size_;
+  std::vector<size_t> range_size_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_TYPE_FILTER_H_

@@ -1,0 +1,48 @@
+#include "graph/adjacency.h"
+
+#include <algorithm>
+
+namespace kgfd {
+
+Adjacency Adjacency::FromTripleStore(const TripleStore& store) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  pairs.reserve(store.size());
+  for (const Triple& t : store.triples()) {
+    if (t.subject != t.object) pairs.emplace_back(t.subject, t.object);
+  }
+  return FromEdges(store.num_entities(), pairs);
+}
+
+Adjacency Adjacency::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::pair<EntityId, EntityId>>& edges) {
+  // Symmetrize, drop self-loops, sort, dedupe, then pack as CSR.
+  std::vector<std::pair<EntityId, EntityId>> sym;
+  sym.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v || u >= num_nodes || v >= num_nodes) continue;
+    sym.emplace_back(u, v);
+    sym.emplace_back(v, u);
+  }
+  std::sort(sym.begin(), sym.end());
+  sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+  Adjacency adj;
+  adj.offsets_.assign(num_nodes + 1, 0);
+  adj.neighbor_ids_.reserve(sym.size());
+  for (const auto& [u, v] : sym) ++adj.offsets_[u + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) {
+    adj.offsets_[i] += adj.offsets_[i - 1];
+  }
+  adj.neighbor_ids_.resize(sym.size());
+  std::vector<size_t> cursor(adj.offsets_.begin(), adj.offsets_.end() - 1);
+  for (const auto& [u, v] : sym) adj.neighbor_ids_[cursor[u]++] = v;
+  return adj;
+}
+
+bool Adjacency::HasEdge(EntityId u, EntityId v) const {
+  if (u >= num_nodes()) return false;
+  return std::binary_search(NeighborsBegin(u), NeighborsEnd(u), v);
+}
+
+}  // namespace kgfd

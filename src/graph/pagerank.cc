@@ -1,0 +1,43 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace kgfd {
+
+std::vector<double> PageRank(const Adjacency& adj,
+                             const PageRankOptions& options) {
+  const size_t n = adj.num_nodes();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Mass from degree-0 nodes is redistributed uniformly.
+    double dangling = 0.0;
+    for (EntityId v = 0; v < n; ++v) {
+      if (adj.Degree(v) == 0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (EntityId v = 0; v < n; ++v) {
+      const size_t degree = adj.Degree(v);
+      if (degree == 0) continue;
+      const double share =
+          options.damping * rank[v] / static_cast<double>(degree);
+      for (const EntityId* u = adj.NeighborsBegin(v);
+           u != adj.NeighborsEnd(v); ++u) {
+        next[*u] += share;
+      }
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace kgfd

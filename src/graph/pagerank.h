@@ -1,0 +1,26 @@
+#ifndef KGFD_GRAPH_PAGERANK_H_
+#define KGFD_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/adjacency.h"
+
+namespace kgfd {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 100;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-10;
+};
+
+/// PageRank over the undirected homogeneous projection (each edge walks
+/// both ways). Isolated nodes receive only teleport mass. Scores sum to 1.
+/// Backs the PAGERANK sampling strategy — a smoother popularity metric
+/// than raw degree, in the family the paper finds effective.
+std::vector<double> PageRank(const Adjacency& adj,
+                             const PageRankOptions& options = {});
+
+}  // namespace kgfd
+
+#endif  // KGFD_GRAPH_PAGERANK_H_

@@ -1,0 +1,52 @@
+#include "kg/dataset.h"
+
+#include <unordered_set>
+
+namespace kgfd {
+
+Dataset::Dataset(std::string name, size_t num_entities, size_t num_relations)
+    : name_(std::move(name)),
+      num_entities_(num_entities),
+      num_relations_(num_relations),
+      train_(num_entities, num_relations),
+      valid_(num_entities, num_relations),
+      test_(num_entities, num_relations) {}
+
+Status Dataset::Validate() const {
+  std::unordered_set<EntityId> train_entities;
+  std::unordered_set<RelationId> train_relations;
+  for (const Triple& t : train_.triples()) {
+    train_entities.insert(t.subject);
+    train_entities.insert(t.object);
+    train_relations.insert(t.relation);
+  }
+  auto check_split = [&](const TripleStore& split,
+                         const char* split_name) -> Status {
+    for (const Triple& t : split.triples()) {
+      if (train_.Contains(t)) {
+        return Status::FailedPrecondition(std::string(split_name) +
+                                          " split overlaps train");
+      }
+      if (train_entities.count(t.subject) == 0 ||
+          train_entities.count(t.object) == 0) {
+        return Status::FailedPrecondition(std::string(split_name) +
+                                          " split has entity unseen in train");
+      }
+      if (train_relations.count(t.relation) == 0) {
+        return Status::FailedPrecondition(
+            std::string(split_name) + " split has relation unseen in train");
+      }
+    }
+    return Status::OK();
+  };
+  KGFD_RETURN_NOT_OK(check_split(valid_, "valid"));
+  KGFD_RETURN_NOT_OK(check_split(test_, "test"));
+  for (const Triple& t : valid_.triples()) {
+    if (test_.Contains(t)) {
+      return Status::FailedPrecondition("valid and test splits overlap");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kgfd

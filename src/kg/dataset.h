@@ -1,0 +1,62 @@
+#ifndef KGFD_KG_DATASET_H_
+#define KGFD_KG_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+#include "kg/vocab.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// A benchmark KG: shared entity/relation id spaces plus train/valid/test
+/// splits, mirroring the LibKGE dataset layout the paper builds on.
+class Dataset {
+ public:
+  Dataset(std::string name, size_t num_entities, size_t num_relations);
+
+  const std::string& name() const { return name_; }
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+
+  TripleStore& train() { return train_; }
+  const TripleStore& train() const { return train_; }
+  TripleStore& valid() { return valid_; }
+  const TripleStore& valid() const { return valid_; }
+  TripleStore& test() { return test_; }
+  const TripleStore& test() const { return test_; }
+
+  /// Optional human-readable names; may be empty for synthetic data that
+  /// only uses dense ids.
+  Vocabulary& entity_vocab() { return entity_vocab_; }
+  const Vocabulary& entity_vocab() const { return entity_vocab_; }
+  Vocabulary& relation_vocab() { return relation_vocab_; }
+  const Vocabulary& relation_vocab() const { return relation_vocab_; }
+
+  /// True if `t` occurs in any split. Used by the filtered evaluation
+  /// protocol and by discovery when excluding known facts.
+  bool KnownAnywhere(const Triple& t) const {
+    return train_.Contains(t) || valid_.Contains(t) || test_.Contains(t);
+  }
+
+  /// Checks the usual benchmark invariants: splits pairwise disjoint and
+  /// every valid/test entity & relation seen in train.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  size_t num_entities_;
+  size_t num_relations_;
+  TripleStore train_;
+  TripleStore valid_;
+  TripleStore test_;
+  Vocabulary entity_vocab_;
+  Vocabulary relation_vocab_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_DATASET_H_

@@ -1,0 +1,93 @@
+#include "kg/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace kgfd {
+
+Result<std::vector<Triple>> ReadTriplesTsv(const std::string& path,
+                                           Vocabulary* entities,
+                                           Vocabulary* relations) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::vector<Triple> out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 3 tab-separated fields");
+    }
+    Triple t;
+    t.subject = entities->AddOrGet(Trim(fields[0]));
+    t.relation = relations->AddOrGet(Trim(fields[1]));
+    t.object = entities->AddOrGet(Trim(fields[2]));
+    out.push_back(t);
+  }
+  return out;
+}
+
+Status WriteTriplesTsv(const std::string& path,
+                       const std::vector<Triple>& triples,
+                       const Vocabulary& entities,
+                       const Vocabulary& relations) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  auto name_of = [](const Vocabulary& vocab, uint32_t id) {
+    auto result = vocab.Name(id);
+    return result.ok() ? std::move(result).value() : std::to_string(id);
+  };
+  for (const Triple& t : triples) {
+    out << name_of(entities, t.subject) << '\t'
+        << name_of(relations, t.relation) << '\t'
+        << name_of(entities, t.object) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetDir(const std::string& dir,
+                               const std::string& name) {
+  Vocabulary entities;
+  Vocabulary relations;
+  KGFD_ASSIGN_OR_RETURN(auto train_triples,
+                        ReadTriplesTsv(dir + "/train.txt", &entities,
+                                       &relations));
+  KGFD_ASSIGN_OR_RETURN(auto valid_triples,
+                        ReadTriplesTsv(dir + "/valid.txt", &entities,
+                                       &relations));
+  KGFD_ASSIGN_OR_RETURN(auto test_triples,
+                        ReadTriplesTsv(dir + "/test.txt", &entities,
+                                       &relations));
+  Dataset dataset(name, entities.size(), relations.size());
+  dataset.entity_vocab() = entities;
+  dataset.relation_vocab() = relations;
+  KGFD_RETURN_NOT_OK(dataset.train().AddAll(train_triples));
+  KGFD_RETURN_NOT_OK(dataset.valid().AddAll(valid_triples));
+  KGFD_RETURN_NOT_OK(dataset.test().AddAll(test_triples));
+  KGFD_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+Status SaveDatasetDir(const Dataset& dataset, const std::string& dir) {
+  KGFD_RETURN_NOT_OK(WriteTriplesTsv(dir + "/train.txt",
+                                     dataset.train().triples(),
+                                     dataset.entity_vocab(),
+                                     dataset.relation_vocab()));
+  KGFD_RETURN_NOT_OK(WriteTriplesTsv(dir + "/valid.txt",
+                                     dataset.valid().triples(),
+                                     dataset.entity_vocab(),
+                                     dataset.relation_vocab()));
+  KGFD_RETURN_NOT_OK(WriteTriplesTsv(dir + "/test.txt",
+                                     dataset.test().triples(),
+                                     dataset.entity_vocab(),
+                                     dataset.relation_vocab()));
+  return Status::OK();
+}
+
+}  // namespace kgfd

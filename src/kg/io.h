@@ -1,0 +1,39 @@
+#ifndef KGFD_KG_IO_H_
+#define KGFD_KG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/dataset.h"
+#include "kg/types.h"
+#include "kg/vocab.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Parses a `subject<TAB>relation<TAB>object` file (the FB15K/WN18RR/LibKGE
+/// interchange format), growing the vocabularies as new names appear.
+Result<std::vector<Triple>> ReadTriplesTsv(const std::string& path,
+                                           Vocabulary* entities,
+                                           Vocabulary* relations);
+
+/// Writes triples as TSV using the vocabularies for names; ids without names
+/// are written as their decimal value.
+Status WriteTriplesTsv(const std::string& path,
+                       const std::vector<Triple>& triples,
+                       const Vocabulary& entities,
+                       const Vocabulary& relations);
+
+/// Loads a LibKGE-style dataset directory containing train.txt, valid.txt
+/// and test.txt. The dataset is validated (disjoint splits, no unseen
+/// valid/test entities) before being returned.
+Result<Dataset> LoadDatasetDir(const std::string& dir,
+                               const std::string& name);
+
+/// Writes the three splits of `dataset` into `dir` as train.txt / valid.txt
+/// / test.txt. The directory must exist.
+Status SaveDatasetDir(const Dataset& dataset, const std::string& dir);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_IO_H_

@@ -1,0 +1,39 @@
+#include "kg/kg_stats.h"
+
+namespace kgfd {
+
+SideCounts ComputeSideCounts(const TripleStore& store) {
+  SideCounts counts;
+  counts.subject_count.assign(store.num_entities(), 0);
+  counts.object_count.assign(store.num_entities(), 0);
+  for (const Triple& t : store.triples()) {
+    ++counts.subject_count[t.subject];
+    ++counts.object_count[t.object];
+  }
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    if (counts.subject_count[e] > 0) counts.unique_subjects.push_back(e);
+    if (counts.object_count[e] > 0) counts.unique_objects.push_back(e);
+  }
+  return counts;
+}
+
+KgShape ComputeShape(const TripleStore& store) {
+  KgShape shape;
+  shape.num_entities = store.num_entities();
+  shape.num_relations = store.num_relations();
+  shape.num_triples = store.size();
+  if (shape.num_entities > 0) {
+    shape.avg_relations_per_entity =
+        2.0 * static_cast<double>(shape.num_triples) /
+        static_cast<double>(shape.num_entities);
+    const double possible = static_cast<double>(shape.num_entities) *
+                            static_cast<double>(shape.num_entities) *
+                            static_cast<double>(shape.num_relations);
+    shape.density = possible > 0
+                        ? static_cast<double>(shape.num_triples) / possible
+                        : 0.0;
+  }
+  return shape;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,53 @@
+#ifndef KGFD_KG_KG_STATS_H_
+#define KGFD_KG_KG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+
+namespace kgfd {
+
+/// Per-side entity occurrence statistics over a triple store. These are the
+/// inputs of the UNIFORM_RANDOM and ENTITY_FREQUENCY sampling strategies:
+/// both operate over the *unique entities seen on a side* and, for
+/// frequency, the per-side occurrence counts.
+struct SideCounts {
+  /// count(e, subject): number of triples with e as subject, indexed by id.
+  std::vector<uint32_t> subject_count;
+  /// count(e, object): number of triples with e as object, indexed by id.
+  std::vector<uint32_t> object_count;
+  /// Unique entity ids occurring as subject, ascending.
+  std::vector<EntityId> unique_subjects;
+  /// Unique entity ids occurring as object, ascending.
+  std::vector<EntityId> unique_objects;
+
+  uint32_t count(EntityId e, TripleSide side) const {
+    return side == TripleSide::kSubject ? subject_count[e] : object_count[e];
+  }
+  const std::vector<EntityId>& unique(TripleSide side) const {
+    return side == TripleSide::kSubject ? unique_subjects : unique_objects;
+  }
+};
+
+/// Computes per-side counts in one pass over the store.
+SideCounts ComputeSideCounts(const TripleStore& store);
+
+/// Coarse graph-shape numbers shown by Table 1 / dataset explorer.
+struct KgShape {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  size_t num_triples = 0;
+  /// 2 * M / N: average relations (triple slots) per entity, as computed in
+  /// the paper's WN18RR discussion.
+  double avg_relations_per_entity = 0.0;
+  /// M / (N^2 * K): fraction of all possible triples that exist.
+  double density = 0.0;
+};
+
+KgShape ComputeShape(const TripleStore& store);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_KG_STATS_H_

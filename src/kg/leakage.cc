@@ -1,0 +1,54 @@
+#include "kg/leakage.h"
+
+#include <algorithm>
+
+namespace kgfd {
+
+std::vector<InverseRelationPair> DetectInverseRelations(
+    const TripleStore& store, double min_coverage) {
+  const size_t k = store.num_relations();
+  // match[r][r'] = |{(s, r, o) : (o, r', s) in store}|.
+  std::vector<std::vector<size_t>> match(k, std::vector<size_t>(k, 0));
+  for (const Triple& t : store.triples()) {
+    for (RelationId r2 = 0; r2 < k; ++r2) {
+      if (store.Contains({t.object, r2, t.subject})) ++match[t.relation][r2];
+    }
+  }
+  std::vector<InverseRelationPair> out;
+  for (RelationId r = 0; r < k; ++r) {
+    const size_t total = store.ByRelation(r).size();
+    if (total == 0) continue;
+    for (RelationId r2 = 0; r2 < k; ++r2) {
+      const double coverage =
+          static_cast<double>(match[r][r2]) / static_cast<double>(total);
+      if (coverage >= min_coverage && match[r][r2] > 0) {
+        out.push_back(InverseRelationPair{r, r2, coverage, match[r][r2]});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InverseRelationPair& a, const InverseRelationPair& b) {
+              if (a.coverage != b.coverage) return a.coverage > b.coverage;
+              return a.support > b.support;
+            });
+  return out;
+}
+
+Result<double> TestLeakageScore(const Dataset& dataset) {
+  if (dataset.test().size() == 0) {
+    return Status::InvalidArgument("empty test split");
+  }
+  size_t leaked = 0;
+  for (const Triple& t : dataset.test().triples()) {
+    for (RelationId r2 = 0; r2 < dataset.num_relations(); ++r2) {
+      if (dataset.train().Contains({t.object, r2, t.subject})) {
+        ++leaked;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(leaked) /
+         static_cast<double>(dataset.test().size());
+}
+
+}  // namespace kgfd

@@ -1,0 +1,45 @@
+#ifndef KGFD_KG_LEAKAGE_H_
+#define KGFD_KG_LEAKAGE_H_
+
+#include <vector>
+
+#include "kg/dataset.h"
+#include "kg/triple_store.h"
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Inverse-relation test leakage analysis — the dataset flaw the paper's
+/// §4.1.2 recounts: FB15K and WN18 let models "solve" test triples
+/// (s, r, o) by looking up the training triple (o, r^-1, s), which is why
+/// FB15K-237 and WN18RR exist. These tools quantify that flaw for any
+/// dataset loaded into kgfd.
+
+/// A (near-)inverse relation pair within one triple set.
+struct InverseRelationPair {
+  RelationId relation = 0;
+  RelationId inverse = 0;
+  /// Fraction of `relation`'s triples (s, r, o) with (o, inverse, s)
+  /// present.
+  double coverage = 0.0;
+  /// Absolute number of matched triples.
+  size_t support = 0;
+};
+
+/// Finds relation pairs (r, r') where at least `min_coverage` of r's
+/// triples have their flip present under r'. Self-pairs (r, r) are
+/// reported too — they indicate symmetric relations. Results are sorted by
+/// coverage, descending.
+std::vector<InverseRelationPair> DetectInverseRelations(
+    const TripleStore& store, double min_coverage = 0.8);
+
+/// Fraction of test triples (s, r, o) for which some training triple
+/// (o, r', s) exists — the upper bound on what a trivial inversion rule
+/// could "predict". The paper's datasets were rebuilt precisely to push
+/// this toward zero.
+Result<double> TestLeakageScore(const Dataset& dataset);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_LEAKAGE_H_

@@ -1,0 +1,48 @@
+#include "kg/relation_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kgfd {
+
+std::string RelationStats::Cardinality() const {
+  constexpr double kThreshold = 1.5;
+  const bool many_tails = tails_per_head >= kThreshold;
+  const bool many_heads = heads_per_tail >= kThreshold;
+  if (many_tails && many_heads) return "N-N";
+  if (many_tails) return "1-N";
+  if (many_heads) return "N-1";
+  return "1-1";
+}
+
+std::vector<RelationStats> ComputeRelationStats(const TripleStore& store) {
+  std::vector<RelationStats> out;
+  for (RelationId r : store.UsedRelations()) {
+    const std::vector<Triple>& triples = store.ByRelation(r);
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> by_head;
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> by_tail;
+    for (const Triple& t : triples) {
+      by_head[t.subject].insert(t.object);
+      by_tail[t.object].insert(t.subject);
+    }
+    RelationStats stats;
+    stats.relation = r;
+    stats.num_triples = triples.size();
+    stats.distinct_subjects = by_head.size();
+    stats.distinct_objects = by_tail.size();
+    double tph = 0.0;
+    for (const auto& [head, tails] : by_head) {
+      tph += static_cast<double>(tails.size());
+    }
+    stats.tails_per_head = tph / static_cast<double>(by_head.size());
+    double hpt = 0.0;
+    for (const auto& [tail, heads] : by_tail) {
+      hpt += static_cast<double>(heads.size());
+    }
+    stats.heads_per_tail = hpt / static_cast<double>(by_tail.size());
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,36 @@
+#ifndef KGFD_KG_RELATION_STATS_H_
+#define KGFD_KG_RELATION_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+
+namespace kgfd {
+
+/// Per-relation cardinality profile (Bordes et al. 2013's 1-1 / 1-N /
+/// N-1 / N-N taxonomy). tph/hpt are the statistics the Bernoulli
+/// corruption scheme derives its side probabilities from; the cardinality
+/// class explains which relations a mesh-grid candidate generator can
+/// cover well.
+struct RelationStats {
+  RelationId relation = 0;
+  size_t num_triples = 0;
+  size_t distinct_subjects = 0;
+  size_t distinct_objects = 0;
+  /// Mean distinct tails per (head, relation).
+  double tails_per_head = 0.0;
+  /// Mean distinct heads per (relation, tail).
+  double heads_per_tail = 0.0;
+
+  /// "1-1", "1-N", "N-1" or "N-N" with the conventional 1.5 threshold.
+  std::string Cardinality() const;
+};
+
+/// Stats for every relation with at least one triple, ascending by id.
+std::vector<RelationStats> ComputeRelationStats(const TripleStore& store);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_RELATION_STATS_H_

@@ -1,0 +1,65 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+namespace kgfd {
+
+TripleStore::TripleStore(size_t num_entities, size_t num_relations)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      by_relation_(num_relations) {}
+
+Result<bool> TripleStore::Add(const Triple& t) {
+  if (t.subject >= num_entities_ || t.object >= num_entities_) {
+    return Status::OutOfRange("entity id out of range");
+  }
+  if (t.relation >= num_relations_) {
+    return Status::OutOfRange("relation id out of range");
+  }
+  if (num_entities_ > kMaxPackableEntities ||
+      num_relations_ > kMaxPackableRelations) {
+    return Status::FailedPrecondition("id space exceeds packed-triple limits");
+  }
+  const uint64_t key = PackTriple(t);
+  if (!keys_.insert(key).second) return false;
+  triples_.push_back(t);
+  by_relation_[t.relation].push_back(t);
+  sr_to_objects_[PairKey(t.subject, t.relation)].push_back(t.object);
+  ro_to_subjects_[PairKey(t.relation, t.object)].push_back(t.subject);
+  return true;
+}
+
+Status TripleStore::AddAll(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) {
+    KGFD_ASSIGN_OR_RETURN([[maybe_unused]] bool inserted, Add(t));
+  }
+  return Status::OK();
+}
+
+const std::vector<Triple>& TripleStore::ByRelation(RelationId r) const {
+  static const std::vector<Triple> kEmpty;
+  if (r >= by_relation_.size()) return kEmpty;
+  return by_relation_[r];
+}
+
+std::vector<RelationId> TripleStore::UsedRelations() const {
+  std::vector<RelationId> out;
+  for (RelationId r = 0; r < by_relation_.size(); ++r) {
+    if (!by_relation_[r].empty()) out.push_back(r);
+  }
+  return out;
+}
+
+const std::vector<EntityId>& TripleStore::ObjectsOf(EntityId s,
+                                                    RelationId r) const {
+  auto it = sr_to_objects_.find(PairKey(s, r));
+  return it == sr_to_objects_.end() ? empty_ : it->second;
+}
+
+const std::vector<EntityId>& TripleStore::SubjectsOf(RelationId r,
+                                                     EntityId o) const {
+  auto it = ro_to_subjects_.find(PairKey(r, o));
+  return it == ro_to_subjects_.end() ? empty_ : it->second;
+}
+
+}  // namespace kgfd

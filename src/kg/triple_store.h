@@ -1,0 +1,72 @@
+#ifndef KGFD_KG_TRIPLE_STORE_H_
+#define KGFD_KG_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// In-memory triple set with the indexes the rest of the library needs:
+///   * O(1) membership (packed-key hash set) — candidate filtering,
+///   * per-relation triple lists — the discovery loop iterates relations,
+///   * (s, r) -> objects and (r, o) -> subjects — filtered link-prediction
+///     ranking a la Bordes et al.
+/// Duplicate inserts are ignored (a KG is a set of facts).
+class TripleStore {
+ public:
+  /// Creates a store over the id spaces [0, num_entities) x
+  /// [0, num_relations). Both must fit the packed-triple limits.
+  TripleStore(size_t num_entities, size_t num_relations);
+
+  /// Validates ids and inserts; returns false (and OK status) if the triple
+  /// was already present.
+  Result<bool> Add(const Triple& t);
+
+  /// Bulk Add; fails fast on the first invalid triple.
+  Status AddAll(const std::vector<Triple>& triples);
+
+  bool Contains(const Triple& t) const {
+    return keys_.count(PackTriple(t)) > 0;
+  }
+
+  size_t size() const { return triples_.size(); }
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Triples with the given relation (empty vector for unused relations).
+  const std::vector<Triple>& ByRelation(RelationId r) const;
+
+  /// Relations that occur in at least one triple, ascending.
+  std::vector<RelationId> UsedRelations() const;
+
+  /// Objects o such that (s, r, o) in the store. Unsorted. Empty if none.
+  const std::vector<EntityId>& ObjectsOf(EntityId s, RelationId r) const;
+
+  /// Subjects s such that (s, r, o) in the store. Unsorted. Empty if none.
+  const std::vector<EntityId>& SubjectsOf(RelationId r, EntityId o) const;
+
+ private:
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  size_t num_entities_;
+  size_t num_relations_;
+  std::vector<Triple> triples_;
+  std::unordered_set<uint64_t> keys_;
+  std::vector<std::vector<Triple>> by_relation_;
+  std::unordered_map<uint64_t, std::vector<EntityId>> sr_to_objects_;
+  std::unordered_map<uint64_t, std::vector<EntityId>> ro_to_subjects_;
+  std::vector<EntityId> empty_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_TRIPLE_STORE_H_

@@ -1,0 +1,32 @@
+#include "kg/vocab.h"
+
+namespace kgfd {
+
+uint32_t Vocabulary::AddOrGet(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+Result<uint32_t> Vocabulary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return Status::NotFound("unknown name: " + name);
+  return it->second;
+}
+
+bool Vocabulary::Contains(const std::string& name) const {
+  return ids_.count(name) > 0;
+}
+
+Result<std::string> Vocabulary::Name(uint32_t id) const {
+  if (id >= names_.size()) {
+    return Status::OutOfRange("vocabulary id out of range: " +
+                              std::to_string(id));
+  }
+  return names_[id];
+}
+
+}  // namespace kgfd

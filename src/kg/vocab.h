@@ -1,0 +1,40 @@
+#ifndef KGFD_KG_VOCAB_H_
+#define KGFD_KG_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Bidirectional mapping between external string names (entity IRIs,
+/// relation labels) and dense 0-based ids. Ids are assigned in insertion
+/// order and never reused.
+class Vocabulary {
+ public:
+  /// Returns the id of `name`, inserting it if absent.
+  uint32_t AddOrGet(const std::string& name);
+
+  /// Returns the id of `name` or NotFound.
+  Result<uint32_t> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Returns the name of `id` or OutOfRange.
+  Result<std::string> Name(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KG_VOCAB_H_

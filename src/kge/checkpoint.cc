@@ -1,0 +1,121 @@
+#include "kge/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace kgfd {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint64_t> ReadU64(std::ifstream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return Status::IoError("truncated checkpoint");
+  return v;
+}
+
+Result<std::string> ReadString(std::ifstream& in) {
+  KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
+  if (n > (1ULL << 20)) return Status::IoError("corrupt checkpoint string");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::IoError("truncated checkpoint");
+  return s;
+}
+
+}  // namespace
+
+Status SaveModel(Model* model, const ModelConfig& config,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  WriteString(out, model->name());
+  WriteU64(out, config.num_entities);
+  WriteU64(out, config.num_relations);
+  WriteU64(out, config.embedding_dim);
+  WriteU64(out, static_cast<uint64_t>(config.transe_norm));
+  WriteU64(out, config.conve_num_filters);
+  WriteU64(out, config.conve_reshape_height);
+
+  const std::vector<NamedTensor> params = model->Parameters();
+  WriteU64(out, params.size());
+  for (const NamedTensor& p : params) {
+    WriteString(out, p.name);
+    WriteU64(out, p.tensor->rows());
+    WriteU64(out, p.tensor->cols());
+    out.write(reinterpret_cast<const char*>(p.tensor->data().data()),
+              static_cast<std::streamsize>(p.tensor->size() *
+                                           sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a kgfd checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kFormatVersion) {
+    return Status::IoError("unsupported checkpoint version");
+  }
+  KGFD_ASSIGN_OR_RETURN(std::string model_name, ReadString(in));
+  KGFD_ASSIGN_OR_RETURN(ModelKind kind, ModelKindFromName(model_name));
+  ModelConfig config;
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_entities, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint64_t embedding_dim, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint64_t transe_norm, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_filters, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_height, ReadU64(in));
+  config.num_entities = num_entities;
+  config.num_relations = num_relations;
+  config.embedding_dim = embedding_dim;
+  config.transe_norm = static_cast<int>(transe_norm);
+  config.conve_num_filters = conve_filters;
+  config.conve_reshape_height = conve_height;
+
+  Rng rng(0);  // parameters are overwritten below
+  KGFD_ASSIGN_OR_RETURN(auto model, CreateModel(kind, config, &rng));
+
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_params, ReadU64(in));
+  std::vector<NamedTensor> params = model->Parameters();
+  if (num_params != params.size()) {
+    return Status::IoError("checkpoint parameter count mismatch");
+  }
+  for (NamedTensor& p : params) {
+    KGFD_ASSIGN_OR_RETURN(std::string name, ReadString(in));
+    KGFD_ASSIGN_OR_RETURN(uint64_t rows, ReadU64(in));
+    KGFD_ASSIGN_OR_RETURN(uint64_t cols, ReadU64(in));
+    if (name != p.name || rows != p.tensor->rows() ||
+        cols != p.tensor->cols()) {
+      return Status::IoError("checkpoint tensor mismatch for " + p.name);
+    }
+    in.read(reinterpret_cast<char*>(p.tensor->data().data()),
+            static_cast<std::streamsize>(p.tensor->size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated checkpoint tensor " + p.name);
+  }
+  return model;
+}
+
+}  // namespace kgfd

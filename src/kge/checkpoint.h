@@ -1,0 +1,24 @@
+#ifndef KGFD_KGE_CHECKPOINT_H_
+#define KGFD_KGE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "kge/model.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Serializes a trained model to a self-describing little-endian binary
+/// file: magic, format version, model kind, config, then each named
+/// parameter tensor. Round-trips bit-exactly.
+Status SaveModel(Model* model, const ModelConfig& config,
+                 const std::string& path);
+
+/// Restores a model saved by SaveModel. The embedded config reconstructs
+/// the architecture; no external metadata is needed.
+Result<std::unique_ptr<Model>> LoadModel(const std::string& path);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_CHECKPOINT_H_

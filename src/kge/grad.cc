@@ -1,0 +1,34 @@
+#include "kge/grad.h"
+
+namespace kgfd {
+
+float* GradientBatch::RowGrad(Tensor* tensor, size_t row) {
+  auto& rows = grads_[tensor];
+  auto it = rows.find(row);
+  if (it == rows.end()) {
+    it = rows.emplace(row, std::vector<float>(tensor->cols(), 0.0f)).first;
+  }
+  return it->second.data();
+}
+
+void GradientBatch::AccumulateRow(Tensor* tensor, size_t row,
+                                  const float* values, size_t n,
+                                  float scale) {
+  float* g = RowGrad(tensor, row);
+  for (size_t i = 0; i < n; ++i) g[i] += scale * values[i];
+}
+
+const std::unordered_map<size_t, std::vector<float>>* GradientBatch::RowsFor(
+    Tensor* tensor) const {
+  auto it = grads_.find(tensor);
+  return it == grads_.end() ? nullptr : &it->second;
+}
+
+std::vector<Tensor*> GradientBatch::TouchedTensors() const {
+  std::vector<Tensor*> out;
+  out.reserve(grads_.size());
+  for (const auto& [tensor, rows] : grads_) out.push_back(tensor);
+  return out;
+}
+
+}  // namespace kgfd

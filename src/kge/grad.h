@@ -1,0 +1,44 @@
+#ifndef KGFD_KGE_GRAD_H_
+#define KGFD_KGE_GRAD_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "kge/tensor.h"
+
+namespace kgfd {
+
+/// Row-sparse gradient accumulator for one mini-batch. KGE batches touch a
+/// tiny fraction of the embedding rows, so gradients are stored per touched
+/// row; dense parameters (conv filters, projections) simply touch all their
+/// rows. Models accumulate into this during backprop; an Optimizer consumes
+/// it.
+class GradientBatch {
+ public:
+  /// Returns the gradient row for (tensor, row), zero-initialized on first
+  /// touch. The pointer is valid until Clear().
+  float* RowGrad(Tensor* tensor, size_t row);
+
+  /// Adds `scale * values[0..n)` into the gradient row.
+  void AccumulateRow(Tensor* tensor, size_t row, const float* values,
+                     size_t n, float scale);
+
+  /// All touched rows of a tensor (unordered).
+  const std::unordered_map<size_t, std::vector<float>>* RowsFor(
+      Tensor* tensor) const;
+
+  /// Tensors with at least one touched row.
+  std::vector<Tensor*> TouchedTensors() const;
+
+  void Clear() { grads_.clear(); }
+
+ private:
+  std::unordered_map<Tensor*,
+                     std::unordered_map<size_t, std::vector<float>>>
+      grads_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_GRAD_H_

@@ -1,0 +1,76 @@
+#include "kge/grid_search.h"
+
+#include "kge/evaluator.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kgfd {
+namespace {
+
+template <typename T>
+std::vector<T> OrDefault(const std::vector<T>& values, T fallback) {
+  return values.empty() ? std::vector<T>{fallback} : values;
+}
+
+}  // namespace
+
+Result<GridSearchResult> RunGridSearch(ModelKind kind,
+                                       const Dataset& dataset,
+                                       const ModelConfig& base_model,
+                                       const TrainerConfig& base_trainer,
+                                       const GridSearchSpace& space) {
+  if (dataset.valid().size() == 0) {
+    return Status::InvalidArgument(
+        "grid search needs a non-empty validation split");
+  }
+  const std::vector<size_t> dims =
+      OrDefault(space.embedding_dims, base_model.embedding_dim);
+  const std::vector<double> rates = OrDefault(
+      space.learning_rates, base_trainer.optimizer.learning_rate);
+  const std::vector<LossKind> losses =
+      OrDefault(space.losses, base_trainer.loss);
+  const std::vector<size_t> negatives = OrDefault(
+      space.negatives_per_positive, base_trainer.negatives_per_positive);
+
+  GridSearchResult result;
+  double best_mrr = -1.0;
+  for (size_t dim : dims) {
+    for (double lr : rates) {
+      for (LossKind loss : losses) {
+        for (size_t neg : negatives) {
+          GridTrial trial;
+          trial.model_config = base_model;
+          trial.model_config.embedding_dim = dim;
+          trial.trainer_config = base_trainer;
+          trial.trainer_config.optimizer.learning_rate = lr;
+          trial.trainer_config.loss = loss;
+          trial.trainer_config.negatives_per_positive = neg;
+
+          WallTimer timer;
+          KGFD_ASSIGN_OR_RETURN(
+              auto model, TrainModel(kind, trial.model_config,
+                                     dataset.train(),
+                                     trial.trainer_config));
+          trial.train_seconds = timer.ElapsedSeconds();
+          KGFD_ASSIGN_OR_RETURN(
+              const LinkPredictionMetrics metrics,
+              EvaluateLinkPrediction(*model, dataset, dataset.valid()));
+          trial.valid_mrr = metrics.mrr;
+          KGFD_LOG(Debug) << "grid trial dim=" << dim << " lr=" << lr
+                          << " loss=" << LossKindName(loss)
+                          << " neg=" << neg
+                          << " valid_mrr=" << trial.valid_mrr;
+          if (trial.valid_mrr > best_mrr) {
+            best_mrr = trial.valid_mrr;
+            result.best_index = result.trials.size();
+            result.best_model = std::move(model);
+          }
+          result.trials.push_back(std::move(trial));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kgfd

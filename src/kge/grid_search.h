@@ -1,0 +1,57 @@
+#ifndef KGFD_KGE_GRID_SEARCH_H_
+#define KGFD_KGE_GRID_SEARCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "kg/dataset.h"
+#include "kge/model.h"
+#include "kge/trainer.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Hyperparameter grid for one model family — the paper's §3.2 "Model
+/// Training" step ("we are open to hyperparameters used by prior research
+/// as well as doing our own tuning, for instance through grid search").
+/// Empty dimensions fall back to the base config's value.
+struct GridSearchSpace {
+  std::vector<size_t> embedding_dims;
+  std::vector<double> learning_rates;
+  std::vector<LossKind> losses;
+  std::vector<size_t> negatives_per_positive;
+};
+
+/// One evaluated grid point.
+struct GridTrial {
+  ModelConfig model_config;
+  TrainerConfig trainer_config;
+  double valid_mrr = 0.0;
+  double train_seconds = 0.0;
+};
+
+struct GridSearchResult {
+  /// All trials, in evaluation order.
+  std::vector<GridTrial> trials;
+  /// Index of the best trial (highest filtered validation MRR).
+  size_t best_index = 0;
+  /// The trained model of the best trial, kept so callers can use it
+  /// without retraining.
+  std::unique_ptr<Model> best_model;
+
+  const GridTrial& best() const { return trials[best_index]; }
+};
+
+/// Exhaustive grid search: trains one model per grid point on
+/// dataset.train(), scores filtered MRR on dataset.valid(), and returns
+/// every trial plus the best-trial model. Deterministic in
+/// base_trainer.seed.
+Result<GridSearchResult> RunGridSearch(ModelKind kind,
+                                       const Dataset& dataset,
+                                       const ModelConfig& base_model,
+                                       const TrainerConfig& base_trainer,
+                                       const GridSearchSpace& space);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_GRID_SEARCH_H_

@@ -1,0 +1,86 @@
+#include "kge/loss.h"
+
+#include <cmath>
+
+namespace kgfd {
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Numerically stable log(1 + exp(x)).
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+const char* LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMarginRanking:
+      return "margin_ranking";
+    case LossKind::kBinaryCrossEntropy:
+      return "bce";
+    case LossKind::kSoftplus:
+      return "softplus";
+  }
+  return "unknown";
+}
+
+Result<LossKind> LossKindFromName(const std::string& name) {
+  for (LossKind kind : {LossKind::kMarginRanking,
+                        LossKind::kBinaryCrossEntropy, LossKind::kSoftplus}) {
+    if (name == LossKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown loss: " + name);
+}
+
+PointwiseLoss EvalPointwiseLoss(LossKind kind, double score, int label) {
+  PointwiseLoss out;
+  switch (kind) {
+    case LossKind::kBinaryCrossEntropy: {
+      // L = -(y log σ(x) + (1-y) log(1-σ(x))); dL/dx = σ(x) - y.
+      const double y = label > 0 ? 1.0 : 0.0;
+      out.value = Softplus(score) - y * score;
+      out.dscore = Sigmoid(score) - y;
+      return out;
+    }
+    case LossKind::kSoftplus: {
+      // L = softplus(-y x); dL/dx = -y σ(-y x).
+      const double y = label > 0 ? 1.0 : -1.0;
+      out.value = Softplus(-y * score);
+      out.dscore = -y * Sigmoid(-y * score);
+      return out;
+    }
+    case LossKind::kMarginRanking:
+      // Margin ranking is pairwise; treated here as hinge on y*score so a
+      // pointwise caller still gets something sane.
+      const double y = label > 0 ? 1.0 : -1.0;
+      const double hinge = 1.0 - y * score;
+      out.value = hinge > 0.0 ? hinge : 0.0;
+      out.dscore = hinge > 0.0 ? -y : 0.0;
+      return out;
+  }
+  return out;
+}
+
+PairwiseLoss EvalMarginRankingLoss(double score_pos, double score_neg,
+                                   double margin) {
+  PairwiseLoss out;
+  const double violation = margin - score_pos + score_neg;
+  if (violation > 0.0) {
+    out.value = violation;
+    out.dscore_pos = -1.0;
+    out.dscore_neg = 1.0;
+  }
+  return out;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,43 @@
+#ifndef KGFD_KGE_LOSS_H_
+#define KGFD_KGE_LOSS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+enum class LossKind {
+  /// max(0, margin - score_pos + score_neg) per positive/negative pair.
+  kMarginRanking,
+  /// Pointwise binary cross-entropy with logits; labels 1 (pos) / 0 (neg).
+  kBinaryCrossEntropy,
+  /// Pointwise softplus: log(1 + exp(-y * score)), y in {+1, -1}.
+  kSoftplus,
+};
+
+const char* LossKindName(LossKind kind);
+Result<LossKind> LossKindFromName(const std::string& name);
+
+/// Value and d(loss)/d(score) of a pointwise loss for one scored triple.
+struct PointwiseLoss {
+  double value = 0.0;
+  double dscore = 0.0;
+};
+
+/// Pointwise losses: label +1 for positives, -1 for negatives.
+PointwiseLoss EvalPointwiseLoss(LossKind kind, double score, int label);
+
+/// Pairwise margin ranking loss for one (positive, negative) score pair.
+struct PairwiseLoss {
+  double value = 0.0;
+  double dscore_pos = 0.0;
+  double dscore_neg = 0.0;
+};
+
+PairwiseLoss EvalMarginRankingLoss(double score_pos, double score_neg,
+                                   double margin);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_LOSS_H_

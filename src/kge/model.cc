@@ -1,0 +1,92 @@
+#include "kge/model.h"
+
+#include "kge/models/complex.h"
+#include "kge/models/conve.h"
+#include "kge/models/distmult.h"
+#include "kge/models/hole.h"
+#include "kge/models/rescal.h"
+#include "kge/models/transe.h"
+
+namespace kgfd {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTransE:
+      return "TransE";
+    case ModelKind::kDistMult:
+      return "DistMult";
+    case ModelKind::kComplEx:
+      return "ComplEx";
+    case ModelKind::kRescal:
+      return "RESCAL";
+    case ModelKind::kHolE:
+      return "HolE";
+    case ModelKind::kConvE:
+      return "ConvE";
+  }
+  return "Unknown";
+}
+
+Result<ModelKind> ModelKindFromName(const std::string& name) {
+  for (ModelKind kind :
+       {ModelKind::kTransE, ModelKind::kDistMult, ModelKind::kComplEx,
+        ModelKind::kRescal, ModelKind::kHolE, ModelKind::kConvE}) {
+    if (name == ModelKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown model: " + name);
+}
+
+Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
+                                           const ModelConfig& config,
+                                           Rng* rng) {
+  if (config.num_entities < 1 || config.num_relations < 1) {
+    return Status::InvalidArgument("model needs >= 1 entity and relation");
+  }
+  if (config.embedding_dim < 2) {
+    return Status::InvalidArgument("embedding_dim must be >= 2");
+  }
+  std::unique_ptr<Model> model;
+  switch (kind) {
+    case ModelKind::kTransE:
+      if (config.transe_norm != 1 && config.transe_norm != 2) {
+        return Status::InvalidArgument("transe_norm must be 1 or 2");
+      }
+      model = std::make_unique<TransEModel>(config);
+      break;
+    case ModelKind::kDistMult:
+      model = std::make_unique<DistMultModel>(config);
+      break;
+    case ModelKind::kComplEx:
+      if (config.embedding_dim % 2 != 0) {
+        return Status::InvalidArgument("ComplEx needs an even embedding_dim");
+      }
+      model = std::make_unique<ComplExModel>(config);
+      break;
+    case ModelKind::kRescal:
+      model = std::make_unique<RescalModel>(config);
+      break;
+    case ModelKind::kHolE:
+      model = std::make_unique<HolEModel>(config);
+      break;
+    case ModelKind::kConvE: {
+      const size_t h = config.conve_reshape_height;
+      if (h < 2 || config.embedding_dim % h != 0) {
+        return Status::InvalidArgument(
+            "ConvE needs conve_reshape_height >= 2 dividing embedding_dim");
+      }
+      if (config.embedding_dim / h < 3) {
+        return Status::InvalidArgument(
+            "ConvE reshape width must be >= 3 for a 3x3 convolution");
+      }
+      if (config.conve_num_filters == 0) {
+        return Status::InvalidArgument("ConvE needs >= 1 filter");
+      }
+      model = std::make_unique<ConvEModel>(config);
+      break;
+    }
+  }
+  model->InitParameters(rng);
+  return model;
+}
+
+}  // namespace kgfd

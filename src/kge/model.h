@@ -1,0 +1,107 @@
+#ifndef KGFD_KGE_MODEL_H_
+#define KGFD_KGE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kg/types.h"
+#include "kge/grad.h"
+#include "kge/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// The KGE models evaluated or described by the paper.
+enum class ModelKind {
+  kTransE,
+  kDistMult,
+  kComplEx,
+  kRescal,
+  kHolE,
+  kConvE,
+};
+
+const char* ModelKindName(ModelKind kind);
+Result<ModelKind> ModelKindFromName(const std::string& name);
+
+/// Abstract knowledge-graph embedding model: a scoring function
+/// f(s, r, o; Θ) with analytic gradients. Higher scores mean "more
+/// plausible". Implementations store all parameters in named Tensors so one
+/// optimizer / checkpoint path serves every model.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual ModelKind kind() const = 0;
+  std::string name() const { return ModelKindName(kind()); }
+
+  virtual size_t num_entities() const = 0;
+  virtual size_t num_relations() const = 0;
+  /// Entity embedding width (model-specific meaning; ComplEx counts real
+  /// plus imaginary parts).
+  virtual size_t embedding_dim() const = 0;
+
+  /// Plausibility score of one triple.
+  virtual double Score(const Triple& t) const = 0;
+
+  /// Scores (s, r, o') for every entity o'. `out` is resized to the entity
+  /// count. The workhorse of both link-prediction evaluation and candidate
+  /// ranking; implementations share per-(s, r) work across objects.
+  virtual void ScoreObjects(EntityId s, RelationId r,
+                            std::vector<double>* out) const = 0;
+
+  /// Scores (s', r, o) for every entity s'.
+  virtual void ScoreSubjects(RelationId r, EntityId o,
+                             std::vector<double>* out) const = 0;
+
+  /// The scalar the trainer differentiates. Equal to Score() for all models
+  /// except those with direction-specific heads (ConvE's reciprocal
+  /// relations), where it averages both directions so that
+  /// AccumulateScoreGradient() is exactly its gradient.
+  virtual double TrainingScore(const Triple& t) const { return Score(t); }
+
+  /// Backpropagates d(loss)/d(score) = `dscore` for triple `t` into the
+  /// batch gradients (chain rule through the scoring function only; the
+  /// loss derivative is the caller's job).
+  virtual void AccumulateScoreGradient(const Triple& t, double dscore,
+                                       GradientBatch* grads) = 0;
+
+  /// All trainable parameters. Names are stable across runs and versions
+  /// (used by checkpoints).
+  virtual std::vector<NamedTensor> Parameters() = 0;
+
+  /// (Re-)initializes all parameters from `rng`.
+  virtual void InitParameters(Rng* rng) = 0;
+
+  /// Total number of scalar parameters.
+  size_t NumParameters() {
+    size_t n = 0;
+    for (const NamedTensor& p : Parameters()) n += p.tensor->size();
+    return n;
+  }
+};
+
+/// Model construction options. Fields irrelevant to a given model are
+/// ignored (e.g. conv settings for TransE).
+struct ModelConfig {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  size_t embedding_dim = 32;
+  /// TransE distance: 1 = L1, 2 = L2.
+  int transe_norm = 1;
+  /// ConvE: number of 3x3 filters.
+  size_t conve_num_filters = 8;
+  /// ConvE: embedding reshape height; dim must be divisible by it.
+  size_t conve_reshape_height = 4;
+};
+
+/// Instantiates a model with freshly initialized parameters.
+Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
+                                           const ModelConfig& config,
+                                           Rng* rng);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_MODEL_H_

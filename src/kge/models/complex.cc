@@ -1,0 +1,102 @@
+#include "kge/models/complex.h"
+
+#include <cstdlib>
+
+namespace kgfd {
+
+ComplExModel::ComplExModel(const ModelConfig& config)
+    : PairEmbeddingModel(config, config.embedding_dim),
+      half_(config.embedding_dim / 2) {
+  // CreateModel validates evenness; this is a backstop for direct use.
+  if (config.embedding_dim % 2 != 0) std::abort();
+}
+
+double ComplExModel::Score(const Triple& t) const {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  const float* sr = s;
+  const float* si = s + half_;
+  const float* rr = r;
+  const float* ri = r + half_;
+  const float* orr = o;
+  const float* oi = o + half_;
+  double acc = 0.0;
+  for (size_t k = 0; k < half_; ++k) {
+    acc += static_cast<double>(sr[k]) * rr[k] * orr[k] +
+           static_cast<double>(si[k]) * rr[k] * oi[k] +
+           static_cast<double>(sr[k]) * ri[k] * oi[k] -
+           static_cast<double>(si[k]) * ri[k] * orr[k];
+  }
+  return acc;
+}
+
+void ComplExModel::ScoreObjects(EntityId s, RelationId r,
+                                std::vector<double>* out) const {
+  const float* sv = entities_.Row(s);
+  const float* rv = relations_.Row(r);
+  // score(o) = <w_r, o_r> + <w_i, o_i> with w = s * r (complex product).
+  std::vector<double> wr(half_), wi(half_);
+  for (size_t k = 0; k < half_; ++k) {
+    const double sr = sv[k], si = sv[half_ + k];
+    const double rr = rv[k], ri = rv[half_ + k];
+    wr[k] = sr * rr - si * ri;
+    wi[k] = si * rr + sr * ri;
+  }
+  out->resize(num_entities());
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const float* ov = entities_.Row(e);
+    double acc = 0.0;
+    for (size_t k = 0; k < half_; ++k) {
+      acc += wr[k] * ov[k] + wi[k] * ov[half_ + k];
+    }
+    (*out)[e] = acc;
+  }
+}
+
+void ComplExModel::ScoreSubjects(RelationId r, EntityId o,
+                                 std::vector<double>* out) const {
+  const float* rv = relations_.Row(r);
+  const float* ov = entities_.Row(o);
+  // score(s) = <u_r, s_r> + <u_i, s_i> with u = conj(r) * o... spelled out:
+  //   u_r[k] = rr*or + ri*oi,  u_i[k] = rr*oi - ri*or.
+  std::vector<double> ur(half_), ui(half_);
+  for (size_t k = 0; k < half_; ++k) {
+    const double rr = rv[k], ri = rv[half_ + k];
+    const double orr = ov[k], oi = ov[half_ + k];
+    ur[k] = rr * orr + ri * oi;
+    ui[k] = rr * oi - ri * orr;
+  }
+  out->resize(num_entities());
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const float* sv = entities_.Row(e);
+    double acc = 0.0;
+    for (size_t k = 0; k < half_; ++k) {
+      acc += ur[k] * sv[k] + ui[k] * sv[half_ + k];
+    }
+    (*out)[e] = acc;
+  }
+}
+
+void ComplExModel::AccumulateScoreGradient(const Triple& t, double dscore,
+                                           GradientBatch* grads) {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  float* gs = grads->RowGrad(&entities_, t.subject);
+  float* gr = grads->RowGrad(&relations_, t.relation);
+  float* go = grads->RowGrad(&entities_, t.object);
+  for (size_t k = 0; k < half_; ++k) {
+    const double sr = s[k], si = s[half_ + k];
+    const double rr = r[k], ri = r[half_ + k];
+    const double orr = o[k], oi = o[half_ + k];
+    gs[k] += static_cast<float>(dscore * (rr * orr + ri * oi));
+    gs[half_ + k] += static_cast<float>(dscore * (rr * oi - ri * orr));
+    gr[k] += static_cast<float>(dscore * (sr * orr + si * oi));
+    gr[half_ + k] += static_cast<float>(dscore * (sr * oi - si * orr));
+    go[k] += static_cast<float>(dscore * (sr * rr - si * ri));
+    go[half_ + k] += static_cast<float>(dscore * (si * rr + sr * ri));
+  }
+}
+
+}  // namespace kgfd

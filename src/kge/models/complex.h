@@ -1,0 +1,32 @@
+#ifndef KGFD_KGE_MODELS_COMPLEX_H_
+#define KGFD_KGE_MODELS_COMPLEX_H_
+
+#include "kge/models/pair_embedding_model.h"
+
+namespace kgfd {
+
+/// ComplEx (Trouillon et al. 2016): f(s, r, o) = Re(<s, r, conj(o)>) over
+/// complex embeddings. Rows store [real_0..real_{l/2-1}, imag_0..imag_{l/2-1}];
+/// `embedding_dim` counts real scalars, so the complex rank is dim / 2.
+/// The asymmetric Hermitian product lets ComplEx model non-symmetric
+/// relations that defeat DistMult.
+class ComplExModel : public PairEmbeddingModel {
+ public:
+  explicit ComplExModel(const ModelConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kComplEx; }
+  double Score(const Triple& t) const override;
+  void ScoreObjects(EntityId s, RelationId r,
+                    std::vector<double>* out) const override;
+  void ScoreSubjects(RelationId r, EntityId o,
+                     std::vector<double>* out) const override;
+  void AccumulateScoreGradient(const Triple& t, double dscore,
+                               GradientBatch* grads) override;
+
+ private:
+  size_t half_;  // complex rank = dim / 2
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_MODELS_COMPLEX_H_

@@ -1,0 +1,70 @@
+#include "kge/models/distmult.h"
+
+namespace kgfd {
+namespace {
+
+/// Scores every entity row against the fixed per-(s,r) factor vector w:
+/// score(e) = sum_i w_i * E[e][i]. Shared by both corruption sides because
+/// DistMult is bilinear and symmetric.
+void DotAllRows(const Tensor& entities, const std::vector<double>& w,
+                std::vector<double>* out) {
+  out->resize(entities.rows());
+  for (size_t e = 0; e < entities.rows(); ++e) {
+    const float* ev = entities.Row(e);
+    double acc = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) acc += w[i] * ev[i];
+    (*out)[e] = acc;
+  }
+}
+
+}  // namespace
+
+double DistMultModel::Score(const Triple& t) const {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  double acc = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    acc += static_cast<double>(s[i]) * r[i] * o[i];
+  }
+  return acc;
+}
+
+void DistMultModel::ScoreObjects(EntityId s, RelationId r,
+                                 std::vector<double>* out) const {
+  const float* sv = entities_.Row(s);
+  const float* rv = relations_.Row(r);
+  std::vector<double> w(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    w[i] = static_cast<double>(sv[i]) * rv[i];
+  }
+  DotAllRows(entities_, w, out);
+}
+
+void DistMultModel::ScoreSubjects(RelationId r, EntityId o,
+                                  std::vector<double>* out) const {
+  const float* rv = relations_.Row(r);
+  const float* ov = entities_.Row(o);
+  std::vector<double> w(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    w[i] = static_cast<double>(rv[i]) * ov[i];
+  }
+  DotAllRows(entities_, w, out);
+}
+
+void DistMultModel::AccumulateScoreGradient(const Triple& t, double dscore,
+                                            GradientBatch* grads) {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  float* gs = grads->RowGrad(&entities_, t.subject);
+  float* gr = grads->RowGrad(&relations_, t.relation);
+  float* go = grads->RowGrad(&entities_, t.object);
+  for (size_t i = 0; i < dim_; ++i) {
+    gs[i] += static_cast<float>(dscore * r[i] * o[i]);
+    gr[i] += static_cast<float>(dscore * s[i] * o[i]);
+    go[i] += static_cast<float>(dscore * s[i] * r[i]);
+  }
+}
+
+}  // namespace kgfd

@@ -1,0 +1,44 @@
+#ifndef KGFD_KGE_MODELS_PAIR_EMBEDDING_MODEL_H_
+#define KGFD_KGE_MODELS_PAIR_EMBEDDING_MODEL_H_
+
+#include <vector>
+
+#include "kge/model.h"
+
+namespace kgfd {
+
+/// Shared storage/plumbing for models whose parameters are exactly one
+/// entity table and one relation table (TransE, DistMult, ComplEx, HolE,
+/// RESCAL — the latter with dim^2-wide relation rows).
+class PairEmbeddingModel : public Model {
+ public:
+  size_t num_entities() const override { return entities_.rows(); }
+  size_t num_relations() const override { return relations_.rows(); }
+  size_t embedding_dim() const override { return dim_; }
+
+  std::vector<NamedTensor> Parameters() override {
+    return {{"entities", &entities_}, {"relations", &relations_}};
+  }
+
+  void InitParameters(Rng* rng) override {
+    entities_.InitXavierUniform(rng, dim_, dim_);
+    relations_.InitXavierUniform(rng, relations_.cols(), relations_.cols());
+  }
+
+  const Tensor& entities() const { return entities_; }
+  const Tensor& relations() const { return relations_; }
+
+ protected:
+  PairEmbeddingModel(const ModelConfig& config, size_t relation_cols)
+      : dim_(config.embedding_dim),
+        entities_(config.num_entities, config.embedding_dim),
+        relations_(config.num_relations, relation_cols) {}
+
+  size_t dim_;
+  Tensor entities_;
+  Tensor relations_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_MODELS_PAIR_EMBEDDING_MODEL_H_

@@ -1,0 +1,113 @@
+#include "kge/models/transe.h"
+
+#include <cmath>
+
+namespace kgfd {
+
+TransEModel::TransEModel(const ModelConfig& config)
+    : PairEmbeddingModel(config, config.embedding_dim),
+      norm_(config.transe_norm) {}
+
+double TransEModel::Score(const Triple& t) const {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  double acc = 0.0;
+  if (norm_ == 1) {
+    for (size_t i = 0; i < dim_; ++i) {
+      acc += std::fabs(static_cast<double>(s[i]) + r[i] - o[i]);
+    }
+    return -acc;
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    const double d = static_cast<double>(s[i]) + r[i] - o[i];
+    acc += d * d;
+  }
+  return -std::sqrt(acc);
+}
+
+void TransEModel::ScoreObjects(EntityId s, RelationId r,
+                               std::vector<double>* out) const {
+  out->resize(num_entities());
+  std::vector<double> q(dim_);
+  const float* sv = entities_.Row(s);
+  const float* rv = relations_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) q[i] = static_cast<double>(sv[i]) + rv[i];
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const float* ov = entities_.Row(e);
+    double acc = 0.0;
+    if (norm_ == 1) {
+      for (size_t i = 0; i < dim_; ++i) acc += std::fabs(q[i] - ov[i]);
+      (*out)[e] = -acc;
+    } else {
+      for (size_t i = 0; i < dim_; ++i) {
+        const double d = q[i] - ov[i];
+        acc += d * d;
+      }
+      (*out)[e] = -std::sqrt(acc);
+    }
+  }
+}
+
+void TransEModel::ScoreSubjects(RelationId r, EntityId o,
+                                std::vector<double>* out) const {
+  out->resize(num_entities());
+  // -||s + r - o|| = -||s - (o - r)||: one target vector for all subjects.
+  std::vector<double> q(dim_);
+  const float* rv = relations_.Row(r);
+  const float* ov = entities_.Row(o);
+  for (size_t i = 0; i < dim_; ++i) q[i] = static_cast<double>(ov[i]) - rv[i];
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const float* sv = entities_.Row(e);
+    double acc = 0.0;
+    if (norm_ == 1) {
+      for (size_t i = 0; i < dim_; ++i) acc += std::fabs(sv[i] - q[i]);
+      (*out)[e] = -acc;
+    } else {
+      for (size_t i = 0; i < dim_; ++i) {
+        const double d = sv[i] - q[i];
+        acc += d * d;
+      }
+      (*out)[e] = -std::sqrt(acc);
+    }
+  }
+}
+
+void TransEModel::AccumulateScoreGradient(const Triple& t, double dscore,
+                                          GradientBatch* grads) {
+  const float* s = entities_.Row(t.subject);
+  const float* r = relations_.Row(t.relation);
+  const float* o = entities_.Row(t.object);
+  float* gs = grads->RowGrad(&entities_, t.subject);
+  float* gr = grads->RowGrad(&relations_, t.relation);
+  float* go = grads->RowGrad(&entities_, t.object);
+
+  if (norm_ == 1) {
+    // d(-||d||_1)/dd_i = -sign(d_i); subgradient 0 at d_i == 0.
+    for (size_t i = 0; i < dim_; ++i) {
+      const double d = static_cast<double>(s[i]) + r[i] - o[i];
+      const double sign = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+      const float g = static_cast<float>(-sign * dscore);
+      gs[i] += g;
+      gr[i] += g;
+      go[i] -= g;
+    }
+    return;
+  }
+  double norm = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double d = static_cast<double>(s[i]) + r[i] - o[i];
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return;  // gradient undefined at the origin
+  for (size_t i = 0; i < dim_; ++i) {
+    const double d = static_cast<double>(s[i]) + r[i] - o[i];
+    const float g = static_cast<float>(-(d / norm) * dscore);
+    gs[i] += g;
+    gr[i] += g;
+    go[i] -= g;
+  }
+}
+
+}  // namespace kgfd

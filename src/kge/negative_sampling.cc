@@ -1,0 +1,80 @@
+#include "kge/negative_sampling.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kgfd {
+
+NegativeSampler::NegativeSampler(const TripleStore* train, bool filtered,
+                                 CorruptionScheme scheme)
+    : train_(train), filtered_(filtered), scheme_(scheme) {
+  subject_prob_.assign(train->num_relations(), 0.5);
+  if (scheme_ != CorruptionScheme::kBernoulli) return;
+  // tph: mean distinct tails per (head, relation); hpt: mean distinct
+  // heads per (relation, tail).
+  for (RelationId r = 0; r < train->num_relations(); ++r) {
+    const std::vector<Triple>& triples = train->ByRelation(r);
+    if (triples.empty()) continue;
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> by_head;
+    std::unordered_map<EntityId, std::unordered_set<EntityId>> by_tail;
+    for (const Triple& t : triples) {
+      by_head[t.subject].insert(t.object);
+      by_tail[t.object].insert(t.subject);
+    }
+    double tph = 0.0;
+    for (const auto& [head, tails] : by_head) tph += tails.size();
+    tph /= static_cast<double>(by_head.size());
+    double hpt = 0.0;
+    for (const auto& [tail, heads] : by_tail) hpt += heads.size();
+    hpt /= static_cast<double>(by_tail.size());
+    subject_prob_[r] = tph / (tph + hpt);
+  }
+}
+
+double NegativeSampler::SubjectCorruptionProbability(RelationId r) const {
+  return r < subject_prob_.size() ? subject_prob_[r] : 0.5;
+}
+
+Triple NegativeSampler::Corrupt(const Triple& positive, Rng* rng) const {
+  const TripleSide side =
+      rng->Bernoulli(SubjectCorruptionProbability(positive.relation))
+          ? TripleSide::kSubject
+          : TripleSide::kObject;
+  return CorruptSide(positive, side, rng);
+}
+
+Triple NegativeSampler::CorruptSide(const Triple& positive, TripleSide side,
+                                    Rng* rng) const {
+  constexpr int kMaxRetries = 16;
+  Triple corrupted = positive;
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    const EntityId e =
+        static_cast<EntityId>(rng->UniformInt(train_->num_entities()));
+    if (side == TripleSide::kSubject) {
+      corrupted.subject = e;
+    } else {
+      corrupted.object = e;
+    }
+    if (corrupted == positive) continue;
+    if (filtered_ && train_->Contains(corrupted)) continue;
+    return corrupted;
+  }
+  // Dense neighborhoods can exhaust retries; the last draw is still a valid
+  // (possibly false-negative) corruption, matching common practice.
+  return corrupted;
+}
+
+std::vector<Triple> NegativeSampler::CorruptMany(const Triple& positive,
+                                                 size_t count,
+                                                 Rng* rng) const {
+  std::vector<Triple> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const TripleSide side =
+        i % 2 == 0 ? TripleSide::kSubject : TripleSide::kObject;
+    out.push_back(CorruptSide(positive, side, rng));
+  }
+  return out;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,55 @@
+#ifndef KGFD_KGE_NEGATIVE_SAMPLING_H_
+#define KGFD_KGE_NEGATIVE_SAMPLING_H_
+
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/types.h"
+#include "util/rng.h"
+
+namespace kgfd {
+
+/// How the corrupted side of a negative is chosen.
+enum class CorruptionScheme {
+  /// 50/50 subject/object (Bordes et al. 2013).
+  kUniform,
+  /// Bernoulli scheme (Wang et al. 2014): corrupt the subject with
+  /// probability tph / (tph + hpt) per relation, reducing false negatives
+  /// on 1-N / N-1 relations.
+  kBernoulli,
+};
+
+/// Corruption sampler: replaces the subject or the object of a positive
+/// triple with a uniformly drawn entity. With `filtered` set, draws that
+/// happen to be true triples in the training graph are rejected (up to a
+/// bounded number of retries), the common "filtered negatives" setting.
+class NegativeSampler {
+ public:
+  NegativeSampler(const TripleStore* train, bool filtered,
+                  CorruptionScheme scheme = CorruptionScheme::kUniform);
+
+  /// One corruption of `positive`; the side follows the scheme.
+  Triple Corrupt(const Triple& positive, Rng* rng) const;
+
+  /// Probability of corrupting the subject side of a triple with this
+  /// relation (0.5 under kUniform).
+  double SubjectCorruptionProbability(RelationId r) const;
+
+  /// One corruption of a specific side.
+  Triple CorruptSide(const Triple& positive, TripleSide side, Rng* rng) const;
+
+  /// `count` corruptions (sides alternate).
+  std::vector<Triple> CorruptMany(const Triple& positive, size_t count,
+                                  Rng* rng) const;
+
+ private:
+  const TripleStore* train_;
+  bool filtered_;
+  CorruptionScheme scheme_;
+  /// Per-relation subject-corruption probabilities (Bernoulli scheme).
+  std::vector<double> subject_prob_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_NEGATIVE_SAMPLING_H_

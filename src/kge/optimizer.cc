@@ -1,0 +1,166 @@
+#include "kge/optimizer.h"
+
+#include <cmath>
+
+namespace kgfd {
+namespace {
+
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(const OptimizerConfig& config) : config_(config) {}
+
+  OptimizerKind kind() const override { return OptimizerKind::kSgd; }
+
+  void Apply(GradientBatch* batch) override {
+    ++step_;
+    const float lr = static_cast<float>(config_.learning_rate);
+    const float decay = static_cast<float>(config_.weight_decay);
+    for (Tensor* tensor : batch->TouchedTensors()) {
+      const auto* rows = batch->RowsFor(tensor);
+      for (const auto& [row, grad] : *rows) {
+        float* p = tensor->Row(row);
+        for (size_t i = 0; i < tensor->cols(); ++i) {
+          p[i] -= lr * (grad[i] + decay * p[i]);
+        }
+      }
+    }
+  }
+
+ private:
+  OptimizerConfig config_;
+};
+
+class AdagradOptimizer : public Optimizer {
+ public:
+  explicit AdagradOptimizer(const OptimizerConfig& config)
+      : config_(config) {}
+
+  OptimizerKind kind() const override { return OptimizerKind::kAdagrad; }
+
+  void Apply(GradientBatch* batch) override {
+    ++step_;
+    const float lr = static_cast<float>(config_.learning_rate);
+    const float eps = static_cast<float>(config_.epsilon);
+    const float decay = static_cast<float>(config_.weight_decay);
+    for (Tensor* tensor : batch->TouchedTensors()) {
+      std::vector<float>& accum = AccumFor(tensor);
+      const auto* rows = batch->RowsFor(tensor);
+      for (const auto& [row, grad] : *rows) {
+        float* p = tensor->Row(row);
+        float* acc = accum.data() + row * tensor->cols();
+        for (size_t i = 0; i < tensor->cols(); ++i) {
+          const float g = grad[i] + decay * p[i];
+          acc[i] += g * g;
+          p[i] -= lr * g / (std::sqrt(acc[i]) + eps);
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<float>& AccumFor(Tensor* tensor) {
+    auto it = accum_.find(tensor);
+    if (it == accum_.end()) {
+      it = accum_.emplace(tensor, std::vector<float>(tensor->size(), 0.0f))
+               .first;
+    }
+    return it->second;
+  }
+
+  OptimizerConfig config_;
+  std::unordered_map<Tensor*, std::vector<float>> accum_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(const OptimizerConfig& config) : config_(config) {}
+
+  OptimizerKind kind() const override { return OptimizerKind::kAdam; }
+
+  void Apply(GradientBatch* batch) override {
+    ++step_;
+    const double b1 = config_.adam_beta1;
+    const double b2 = config_.adam_beta2;
+    // Global-step bias correction on row-sparse moments ("lazy Adam").
+    const double corr1 =
+        1.0 - std::pow(b1, static_cast<double>(step_));
+    const double corr2 =
+        1.0 - std::pow(b2, static_cast<double>(step_));
+    const double lr = config_.learning_rate;
+    const double eps = config_.epsilon;
+    const float decay = static_cast<float>(config_.weight_decay);
+    for (Tensor* tensor : batch->TouchedTensors()) {
+      State& state = StateFor(tensor);
+      const auto* rows = batch->RowsFor(tensor);
+      for (const auto& [row, grad] : *rows) {
+        float* p = tensor->Row(row);
+        float* m = state.m.data() + row * tensor->cols();
+        float* v = state.v.data() + row * tensor->cols();
+        for (size_t i = 0; i < tensor->cols(); ++i) {
+          const double g = grad[i] + decay * p[i];
+          m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
+          v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
+          const double m_hat = m[i] / corr1;
+          const double v_hat = v[i] / corr2;
+          p[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+        }
+      }
+    }
+  }
+
+ private:
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+
+  State& StateFor(Tensor* tensor) {
+    auto it = states_.find(tensor);
+    if (it == states_.end()) {
+      State state;
+      state.m.assign(tensor->size(), 0.0f);
+      state.v.assign(tensor->size(), 0.0f);
+      it = states_.emplace(tensor, std::move(state)).first;
+    }
+    return it->second;
+  }
+
+  OptimizerConfig config_;
+  std::unordered_map<Tensor*, State> states_;
+};
+
+}  // namespace
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "sgd";
+    case OptimizerKind::kAdagrad:
+      return "adagrad";
+    case OptimizerKind::kAdam:
+      return "adam";
+  }
+  return "unknown";
+}
+
+Result<OptimizerKind> OptimizerKindFromName(const std::string& name) {
+  for (OptimizerKind kind : {OptimizerKind::kSgd, OptimizerKind::kAdagrad,
+                             OptimizerKind::kAdam}) {
+    if (name == OptimizerKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown optimizer: " + name);
+}
+
+std::unique_ptr<Optimizer> CreateOptimizer(const OptimizerConfig& config) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(config);
+    case OptimizerKind::kAdagrad:
+      return std::make_unique<AdagradOptimizer>(config);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,53 @@
+#ifndef KGFD_KGE_OPTIMIZER_H_
+#define KGFD_KGE_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kge/grad.h"
+#include "kge/tensor.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+enum class OptimizerKind { kSgd, kAdagrad, kAdam };
+
+const char* OptimizerKindName(OptimizerKind kind);
+Result<OptimizerKind> OptimizerKindFromName(const std::string& name);
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kAdam;  // the paper trains with Adam
+  double learning_rate = 0.01;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Decoupled L2 decay applied to rows touched by the batch.
+  double weight_decay = 0.0;
+};
+
+/// Applies batch gradients to parameters. Updates are row-sparse ("lazy"):
+/// only rows touched by the batch move, and for Adam the bias correction
+/// uses the global step count — the standard sparse-Adam approximation used
+/// by embedding trainers (LibKGE included).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual OptimizerKind kind() const = 0;
+
+  /// Applies (and consumes nothing from) the batch; caller clears it.
+  virtual void Apply(GradientBatch* batch) = 0;
+
+  int64_t step_count() const { return step_; }
+
+ protected:
+  int64_t step_ = 0;
+};
+
+std::unique_ptr<Optimizer> CreateOptimizer(const OptimizerConfig& config);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_OPTIMIZER_H_

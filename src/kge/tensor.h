@@ -1,0 +1,75 @@
+#ifndef KGFD_KGE_TENSOR_H_
+#define KGFD_KGE_TENSOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgfd {
+
+/// Dense row-major float matrix. The parameter container for every KGE
+/// model: embedding tables (rows = entities/relations), convolution filter
+/// banks, dense projection weights, bias vectors. Deliberately minimal — all
+/// model math is written against raw rows, keeping gradients analytic and
+/// dependency-free.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Uniform init in [lo, hi).
+  void InitUniform(Rng* rng, float lo, float hi) {
+    for (float& v : data_) v = rng->UniformFloat(lo, hi);
+  }
+
+  /// Glorot/Xavier uniform init with explicit fan sizes. For embedding
+  /// tables the convention (LibKGE) is fan_in = fan_out = embedding dim.
+  void InitXavierUniform(Rng* rng, size_t fan_in, size_t fan_out) {
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    InitUniform(rng, -bound, bound);
+  }
+
+  /// Normal init.
+  void InitNormal(Rng* rng, float mean, float stddev) {
+    for (float& v : data_) {
+      v = static_cast<float>(rng->Normal(mean, stddev));
+    }
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// A model parameter with a stable name (used by checkpoints and the
+/// optimizer's state book-keeping).
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_TENSOR_H_

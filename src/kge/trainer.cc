@@ -1,0 +1,203 @@
+#include "kge/trainer.h"
+
+#include <algorithm>
+
+#include "kge/evaluator.h"
+#include "kge/negative_sampling.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kgfd {
+
+Trainer::Trainer(Model* model, const TripleStore* train,
+                 TrainerConfig config)
+    : model_(model), train_(train), config_(config) {}
+
+Result<std::vector<EpochStats>> Trainer::Train() {
+  if (train_->size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config_.batch_size == 0 || config_.epochs == 0) {
+    return Status::InvalidArgument("batch_size and epochs must be > 0");
+  }
+  if (config_.training_mode == TrainingMode::kNegativeSampling &&
+      config_.negatives_per_positive == 0) {
+    return Status::InvalidArgument("need at least one negative per positive");
+  }
+
+  Rng rng(config_.seed);
+  NegativeSampler sampler(train_, config_.filtered_negatives,
+                          config_.corruption_scheme);
+  std::unique_ptr<Optimizer> optimizer = CreateOptimizer(config_.optimizer);
+  GradientBatch grads;
+
+  // Early stopping bookkeeping.
+  double best_valid_mrr = -1.0;
+  size_t evals_without_improvement = 0;
+  std::vector<std::vector<float>> best_params;
+  auto snapshot_params = [&] {
+    best_params.clear();
+    for (const NamedTensor& p : model_->Parameters()) {
+      best_params.push_back(p.tensor->data());
+    }
+  };
+  auto restore_params = [&] {
+    if (best_params.empty()) return;
+    size_t i = 0;
+    for (const NamedTensor& p : model_->Parameters()) {
+      p.tensor->data() = best_params[i++];
+    }
+  };
+
+  std::vector<size_t> order(train_->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<EpochStats> stats;
+  stats.reserve(config_.epochs);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    WallTimer timer;
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    size_t loss_count = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(begin + config_.batch_size, order.size());
+      grads.Clear();
+      // Normalize so the step size is insensitive to batch size.
+      const double inv_examples =
+          1.0 / (static_cast<double>(end - begin) *
+                 static_cast<double>(config_.negatives_per_positive));
+      for (size_t i = begin; i < end; ++i) {
+        const Triple& pos = train_->triples()[order[i]];
+        if (config_.training_mode == TrainingMode::k1vsAll) {
+          // BCE against every entity on each side; label 1 at the truth.
+          const double inv_batch =
+              1.0 / static_cast<double>(end - begin);
+          std::vector<double> scores;
+          for (int side = 0; side < 2; ++side) {
+            if (side == 0) {
+              model_->ScoreObjects(pos.subject, pos.relation, &scores);
+            } else {
+              model_->ScoreSubjects(pos.relation, pos.object, &scores);
+            }
+            const EntityId target =
+                side == 0 ? pos.object : pos.subject;
+            const double inv_entities =
+                1.0 / static_cast<double>(scores.size());
+            for (EntityId e = 0; e < scores.size(); ++e) {
+              const PointwiseLoss loss =
+                  EvalPointwiseLoss(LossKind::kBinaryCrossEntropy,
+                                    scores[e], e == target ? +1 : -1);
+              loss_sum += loss.value;
+              ++loss_count;
+              if (loss.dscore == 0.0) continue;
+              const Triple example =
+                  side == 0 ? Triple{pos.subject, pos.relation, e}
+                            : Triple{e, pos.relation, pos.object};
+              model_->AccumulateScoreGradient(
+                  example, loss.dscore * inv_entities * inv_batch,
+                  &grads);
+            }
+          }
+          continue;
+        }
+        const double score_pos = model_->TrainingScore(pos);
+        if (config_.loss == LossKind::kMarginRanking) {
+          double dscore_pos_total = 0.0;
+          for (size_t n = 0; n < config_.negatives_per_positive; ++n) {
+            const Triple neg = sampler.Corrupt(pos, &rng);
+            const double score_neg = model_->TrainingScore(neg);
+            const PairwiseLoss loss = EvalMarginRankingLoss(
+                score_pos, score_neg, config_.margin);
+            loss_sum += loss.value;
+            ++loss_count;
+            if (loss.dscore_neg != 0.0) {
+              model_->AccumulateScoreGradient(
+                  neg, loss.dscore_neg * inv_examples, &grads);
+            }
+            dscore_pos_total += loss.dscore_pos;
+          }
+          if (dscore_pos_total != 0.0) {
+            model_->AccumulateScoreGradient(
+                pos, dscore_pos_total * inv_examples, &grads);
+          }
+        } else {
+          const PointwiseLoss pos_loss =
+              EvalPointwiseLoss(config_.loss, score_pos, +1);
+          loss_sum += pos_loss.value;
+          ++loss_count;
+          if (pos_loss.dscore != 0.0) {
+            model_->AccumulateScoreGradient(
+                pos, pos_loss.dscore * inv_examples, &grads);
+          }
+          for (size_t n = 0; n < config_.negatives_per_positive; ++n) {
+            const Triple neg = sampler.Corrupt(pos, &rng);
+            const double score_neg = model_->TrainingScore(neg);
+            const PointwiseLoss neg_loss =
+                EvalPointwiseLoss(config_.loss, score_neg, -1);
+            loss_sum += neg_loss.value;
+            ++loss_count;
+            if (neg_loss.dscore != 0.0) {
+              model_->AccumulateScoreGradient(
+                  neg, neg_loss.dscore * inv_examples, &grads);
+            }
+          }
+        }
+      }
+      optimizer->Apply(&grads);
+    }
+    EpochStats es;
+    es.epoch = epoch;
+    es.mean_loss =
+        loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    es.seconds = timer.ElapsedSeconds();
+
+    bool stop_early = false;
+    if (config_.early_stopping_dataset != nullptr &&
+        config_.eval_every_epochs > 0 &&
+        (epoch + 1) % config_.eval_every_epochs == 0) {
+      KGFD_ASSIGN_OR_RETURN(
+          const LinkPredictionMetrics metrics,
+          EvaluateLinkPrediction(*model_, *config_.early_stopping_dataset,
+                                 config_.early_stopping_dataset->valid()));
+      es.valid_mrr = metrics.mrr;
+      if (metrics.mrr > best_valid_mrr) {
+        best_valid_mrr = metrics.mrr;
+        evals_without_improvement = 0;
+        snapshot_params();
+      } else if (++evals_without_improvement >= config_.patience) {
+        stop_early = true;
+      }
+    }
+
+    if (config_.log_every_epochs > 0 &&
+        (epoch + 1) % config_.log_every_epochs == 0) {
+      KGFD_LOG(Info) << model_->name() << " epoch " << epoch + 1 << "/"
+                     << config_.epochs << " loss=" << es.mean_loss << " ("
+                     << es.seconds << "s)";
+    }
+    stats.push_back(es);
+    if (stop_early) {
+      KGFD_LOG(Debug) << "early stop at epoch " << epoch + 1
+                      << ", best valid MRR " << best_valid_mrr;
+      break;
+    }
+  }
+  restore_params();
+  return stats;
+}
+
+Result<std::unique_ptr<Model>> TrainModel(
+    ModelKind kind, const ModelConfig& model_config,
+    const TripleStore& train, const TrainerConfig& trainer_config) {
+  Rng init_rng(trainer_config.seed ^ 0xABCDEF1234567890ULL);
+  KGFD_ASSIGN_OR_RETURN(auto model,
+                        CreateModel(kind, model_config, &init_rng));
+  Trainer trainer(model.get(), &train, trainer_config);
+  KGFD_ASSIGN_OR_RETURN([[maybe_unused]] auto stats, trainer.Train());
+  return model;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,88 @@
+#ifndef KGFD_KGE_TRAINER_H_
+#define KGFD_KGE_TRAINER_H_
+
+#include <vector>
+
+#include "kg/dataset.h"
+#include "kg/triple_store.h"
+#include "kge/loss.h"
+#include "kge/model.h"
+#include "kge/negative_sampling.h"
+#include "kge/optimizer.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// How examples are formed from positives (LibKGE terminology).
+enum class TrainingMode {
+  /// Corrupt each positive into `negatives_per_positive` negatives.
+  kNegativeSampling,
+  /// 1vsAll: each positive is scored against *every* entity on both sides
+  /// with binary cross-entropy (label 1 at the true entity). No sampled
+  /// negatives; `negatives_per_positive` and `loss` are ignored. Costs
+  /// O(num_entities) gradient work per positive — intended for small to
+  /// medium graphs (and slow for ConvE, which re-runs its convolution per
+  /// corrupted subject).
+  k1vsAll,
+};
+
+struct TrainerConfig {
+  size_t epochs = 20;
+  size_t batch_size = 128;
+  TrainingMode training_mode = TrainingMode::kNegativeSampling;
+  size_t negatives_per_positive = 2;
+  LossKind loss = LossKind::kMarginRanking;
+  /// Margin of the ranking loss (ignored by pointwise losses).
+  double margin = 1.0;
+  /// Reject corruptions that are true training triples.
+  bool filtered_negatives = true;
+  /// Which side a corruption replaces (uniform or Bernoulli tph/hpt).
+  CorruptionScheme corruption_scheme = CorruptionScheme::kUniform;
+  OptimizerConfig optimizer;
+  uint64_t seed = 7;
+  /// Emit an INFO log line every N epochs (0 = silent).
+  size_t log_every_epochs = 0;
+
+  /// Optional validation-based early stopping (LibKGE-style): when set,
+  /// filtered MRR on `early_stopping_dataset->valid()` is evaluated every
+  /// `eval_every_epochs`; training stops after `patience` evaluations
+  /// without improvement and the best parameters are restored.
+  const Dataset* early_stopping_dataset = nullptr;
+  size_t eval_every_epochs = 5;
+  size_t patience = 3;
+};
+
+struct EpochStats {
+  size_t epoch = 0;
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+  /// Validation MRR if evaluated this epoch, else negative.
+  double valid_mrr = -1.0;
+};
+
+/// Mini-batch trainer: shuffles the training triples each epoch, corrupts
+/// each positive into `negatives_per_positive` negatives, differentiates the
+/// configured loss through Model::AccumulateScoreGradient, and applies one
+/// optimizer step per batch. Deterministic in `config.seed`.
+class Trainer {
+ public:
+  Trainer(Model* model, const TripleStore* train, TrainerConfig config);
+
+  /// Runs all epochs; returns per-epoch stats.
+  Result<std::vector<EpochStats>> Train();
+
+ private:
+  Model* model_;
+  const TripleStore* train_;
+  TrainerConfig config_;
+};
+
+/// Convenience wrapper: create + train a model on a training store.
+Result<std::unique_ptr<Model>> TrainModel(ModelKind kind,
+                                          const ModelConfig& model_config,
+                                          const TripleStore& train,
+                                          const TrainerConfig& trainer_config);
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_TRAINER_H_

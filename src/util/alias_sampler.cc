@@ -1,0 +1,59 @@
+#include "util/alias_sampler.h"
+
+namespace kgfd {
+
+Result<AliasSampler> AliasSampler::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias sampler needs at least one weight");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("all weights are zero");
+  }
+
+  const size_t n = weights.size();
+  AliasSampler sampler;
+  sampler.prob_.assign(n, 0.0);
+  sampler.alias_.assign(n, 0);
+  sampler.normalized_.assign(n, 0.0);
+
+  // Scaled probabilities; stable two-worklist construction (Vose).
+  std::vector<double> scaled(n);
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    sampler.normalized_[i] = weights[i] / total;
+    scaled[i] = sampler.normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    sampler.prob_[s] = scaled[s];
+    sampler.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) sampler.prob_[i] = 1.0;
+  for (size_t i : small) sampler.prob_[i] = 1.0;  // numerical leftovers
+  return sampler;
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  const size_t column = static_cast<size_t>(rng->UniformInt(prob_.size()));
+  return rng->UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<size_t> AliasSampler::SampleMany(size_t n, Rng* rng) const {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = Sample(rng);
+  return out;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,46 @@
+#ifndef KGFD_UTIL_ALIAS_SAMPLER_H_
+#define KGFD_UTIL_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Walker alias-method sampler: O(n) construction, O(1) draws from an
+/// arbitrary discrete distribution. This is the sampling engine behind every
+/// strategy's entity draws and behind the synthetic generators' popularity
+/// draws.
+class AliasSampler {
+ public:
+  /// An empty sampler; Sample() must not be called before assigning a
+  /// Build() result. Exists so samplers can live in containers/members.
+  AliasSampler() = default;
+
+  /// Builds from non-negative weights (not necessarily normalized). At least
+  /// one weight must be positive.
+  static Result<AliasSampler> Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng* rng) const;
+
+  /// Draws n indexes (with replacement).
+  std::vector<size_t> SampleMany(size_t n, Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i (for tests).
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_ALIAS_SAMPLER_H_

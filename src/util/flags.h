@@ -1,0 +1,31 @@
+#ifndef KGFD_UTIL_FLAGS_H_
+#define KGFD_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Accepts `--name=value` and `--name value`; bare `--name` is treated as
+/// the boolean "true". Unknown positional arguments are rejected.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_FLAGS_H_

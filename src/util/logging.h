@@ -1,0 +1,46 @@
+#ifndef KGFD_UTIL_LOGGING_H_
+#define KGFD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kgfd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Not synchronized: set it once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KGFD_LOG(level)                                               \
+  ::kgfd::internal::LogMessage(::kgfd::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_LOGGING_H_

@@ -1,0 +1,133 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace kgfd {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  double var = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&](double q) {
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.median = pct(0.5);
+  s.p90 = pct(0.9);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::Add(double v) {
+  const double span = hi_ - lo_;
+  size_t bin = 0;
+  if (span > 0) {
+    double frac = (v - lo_) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    bin = std::min(static_cast<size_t>(frac * static_cast<double>(bins())),
+                   bins() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinLow(size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::BinHigh(size_t bin) const { return BinLow(bin + 1); }
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (size_t b = 0; b < bins(); ++b) {
+    const size_t bar =
+        counts_[b] * width / max_count;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%8.4f, %8.4f) %8zu ", BinLow(b),
+                  BinHigh(b), counts_[b]);
+    out << buf << std::string(bar, '#') << "\n";
+  }
+  return out.str();
+}
+
+Result<double> ChiSquareStatistic(const std::vector<size_t>& observed,
+                                  const std::vector<double>& expected_probs) {
+  if (observed.size() != expected_probs.size()) {
+    return Status::InvalidArgument(
+        "observed and expected_probs must have equal length");
+  }
+  size_t n = 0;
+  for (size_t o : observed) n += o;
+  if (n == 0) return Status::InvalidArgument("no observations");
+  double chi2 = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probs[i] * static_cast<double>(n);
+    if (expected <= 0.0) {
+      if (observed[i] != 0) {
+        return Status::InvalidArgument(
+            "observation in zero-probability bucket");
+      }
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace kgfd

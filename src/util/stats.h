@@ -1,0 +1,72 @@
+#ifndef KGFD_UTIL_STATS_H_
+#define KGFD_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Descriptive statistics of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes descriptive statistics. Returns a zeroed Summary for an empty
+/// sample.
+Summary Summarize(const std::vector<double>& values);
+
+/// Linear interpolation percentile (q in [0,1]) of an unsorted sample.
+/// Returns 0 for an empty sample.
+double Percentile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi] with `bins` equal buckets; values
+/// outside the range clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double v);
+  void AddAll(const std::vector<double>& values);
+
+  size_t bins() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  size_t total() const { return total_; }
+  /// Inclusive lower edge of a bucket.
+  double BinLow(size_t bin) const;
+  double BinHigh(size_t bin) const;
+
+  /// Renders a compact ASCII bar chart, one line per bucket, used by the
+  /// figure benches (e.g. Fig. 3 clustering-coefficient distributions).
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (which must sum to ~1). Buckets with expected probability 0
+/// must have 0 observations. Used by the sampler distribution tests.
+Result<double> ChiSquareStatistic(const std::vector<size_t>& observed,
+                                  const std::vector<double>& expected_probs);
+
+/// Pearson correlation coefficient of two equal-length samples; 0 if either
+/// sample has zero variance or fewer than 2 points.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_STATS_H_

@@ -1,0 +1,144 @@
+#ifndef KGFD_UTIL_STATUS_H_
+#define KGFD_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kgfd {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of machine-readable codes plus a
+/// human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. All fallible public APIs in kgfd return Status
+/// (or Result<T>) instead of throwing; exceptions never cross the library
+/// boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if the status is not OK. Use only
+  /// in examples, benches and tests, never in library code.
+  void AbortIfNotOk(const char* context = nullptr) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error carrier: holds either a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; aborts (in debug builds, asserts) if the
+  /// status is OK, which would leave the Result with no value.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(value_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Returns the value. Must only be called when ok().
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::move(std::get<T>(value_)); }
+
+  /// Returns the value, aborting with a diagnostic on error. For examples,
+  /// benches and tests.
+  T ValueOrDie(const char* context = nullptr) && {
+    if (!ok()) status().AbortIfNotOk(context);
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define KGFD_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::kgfd::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define KGFD_CONCAT_IMPL(a, b) a##b
+#define KGFD_CONCAT(a, b) KGFD_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` may include a declaration, e.g.
+/// KGFD_ASSIGN_OR_RETURN(auto ds, LoadDataset(path));
+#define KGFD_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto KGFD_CONCAT(_result_, __LINE__) = (rexpr);                \
+  if (!KGFD_CONCAT(_result_, __LINE__).ok())                     \
+    return KGFD_CONCAT(_result_, __LINE__).status();             \
+  lhs = std::move(KGFD_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_STATUS_H_

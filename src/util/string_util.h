@@ -1,0 +1,25 @@
+#ifndef KGFD_UTIL_STRING_UTIL_H_
+#define KGFD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgfd {
+
+/// Splits on a single delimiter character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_STRING_UTIL_H_

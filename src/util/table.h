@@ -1,0 +1,46 @@
+#ifndef KGFD_UTIL_TABLE_H_
+#define KGFD_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Row-oriented string table with aligned ASCII rendering and CSV export.
+/// All bench binaries emit their paper-shaped rows through this class so
+/// output is uniform and machine-scrapable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string Fmt(size_t v);
+  static std::string Fmt(int64_t v);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Renders with column alignment and a header rule.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_TABLE_H_

@@ -1,0 +1,56 @@
+#ifndef KGFD_UTIL_THREAD_POOL_H_
+#define KGFD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgfd {
+
+/// Fixed-size worker pool used for data-parallel loops (batch scoring,
+/// corruption ranking). Tasks are plain std::function<void()>; Wait() blocks
+/// until all submitted tasks have finished.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
+/// pool, blocking until completion. With a null pool (or a single worker and
+/// small n) the body runs inline, which keeps single-core machines free of
+/// synchronization overhead.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,227 @@
+#include "core/embedding_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "kge/model.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+std::unique_ptr<Model> MakeModel(size_t entities = 12, size_t dim = 8,
+                                 uint64_t seed = 5) {
+  ModelConfig config;
+  config.num_entities = entities;
+  config.num_relations = 3;
+  config.embedding_dim = dim;
+  Rng rng(seed);
+  return std::move(CreateModel(ModelKind::kDistMult, config, &rng))
+      .ValueOrDie("model");
+}
+
+Tensor* Entities(Model* model) {
+  for (const NamedTensor& p : model->Parameters()) {
+    if (p.name == "entities") return p.tensor;
+  }
+  return nullptr;
+}
+
+TEST(QueryTopNTest, RejectsBadArguments) {
+  auto model = MakeModel();
+  TripleStore kg(12, 3);
+  EXPECT_FALSE(
+      QueryTopN(*model, kg, {0, 0, 0}, QuerySlot::kObject, 0).ok());
+  EXPECT_FALSE(
+      QueryTopN(*model, kg, {0, 9, 0}, QuerySlot::kObject, 3).ok());
+  EXPECT_FALSE(
+      QueryTopN(*model, kg, {99, 0, 0}, QuerySlot::kObject, 3).ok());
+}
+
+TEST(QueryTopNTest, ReturnsDescendingScores) {
+  auto model = MakeModel();
+  TripleStore kg(12, 3);
+  auto result = QueryTopN(*model, kg, {1, 0, 0}, QuerySlot::kObject, 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 5u);
+  for (size_t i = 1; i < result.value().size(); ++i) {
+    EXPECT_GE(result.value()[i - 1].score, result.value()[i].score);
+  }
+  for (const ScoredTriple& st : result.value()) {
+    EXPECT_EQ(st.triple.subject, 1u);
+    EXPECT_EQ(st.triple.relation, 0u);
+    EXPECT_NEAR(st.score, model->Score(st.triple), 1e-9);
+  }
+}
+
+TEST(QueryTopNTest, SkipsKnownTriples) {
+  auto model = MakeModel();
+  TripleStore kg(12, 3);
+  // Make entities 0..3 known objects of (1, r0, *).
+  for (EntityId o = 0; o < 4; ++o) {
+    ASSERT_TRUE(kg.Add({1, 0, o}).ok());
+  }
+  auto result = QueryTopN(*model, kg, {1, 0, 0}, QuerySlot::kObject, 12);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 8u);  // 12 entities - 4 known
+  for (const ScoredTriple& st : result.value()) {
+    EXPECT_GE(st.triple.object, 4u);
+  }
+}
+
+TEST(QueryTopNTest, SubjectSlotQueries) {
+  auto model = MakeModel();
+  TripleStore kg(12, 3);
+  auto result = QueryTopN(*model, kg, {0, 2, 7}, QuerySlot::kSubject, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  for (const ScoredTriple& st : result.value()) {
+    EXPECT_EQ(st.triple.object, 7u);
+    EXPECT_EQ(st.triple.relation, 2u);
+    EXPECT_NEAR(st.score, model->Score(st.triple), 1e-9);
+  }
+}
+
+TEST(QueryTopNTest, NClampedToCandidates) {
+  auto model = MakeModel();
+  TripleStore kg(12, 3);
+  auto result = QueryTopN(*model, kg, {1, 0, 0}, QuerySlot::kObject, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 12u);
+}
+
+TEST(FindDuplicatesTest, RejectsNegativeThreshold) {
+  auto model = MakeModel();
+  EXPECT_FALSE(FindDuplicates(*model, -1.0).ok());
+}
+
+TEST(FindDuplicatesTest, PlantedDuplicateFound) {
+  auto model = MakeModel();
+  Tensor* entities = Entities(model.get());
+  ASSERT_NE(entities, nullptr);
+  // Make entity 7 a near-copy of entity 2.
+  for (size_t i = 0; i < entities->cols(); ++i) {
+    entities->Row(7)[i] = entities->Row(2)[i] + 1e-4f;
+  }
+  auto result = FindDuplicates(*model, 0.01);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_EQ(result.value()[0].a, 2u);
+  EXPECT_EQ(result.value()[0].b, 7u);
+  EXPECT_LT(result.value()[0].distance, 0.01);
+}
+
+TEST(FindDuplicatesTest, ZeroThresholdFindsExactCopiesOnly) {
+  auto model = MakeModel();
+  Tensor* entities = Entities(model.get());
+  for (size_t i = 0; i < entities->cols(); ++i) {
+    entities->Row(5)[i] = entities->Row(3)[i];
+  }
+  auto result = FindDuplicates(*model, 0.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].a, 3u);
+  EXPECT_EQ(result.value()[0].b, 5u);
+}
+
+TEST(FindDuplicatesTest, SamplingCapBoundsWork) {
+  auto model = MakeModel(50);
+  auto result = FindDuplicates(*model, 1e9, /*max_entities=*/10);
+  ASSERT_TRUE(result.ok());
+  // All pairs of the 10 sampled entities pass an enormous threshold.
+  EXPECT_EQ(result.value().size(), 45u);
+}
+
+TEST(FindNearestNeighborsTest, RejectsBadArguments) {
+  auto model = MakeModel();
+  EXPECT_FALSE(FindNearestNeighbors(*model, 0, 0).ok());
+  EXPECT_FALSE(FindNearestNeighbors(*model, 999, 3).ok());
+}
+
+TEST(FindNearestNeighborsTest, PlantedNeighborIsFirst) {
+  auto model = MakeModel();
+  Tensor* entities = Entities(model.get());
+  for (size_t i = 0; i < entities->cols(); ++i) {
+    entities->Row(9)[i] = entities->Row(4)[i] + 1e-5f;
+  }
+  auto result = FindNearestNeighbors(*model, 4, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  EXPECT_EQ(result.value()[0].entity, 9u);
+  // Ascending distances, query itself excluded.
+  for (size_t i = 1; i < result.value().size(); ++i) {
+    EXPECT_GE(result.value()[i].distance, result.value()[i - 1].distance);
+    EXPECT_NE(result.value()[i].entity, 4u);
+  }
+}
+
+TEST(FindNearestNeighborsTest, KClampedToPopulation) {
+  auto model = MakeModel(5);
+  auto result = FindNearestNeighbors(*model, 0, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 4u);
+}
+
+TEST(FindClustersTest, RejectsBadK) {
+  auto model = MakeModel(10);
+  EXPECT_FALSE(FindClusters(*model, 0).ok());
+  EXPECT_FALSE(FindClusters(*model, 11).ok());
+}
+
+TEST(FindClustersTest, AssignsEveryEntity) {
+  auto model = MakeModel(30);
+  auto result = FindClusters(*model, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().assignment.size(), 30u);
+  for (uint32_t c : result.value().assignment) EXPECT_LT(c, 4u);
+  EXPECT_EQ(result.value().centroids.size(), 4u);
+  EXPECT_GE(result.value().iterations, 1u);
+}
+
+TEST(FindClustersTest, KEqualsNGivesZeroInertia) {
+  auto model = MakeModel(6);
+  auto result = FindClusters(*model, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-9);
+  std::set<uint32_t> distinct(result.value().assignment.begin(),
+                              result.value().assignment.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(FindClustersTest, SeparatedBlobsRecovered) {
+  auto model = MakeModel(20, 4);
+  Tensor* entities = Entities(model.get());
+  // Two well-separated blobs: entities 0-9 near (+10,...), 10-19 near
+  // (-10,...).
+  Rng rng(3);
+  for (EntityId e = 0; e < 20; ++e) {
+    const float center = e < 10 ? 10.0f : -10.0f;
+    for (size_t i = 0; i < 4; ++i) {
+      entities->Row(e)[i] =
+          center + static_cast<float>(rng.Normal(0.0, 0.1));
+    }
+  }
+  auto result = FindClusters(*model, 2, 50, 7);
+  ASSERT_TRUE(result.ok());
+  const uint32_t first = result.value().assignment[0];
+  for (EntityId e = 0; e < 10; ++e) {
+    EXPECT_EQ(result.value().assignment[e], first);
+  }
+  for (EntityId e = 10; e < 20; ++e) {
+    EXPECT_NE(result.value().assignment[e], first);
+  }
+}
+
+TEST(FindClustersTest, DeterministicUnderSeed) {
+  auto model = MakeModel(25);
+  auto a = FindClusters(*model, 3, 50, 9);
+  auto b = FindClusters(*model, 3, 50, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+  EXPECT_EQ(a.value().inertia, b.value().inertia);
+}
+
+}  // namespace
+}  // namespace kgfd

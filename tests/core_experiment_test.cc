@@ -1,0 +1,89 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kgfd {
+namespace {
+
+ExperimentConfig TinyExperiment() {
+  ExperimentConfig c;
+  c.scale = 600.0;  // smallest presets
+  c.embedding_dim = 8;
+  c.epochs = 2;
+  c.models = {ModelKind::kTransE, ModelKind::kDistMult};
+  c.strategies = {SamplingStrategy::kUniformRandom,
+                  SamplingStrategy::kEntityFrequency};
+  c.discovery.top_n = 20;
+  c.discovery.max_candidates = 40;
+  c.seed = 13;
+  return c;
+}
+
+TEST(DefaultTrainerConfigTest, PerModelLosses) {
+  const ExperimentConfig c;
+  EXPECT_EQ(DefaultTrainerConfig(ModelKind::kTransE, c).loss,
+            LossKind::kMarginRanking);
+  EXPECT_EQ(DefaultTrainerConfig(ModelKind::kConvE, c).loss,
+            LossKind::kBinaryCrossEntropy);
+  EXPECT_EQ(DefaultTrainerConfig(ModelKind::kComplEx, c).loss,
+            LossKind::kSoftplus);
+  EXPECT_EQ(DefaultTrainerConfig(ModelKind::kDistMult, c).optimizer.kind,
+            OptimizerKind::kAdam);
+}
+
+TEST(DefaultModelConfigTest, FixesUpModelConstraints) {
+  Dataset d("x", 100, 7);
+  ExperimentConfig c;
+  c.embedding_dim = 15;  // odd, and not conv-reshapeable
+  const ModelConfig complex_config =
+      DefaultModelConfig(ModelKind::kComplEx, d, c);
+  EXPECT_EQ(complex_config.embedding_dim % 2, 0u);
+  const ModelConfig conve_config =
+      DefaultModelConfig(ModelKind::kConvE, d, c);
+  EXPECT_EQ(conve_config.embedding_dim % conve_config.conve_reshape_height,
+            0u);
+  EXPECT_GE(conve_config.embedding_dim / conve_config.conve_reshape_height,
+            3u);
+  c.embedding_dim = 64;
+  const ModelConfig rescal_config =
+      DefaultModelConfig(ModelKind::kRescal, d, c);
+  EXPECT_LE(rescal_config.embedding_dim, 24u);
+}
+
+TEST(ExperimentTest, GridProducesOneCellPerCombination) {
+  const ExperimentConfig c = TinyExperiment();
+  auto ds = GenerateSyntheticDataset(Wn18rrConfig(c.scale, c.seed));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  auto cells = RunGridOnDataset(ds.value(), c);
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  EXPECT_EQ(cells.value().size(),
+            c.models.size() * c.strategies.size());
+  std::set<std::pair<std::string, std::string>> combos;
+  for (const ExperimentCell& cell : cells.value()) {
+    EXPECT_EQ(cell.dataset, "WN18RR");
+    combos.insert({cell.model, cell.strategy});
+    EXPECT_GE(cell.stats.total_seconds, 0.0);
+    EXPECT_GE(cell.mrr, 0.0);
+    EXPECT_LE(cell.mrr, 1.0);
+  }
+  EXPECT_EQ(combos.size(), cells.value().size());
+}
+
+TEST(ExperimentTest, AbbrevMatchesStrategy) {
+  const ExperimentConfig c = TinyExperiment();
+  auto ds = GenerateSyntheticDataset(Wn18rrConfig(c.scale, c.seed));
+  ASSERT_TRUE(ds.ok());
+  auto cells = RunGridOnDataset(ds.value(), c);
+  ASSERT_TRUE(cells.ok());
+  for (const ExperimentCell& cell : cells.value()) {
+    auto strategy = SamplingStrategyFromName(cell.strategy);
+    ASSERT_TRUE(strategy.ok());
+    EXPECT_EQ(cell.strategy_abbrev,
+              SamplingStrategyAbbrev(strategy.value()));
+  }
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/discovery.h"
+#include "core/strategy.h"
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+#include "kg/synthetic.h"
+
+namespace kgfd {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/// Star KG: hub 0 connected to 1..4 (hub degree 4, leaves degree 1).
+TripleStore StarStore() {
+  TripleStore store(6, 1);
+  store.AddAll({{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4}})
+      .AbortIfNotOk("star store");
+  return store;
+}
+
+TEST(ExtensionStrategyNamesTest, RoundTrip) {
+  for (SamplingStrategy s : {SamplingStrategy::kInverseDegree,
+                             SamplingStrategy::kExplorationMixture}) {
+    auto back = SamplingStrategyFromName(SamplingStrategyName(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), s);
+    auto abbrev = SamplingStrategyFromName(SamplingStrategyAbbrev(s));
+    ASSERT_TRUE(abbrev.ok());
+    EXPECT_EQ(abbrev.value(), s);
+  }
+}
+
+TEST(ExtensionStrategyNamesTest, NotInComparativeSet) {
+  for (SamplingStrategy s : ComparativeStrategies()) {
+    EXPECT_NE(s, SamplingStrategy::kInverseDegree);
+    EXPECT_NE(s, SamplingStrategy::kExplorationMixture);
+  }
+}
+
+TEST(InverseDegreeTest, WeightsMirrorDegree) {
+  auto w = ComputeStrategyWeights(SamplingStrategy::kInverseDegree,
+                                  StarStore());
+  ASSERT_TRUE(w.ok());
+  // deg = [4, 1, 1, 1, 1, 0]; inverse = [1/4, 1, 1, 1, 1, 0]; sum 4.25.
+  EXPECT_NEAR(w.value().subject_weights[0], 0.25 / 4.25, 1e-12);
+  EXPECT_NEAR(w.value().subject_weights[1], 1.0 / 4.25, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[5], 0.0);  // isolated: never
+  EXPECT_NEAR(Sum(w.value().subject_weights), 1.0, 1e-9);
+}
+
+TEST(InverseDegreeTest, LeavesOutweighHub) {
+  auto w = ComputeStrategyWeights(SamplingStrategy::kInverseDegree,
+                                  StarStore());
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w.value().subject_weights[1], w.value().subject_weights[0]);
+}
+
+TEST(ExplorationMixtureTest, WeightsAreHalfUniformHalfDegree) {
+  auto w = ComputeStrategyWeights(SamplingStrategy::kExplorationMixture,
+                                  StarStore());
+  ASSERT_TRUE(w.ok());
+  // 5 connected nodes, degree sum 8. Hub: 0.5/5 + 0.5*4/8 = 0.35.
+  // Leaf: 0.5/5 + 0.5*1/8 = 0.1625.
+  EXPECT_NEAR(w.value().subject_weights[0], 0.35, 1e-12);
+  EXPECT_NEAR(w.value().subject_weights[1], 0.1625, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[5], 0.0);
+  EXPECT_NEAR(Sum(w.value().subject_weights), 1.0, 1e-9);
+}
+
+TEST(ExplorationMixtureTest, SitsBetweenDegreeAndInverse) {
+  // On the star, the hub's mixture weight lies strictly between its
+  // INVERSE_DEGREE weight and its GRAPH_DEGREE weight.
+  const TripleStore store = StarStore();
+  const double hub_degree =
+      ComputeStrategyWeights(SamplingStrategy::kGraphDegree, store)
+          .value()
+          .subject_weights[0];
+  const double hub_inverse =
+      ComputeStrategyWeights(SamplingStrategy::kInverseDegree, store)
+          .value()
+          .subject_weights[0];
+  const double hub_mixture =
+      ComputeStrategyWeights(SamplingStrategy::kExplorationMixture, store)
+          .value()
+          .subject_weights[0];
+  EXPECT_GT(hub_mixture, hub_inverse);
+  EXPECT_LT(hub_mixture, hub_degree);
+}
+
+TEST(LongTailShareTest, EmptyFactsIsZero) {
+  EXPECT_EQ(LongTailShare({}, StarStore()), 0.0);
+}
+
+TEST(LongTailShareTest, HandComputed) {
+  const TripleStore store = StarStore();
+  // Connected degrees sorted: [1,1,1,1,4]; median threshold = 1.
+  std::vector<DiscoveredFact> facts(2);
+  facts[0].triple = {1, 0, 3};  // leaf-leaf: touches long tail
+  facts[1].triple = {0, 0, 0};  // hub-hub: does not
+  EXPECT_DOUBLE_EQ(LongTailShare(facts, store, 0.5), 0.5);
+}
+
+TEST(LongTailShareTest, QuantileOneCountsEverything) {
+  const TripleStore store = StarStore();
+  std::vector<DiscoveredFact> facts(1);
+  facts[0].triple = {0, 0, 0};  // hub only
+  EXPECT_DOUBLE_EQ(LongTailShare(facts, store, 1.0), 1.0);
+}
+
+TEST(LongTailIntegrationTest, InverseDegreeRaisesLongTailCoverage) {
+  SyntheticConfig c;
+  c.num_entities = 300;
+  c.num_relations = 4;
+  c.num_train = 2500;
+  c.num_valid = 20;
+  c.num_test = 20;
+  c.entity_zipf_exponent = 1.0;  // pronounced popularity skew
+  c.seed = 8;
+  auto dataset = GenerateSyntheticDataset(c);
+  ASSERT_TRUE(dataset.ok());
+  // Sampling-level check (no model needed): compare the expected long-tail
+  // mass of the two strategies' weight vectors directly.
+  const TripleStore& kg = dataset.value().train();
+  const Adjacency adj = Adjacency::FromTripleStore(kg);
+  const std::vector<uint64_t> degrees = Degrees(adj);
+  std::vector<uint64_t> connected;
+  for (uint64_t d : degrees) {
+    if (d > 0) connected.push_back(d);
+  }
+  std::sort(connected.begin(), connected.end());
+  const uint64_t median = connected[connected.size() / 2];
+  auto tail_mass = [&](SamplingStrategy s) {
+    auto w = ComputeStrategyWeights(s, kg);
+    double mass = 0.0;
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      if (degrees[i] > 0 && degrees[i] <= median) {
+        mass += w.value().subject_weights[i];
+      }
+    }
+    return mass;
+  };
+  const double inverse_mass = tail_mass(SamplingStrategy::kInverseDegree);
+  const double degree_mass = tail_mass(SamplingStrategy::kGraphDegree);
+  const double mixture_mass =
+      tail_mass(SamplingStrategy::kExplorationMixture);
+  EXPECT_GT(inverse_mass, 2.0 * degree_mass);
+  EXPECT_GT(mixture_mass, degree_mass);
+  EXPECT_LT(mixture_mass, inverse_mass);
+}
+
+}  // namespace
+}  // namespace kgfd

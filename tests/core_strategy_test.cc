@@ -1,0 +1,211 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/adjacency.h"
+#include "graph/metrics.h"
+
+namespace kgfd {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/// KG used across the formula tests:
+///   0 -r0-> 1, 0 -r0-> 2, 1 -r0-> 2, 2 -r1-> 3, 0 -r1-> 3
+/// Undirected projection: edges 0-1, 0-2, 1-2, 2-3, 0-3, i.e. the two
+/// triangles {0,1,2} and {0,2,3} sharing edge 0-2. Node 4 is isolated.
+TripleStore FormulaStore() {
+  TripleStore store(5, 2);
+  store
+      .AddAll({{0, 0, 1}, {0, 0, 2}, {1, 0, 2}, {2, 1, 3}, {0, 1, 3}})
+      .AbortIfNotOk("formula store");
+  return store;
+}
+
+TEST(StrategyNamesTest, RoundTripCanonicalAndAbbrev) {
+  for (SamplingStrategy s :
+       {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
+        SamplingStrategy::kGraphDegree,
+        SamplingStrategy::kClusteringCoefficient,
+        SamplingStrategy::kClusteringTriangles,
+        SamplingStrategy::kClusteringSquares}) {
+    auto canonical = SamplingStrategyFromName(SamplingStrategyName(s));
+    ASSERT_TRUE(canonical.ok());
+    EXPECT_EQ(canonical.value(), s);
+    auto abbrev = SamplingStrategyFromName(SamplingStrategyAbbrev(s));
+    ASSERT_TRUE(abbrev.ok());
+    EXPECT_EQ(abbrev.value(), s);
+  }
+  EXPECT_FALSE(SamplingStrategyFromName("NOPE").ok());
+}
+
+TEST(StrategyNamesTest, ComparativeSetExcludesSquares) {
+  const auto strategies = ComparativeStrategies();
+  EXPECT_EQ(strategies.size(), 5u);
+  for (SamplingStrategy s : strategies) {
+    EXPECT_NE(s, SamplingStrategy::kClusteringSquares);
+  }
+}
+
+TEST(StrategyWeightsTest, RejectsEmptyKg) {
+  TripleStore empty(3, 1);
+  EXPECT_FALSE(
+      ComputeStrategyWeights(SamplingStrategy::kUniformRandom, empty).ok());
+}
+
+TEST(StrategyWeightsTest, UniformRandomMatchesEq1) {
+  const TripleStore store = FormulaStore();
+  auto w = ComputeStrategyWeights(SamplingStrategy::kUniformRandom, store);
+  ASSERT_TRUE(w.ok());
+  // Unique subjects: {0, 1, 2}; unique objects: {1, 2, 3}.
+  EXPECT_EQ(w.value().subject_pool, (std::vector<EntityId>{0, 1, 2}));
+  EXPECT_EQ(w.value().object_pool, (std::vector<EntityId>{1, 2, 3}));
+  for (double v : w.value().subject_weights) {
+    EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+  }
+  for (double v : w.value().object_weights) {
+    EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+  }
+}
+
+TEST(StrategyWeightsTest, EntityFrequencyMatchesEq2) {
+  const TripleStore store = FormulaStore();
+  auto w = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
+  ASSERT_TRUE(w.ok());
+  // count(0, subject) = 3, count(1, subject) = 1, count(2, subject) = 1;
+  // len(subject side) = 3 unique entities.
+  EXPECT_EQ(w.value().subject_pool, (std::vector<EntityId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[0], 3.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[2], 1.0 / 3.0);
+  // Objects: 1 once, 2 twice, 3 twice.
+  EXPECT_DOUBLE_EQ(w.value().object_weights[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().object_weights[1], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().object_weights[2], 2.0 / 3.0);
+}
+
+TEST(StrategyWeightsTest, EntityFrequencySidesDifferAsInPaper) {
+  // The paper notes an entity on both sides may get different weights.
+  const TripleStore store = FormulaStore();
+  auto w = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
+  ASSERT_TRUE(w.ok());
+  // Entity 2: subject weight 1/3, object weight 2/3.
+  EXPECT_NE(w.value().subject_weights[2], w.value().object_weights[1]);
+}
+
+TEST(StrategyWeightsTest, GraphDegreeMatchesEq3) {
+  const TripleStore store = FormulaStore();
+  auto w = ComputeStrategyWeights(SamplingStrategy::kGraphDegree, store);
+  ASSERT_TRUE(w.ok());
+  // Degrees: 0:3, 1:2, 2:3, 3:2, 4:0; sum 10.
+  ASSERT_EQ(w.value().subject_pool.size(), 5u);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[0], 0.3);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[1], 0.2);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[2], 0.3);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[3], 0.2);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[4], 0.0);
+  // Side-agnostic: both sides identical (paper Eq. 3 remark).
+  EXPECT_EQ(w.value().subject_weights, w.value().object_weights);
+}
+
+TEST(StrategyWeightsTest, ClusteringTrianglesMatchesEq4) {
+  const TripleStore store = FormulaStore();
+  auto w =
+      ComputeStrategyWeights(SamplingStrategy::kClusteringTriangles, store);
+  ASSERT_TRUE(w.ok());
+  // T = [2, 1, 2, 1, 0] (nodes 0 and 2 corner both triangles); sum 6.
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[0], 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[1], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[2], 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[3], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[4], 0.0);
+}
+
+TEST(StrategyWeightsTest, ClusteringCoefficientMatchesEq5) {
+  const TripleStore store = FormulaStore();
+  auto w = ComputeStrategyWeights(SamplingStrategy::kClusteringCoefficient,
+                                  store);
+  ASSERT_TRUE(w.ok());
+  // c(0) = 2*1/(3*2) = 1/3, c(1) = 1, c(2) = 1/3, c(3) = 0, c(4) = 0.
+  const Adjacency adj = Adjacency::FromTripleStore(store);
+  const std::vector<double> c = LocalClusteringCoefficients(adj);
+  const double total = Sum(c);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(w.value().subject_weights[i], c[i] / total, 1e-12);
+  }
+}
+
+TEST(StrategyWeightsTest, ClusteringSquaresMatchesEq6) {
+  // Add a square so c4 is not identically zero:
+  // edges 0-1, 1-2, 2-3, 3-0 via relation 0.
+  TripleStore store(4, 1);
+  ASSERT_TRUE(
+      store.AddAll({{0, 0, 1}, {1, 0, 2}, {2, 0, 3}, {3, 0, 0}}).ok());
+  auto w =
+      ComputeStrategyWeights(SamplingStrategy::kClusteringSquares, store);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(w.value().fell_back_to_uniform);
+  for (double v : w.value().subject_weights) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(StrategyWeightsTest, AllStrategiesNormalizeToOne) {
+  const TripleStore store = FormulaStore();
+  for (SamplingStrategy s :
+       {SamplingStrategy::kUniformRandom, SamplingStrategy::kGraphDegree,
+        SamplingStrategy::kClusteringCoefficient,
+        SamplingStrategy::kClusteringTriangles,
+        SamplingStrategy::kClusteringSquares}) {
+    auto w = ComputeStrategyWeights(s, store);
+    ASSERT_TRUE(w.ok()) << SamplingStrategyName(s);
+    EXPECT_NEAR(Sum(w.value().subject_weights), 1.0, 1e-9)
+        << SamplingStrategyName(s);
+    EXPECT_NEAR(Sum(w.value().object_weights), 1.0, 1e-9)
+        << SamplingStrategyName(s);
+  }
+  // ENTITY_FREQUENCY's Eq. 2 weights are deliberately unnormalized
+  // (count / unique-count); the sampler normalizes internally.
+  auto ef = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
+  ASSERT_TRUE(ef.ok());
+  EXPECT_GT(Sum(ef.value().subject_weights), 0.0);
+}
+
+TEST(StrategyWeightsTest, TriangleFreeGraphFallsBackToUniform) {
+  // A path graph has no triangles: CLUSTERING_TRIANGLES weights would be
+  // all-zero, so the implementation falls back to uniform.
+  TripleStore store(4, 1);
+  ASSERT_TRUE(store.AddAll({{0, 0, 1}, {1, 0, 2}, {2, 0, 3}}).ok());
+  auto w =
+      ComputeStrategyWeights(SamplingStrategy::kClusteringTriangles, store);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.value().fell_back_to_uniform);
+  for (double v : w.value().subject_weights) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(StrategyWeightsTest, PopularityCorrelationHoldsOnSkewedGraph) {
+  // The paper's central observation: frequency/degree/triangle weights
+  // correlate with entity frequency; clustering-coefficient weights do not
+  // reward the most popular (star-center) node.
+  TripleStore store(8, 1);
+  // Star around 0 (popular), plus a triangle 5-6-7 (clustered).
+  ASSERT_TRUE(store
+                  .AddAll({{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4},
+                           {5, 0, 6}, {6, 0, 7}, {7, 0, 5}})
+                  .ok());
+  auto degree = ComputeStrategyWeights(SamplingStrategy::kGraphDegree, store);
+  auto coeff = ComputeStrategyWeights(
+      SamplingStrategy::kClusteringCoefficient, store);
+  ASSERT_TRUE(degree.ok() && coeff.ok());
+  // Degree strategy: node 0 has max weight.
+  const auto& dw = degree.value().subject_weights;
+  EXPECT_EQ(std::max_element(dw.begin(), dw.end()) - dw.begin(), 0);
+  // Clustering coefficient: node 0 has zero weight despite popularity.
+  EXPECT_DOUBLE_EQ(coeff.value().subject_weights[0], 0.0);
+  EXPECT_GT(coeff.value().subject_weights[5], 0.0);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,131 @@
+#include "core/type_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/discovery.h"
+#include "kg/synthetic.h"
+#include "kge/trainer.h"
+
+namespace kgfd {
+namespace {
+
+/// Typed toy KG: relation 0 only links {0,1} -> {2,3}; relation 1 only
+/// links {2,3} -> {4}.
+TripleStore TypedStore() {
+  TripleStore store(5, 2);
+  store.AddAll({{0, 0, 2}, {1, 0, 3}, {2, 1, 4}, {3, 1, 4}})
+      .AbortIfNotOk("typed store");
+  return store;
+}
+
+TEST(TypeFilterTest, LearnsDomainAndRangeSizes) {
+  const RelationTypeFilter filter(TypedStore());
+  EXPECT_EQ(filter.DomainSize(0), 2u);
+  EXPECT_EQ(filter.RangeSize(0), 2u);
+  EXPECT_EQ(filter.DomainSize(1), 2u);
+  EXPECT_EQ(filter.RangeSize(1), 1u);
+}
+
+TEST(TypeFilterTest, AdmitsSignatureRespectingCandidates) {
+  const RelationTypeFilter filter(TypedStore());
+  // (0, r0, 3): subject 0 in domain(r0), object 3 in range(r0). Unknown
+  // triple, but type-consistent.
+  EXPECT_TRUE(filter.Admissible({0, 0, 3}));
+  EXPECT_TRUE(filter.Admissible({1, 0, 2}));
+  EXPECT_TRUE(filter.Admissible({3, 1, 4}));
+}
+
+TEST(TypeFilterTest, RejectsDomainViolations) {
+  const RelationTypeFilter filter(TypedStore());
+  // Entity 4 never appears as subject of r0.
+  EXPECT_FALSE(filter.Admissible({4, 0, 2}));
+  // Entity 2 is a range entity of r0 but not a domain entity.
+  EXPECT_FALSE(filter.Admissible({2, 0, 3}));
+}
+
+TEST(TypeFilterTest, RejectsRangeViolations) {
+  const RelationTypeFilter filter(TypedStore());
+  // Entity 0 never appears as object of r0.
+  EXPECT_FALSE(filter.Admissible({0, 0, 1}));
+  // Entity 2 never appears as object of r1.
+  EXPECT_FALSE(filter.Admissible({3, 1, 2}));
+}
+
+TEST(TypeFilterTest, DuplicateTriplesCountedOnce) {
+  TripleStore store(4, 1);
+  ASSERT_TRUE(store.AddAll({{0, 0, 1}, {0, 0, 2}, {0, 0, 3}}).ok());
+  const RelationTypeFilter filter(store);
+  EXPECT_EQ(filter.DomainSize(0), 1u);
+  EXPECT_EQ(filter.RangeSize(0), 3u);
+}
+
+TEST(TypeFilterTest, UnusedRelationAdmitsNothing) {
+  TripleStore store(3, 2);
+  ASSERT_TRUE(store.Add({0, 0, 1}).ok());
+  const RelationTypeFilter filter(store);
+  EXPECT_FALSE(filter.Admissible({0, 1, 1}));
+  EXPECT_EQ(filter.DomainSize(1), 0u);
+}
+
+class TypeFilterDiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig c;
+    c.name = "typed";
+    c.num_entities = 80;
+    c.num_relations = 3;
+    c.num_train = 700;
+    c.num_valid = 20;
+    c.num_test = 20;
+    c.seed = 17;
+    dataset_ = std::make_unique<Dataset>(
+        std::move(GenerateSyntheticDataset(c)).ValueOrDie("dataset"));
+    ModelConfig mc;
+    mc.num_entities = dataset_->num_entities();
+    mc.num_relations = dataset_->num_relations();
+    mc.embedding_dim = 8;
+    TrainerConfig tc;
+    tc.epochs = 5;
+    tc.seed = 3;
+    model_ = std::move(TrainModel(ModelKind::kDistMult, mc,
+                                  dataset_->train(), tc))
+                 .ValueOrDie("model");
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<Model> model_;
+};
+
+TEST_F(TypeFilterDiscoveryTest, FilteredFactsRespectSignatures) {
+  DiscoveryOptions options;
+  options.strategy = SamplingStrategy::kUniformRandom;
+  options.top_n = 40;
+  options.max_candidates = 200;
+  options.type_filter = true;
+  options.seed = 5;
+  auto result = DiscoverFacts(*model_, dataset_->train(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RelationTypeFilter filter(dataset_->train());
+  for (const DiscoveredFact& fact : result.value().facts) {
+    EXPECT_TRUE(filter.Admissible(fact.triple));
+  }
+}
+
+TEST_F(TypeFilterDiscoveryTest, FilterNeverAddsCandidates) {
+  DiscoveryOptions options;
+  options.strategy = SamplingStrategy::kUniformRandom;
+  options.top_n = 40;
+  options.max_candidates = 200;
+  options.seed = 5;
+  auto raw = DiscoverFacts(*model_, dataset_->train(), options);
+  options.type_filter = true;
+  auto filtered = DiscoverFacts(*model_, dataset_->train(), options);
+  ASSERT_TRUE(raw.ok() && filtered.ok());
+  EXPECT_LE(filtered.value().stats.num_candidates,
+            raw.value().stats.num_candidates);
+}
+
+}  // namespace
+}  // namespace kgfd

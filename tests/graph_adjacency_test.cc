@@ -1,0 +1,82 @@
+#include "graph/adjacency.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kgfd {
+namespace {
+
+using Edge = std::pair<EntityId, EntityId>;
+
+TEST(AdjacencyTest, FromEdgesBasic) {
+  const Adjacency adj = Adjacency::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(adj.num_nodes(), 4u);
+  EXPECT_EQ(adj.num_edges(), 3u);
+  EXPECT_EQ(adj.Degree(0), 1u);
+  EXPECT_EQ(adj.Degree(1), 2u);
+  EXPECT_TRUE(adj.HasEdge(0, 1));
+  EXPECT_TRUE(adj.HasEdge(1, 0));  // symmetric
+  EXPECT_FALSE(adj.HasEdge(0, 2));
+}
+
+TEST(AdjacencyTest, DropsSelfLoops) {
+  const Adjacency adj = Adjacency::FromEdges(3, {{0, 0}, {0, 1}});
+  EXPECT_EQ(adj.num_edges(), 1u);
+  EXPECT_FALSE(adj.HasEdge(0, 0));
+}
+
+TEST(AdjacencyTest, CollapsesParallelAndReverseEdges) {
+  const Adjacency adj =
+      Adjacency::FromEdges(3, {{0, 1}, {0, 1}, {1, 0}, {1, 2}});
+  EXPECT_EQ(adj.num_edges(), 2u);
+  EXPECT_EQ(adj.Degree(0), 1u);
+  EXPECT_EQ(adj.Degree(1), 2u);
+}
+
+TEST(AdjacencyTest, NeighborListsAreSortedAndUnique) {
+  const Adjacency adj =
+      Adjacency::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 0}});
+  std::vector<EntityId> neighbors(adj.NeighborsBegin(2),
+                                  adj.NeighborsEnd(2));
+  EXPECT_EQ(neighbors, (std::vector<EntityId>{0, 3, 4}));
+}
+
+TEST(AdjacencyTest, IgnoresOutOfRangeEdges) {
+  const Adjacency adj = Adjacency::FromEdges(2, {{0, 1}, {0, 7}});
+  EXPECT_EQ(adj.num_edges(), 1u);
+}
+
+TEST(AdjacencyTest, IsolatedNodesHaveZeroDegree) {
+  const Adjacency adj = Adjacency::FromEdges(5, {{0, 1}});
+  EXPECT_EQ(adj.Degree(2), 0u);
+  EXPECT_EQ(adj.NeighborsBegin(2), adj.NeighborsEnd(2));
+}
+
+TEST(AdjacencyTest, HasEdgeOutOfRangeIsFalse) {
+  const Adjacency adj = Adjacency::FromEdges(2, {{0, 1}});
+  EXPECT_FALSE(adj.HasEdge(9, 0));
+}
+
+TEST(AdjacencyTest, FromTripleStoreProjectsHomogeneously) {
+  // Two relations between the same pair collapse into one undirected edge;
+  // a self-loop triple is dropped.
+  TripleStore store(4, 3);
+  ASSERT_TRUE(
+      store.AddAll({{0, 0, 1}, {1, 1, 0}, {0, 2, 1}, {2, 0, 2}, {2, 1, 3}})
+          .ok());
+  const Adjacency adj = Adjacency::FromTripleStore(store);
+  EXPECT_EQ(adj.num_edges(), 2u);  // {0,1} and {2,3}
+  EXPECT_TRUE(adj.HasEdge(0, 1));
+  EXPECT_TRUE(adj.HasEdge(2, 3));
+  EXPECT_FALSE(adj.HasEdge(2, 2));
+}
+
+TEST(AdjacencyTest, EmptyGraph) {
+  const Adjacency adj = Adjacency::FromEdges(3, {});
+  EXPECT_EQ(adj.num_nodes(), 3u);
+  EXPECT_EQ(adj.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,116 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/strategy.h"
+#include "kg/triple_store.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(PageRank(Adjacency::FromEdges(0, {})).empty());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  const Adjacency adj =
+      Adjacency::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 0}});
+  EXPECT_NEAR(Sum(PageRank(adj)), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricGraphIsUniform) {
+  // A cycle is vertex-transitive: every node gets 1/n.
+  const Adjacency adj =
+      Adjacency::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  for (double r : PageRank(adj)) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  const Adjacency adj =
+      Adjacency::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const std::vector<double> r = PageRank(adj);
+  for (size_t leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT(r[0], r[leaf]);
+    EXPECT_NEAR(r[leaf], r[1], 1e-12);  // leaves symmetric
+  }
+}
+
+TEST(PageRankTest, IsolatedNodesGetTeleportMassOnly) {
+  const Adjacency adj = Adjacency::FromEdges(4, {{0, 1}});
+  const std::vector<double> r = PageRank(adj);
+  EXPECT_NEAR(Sum(r), 1.0, 1e-9);
+  EXPECT_LT(r[2], r[0]);
+  EXPECT_NEAR(r[2], r[3], 1e-12);
+}
+
+TEST(PageRankTest, StarExactValues) {
+  // Star with hub 0 and k = 4 leaves, damping d: by symmetry
+  //   hub = (1-d)/n + d * 4 * leaf   (leaves send everything to the hub)
+  //   leaf = (1-d)/n + d * hub / 4
+  // Solving: hub = ((1-d)/n)(1 + 4d) / (1 - d^2).
+  const Adjacency adj =
+      Adjacency::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const double d = 0.85;
+  const double hub_expected =
+      ((1.0 - d) / 5.0) * (1.0 + 4.0 * d) / (1.0 - d * d);
+  PageRankOptions tight;
+  tight.max_iterations = 1000;
+  tight.tolerance = 1e-14;
+  const std::vector<double> r = PageRank(adj, tight);
+  EXPECT_NEAR(r[0], hub_expected, 1e-10);
+}
+
+TEST(PageRankTest, DampingZeroIsUniform) {
+  const Adjacency adj = Adjacency::FromEdges(5, {{0, 1}, {0, 2}, {1, 2}});
+  PageRankOptions options;
+  options.damping = 0.0;
+  for (double r : PageRank(adj, options)) EXPECT_NEAR(r, 0.2, 1e-12);
+}
+
+TEST(PageRankTest, ConvergesOnRandomGraph) {
+  Rng rng(17);
+  std::vector<std::pair<EntityId, EntityId>> edges;
+  for (int i = 0; i < 300; ++i) {
+    edges.push_back({static_cast<EntityId>(rng.UniformInt(60)),
+                     static_cast<EntityId>(rng.UniformInt(60))});
+  }
+  const Adjacency adj = Adjacency::FromEdges(60, edges);
+  PageRankOptions tight;
+  tight.max_iterations = 500;
+  tight.tolerance = 1e-14;
+  PageRankOptions loose;
+  loose.max_iterations = 60;
+  loose.tolerance = 1e-10;
+  const std::vector<double> a = PageRank(adj, tight);
+  const std::vector<double> b = PageRank(adj, loose);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(PageRankStrategyTest, NameRoundTripAndWeights) {
+  auto back = SamplingStrategyFromName("PAGERANK");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), SamplingStrategy::kPageRank);
+  EXPECT_STREQ(SamplingStrategyAbbrev(SamplingStrategy::kPageRank), "PR");
+
+  TripleStore store(5, 1);
+  ASSERT_TRUE(
+      store.AddAll({{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4}}).ok());
+  auto w = ComputeStrategyWeights(SamplingStrategy::kPageRank, store);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(Sum(w.value().subject_weights), 1.0, 1e-9);
+  // Hub gets the largest sampling weight — popularity-aligned.
+  const auto& weights = w.value().subject_weights;
+  for (size_t leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT(weights[0], weights[leaf]);
+  }
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+/// Randomized differential test: TripleStore against a trivially correct
+/// reference built on std::set / std::map. Sweeps several graph shapes and
+/// duplicate rates.
+struct FuzzParam {
+  size_t num_entities;
+  size_t num_relations;
+  size_t num_ops;
+  uint64_t seed;
+};
+
+class TripleStoreFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(TripleStoreFuzzTest, MatchesReferenceImplementation) {
+  const FuzzParam& p = GetParam();
+  Rng rng(p.seed);
+  TripleStore store(p.num_entities, p.num_relations);
+
+  std::set<Triple> reference;
+  std::map<std::pair<EntityId, RelationId>, std::set<EntityId>> ref_objects;
+  std::map<std::pair<RelationId, EntityId>, std::set<EntityId>> ref_subjects;
+  std::map<RelationId, size_t> ref_by_relation;
+
+  for (size_t op = 0; op < p.num_ops; ++op) {
+    const Triple t{
+        static_cast<EntityId>(rng.UniformInt(p.num_entities)),
+        static_cast<RelationId>(rng.UniformInt(p.num_relations)),
+        static_cast<EntityId>(rng.UniformInt(p.num_entities))};
+    auto added = store.Add(t);
+    ASSERT_TRUE(added.ok());
+    const bool ref_added = reference.insert(t).second;
+    EXPECT_EQ(added.value(), ref_added);
+    if (ref_added) {
+      ref_objects[{t.subject, t.relation}].insert(t.object);
+      ref_subjects[{t.relation, t.object}].insert(t.subject);
+      ++ref_by_relation[t.relation];
+    }
+  }
+
+  EXPECT_EQ(store.size(), reference.size());
+
+  // Membership parity on random probes (mix of present and absent).
+  for (size_t probe = 0; probe < 500; ++probe) {
+    const Triple t{
+        static_cast<EntityId>(rng.UniformInt(p.num_entities)),
+        static_cast<RelationId>(rng.UniformInt(p.num_relations)),
+        static_cast<EntityId>(rng.UniformInt(p.num_entities))};
+    EXPECT_EQ(store.Contains(t), reference.count(t) > 0);
+  }
+
+  // Per-relation bucket sizes.
+  for (RelationId r = 0; r < p.num_relations; ++r) {
+    const size_t expected =
+        ref_by_relation.count(r) ? ref_by_relation[r] : 0;
+    EXPECT_EQ(store.ByRelation(r).size(), expected);
+  }
+
+  // Index parity for every observed key.
+  for (const auto& [key, expected] : ref_objects) {
+    std::vector<EntityId> got = store.ObjectsOf(key.first, key.second);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, std::vector<EntityId>(expected.begin(), expected.end()));
+  }
+  for (const auto& [key, expected] : ref_subjects) {
+    std::vector<EntityId> got = store.SubjectsOf(key.first, key.second);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, std::vector<EntityId>(expected.begin(), expected.end()));
+  }
+
+  // UsedRelations parity.
+  std::vector<RelationId> expected_used;
+  for (const auto& [r, count] : ref_by_relation) {
+    if (count > 0) expected_used.push_back(r);
+  }
+  EXPECT_EQ(store.UsedRelations(), expected_used);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TripleStoreFuzzTest,
+    ::testing::Values(FuzzParam{5, 2, 300, 1},      // tiny, many duplicates
+                      FuzzParam{50, 5, 2000, 2},    // medium
+                      FuzzParam{500, 20, 5000, 3},  // sparse
+                      FuzzParam{10, 1, 1000, 4},    // near-saturated
+                      FuzzParam{200, 3, 4000, 5}),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return "e" + std::to_string(info.param.num_entities) + "_r" +
+             std::to_string(info.param.num_relations) + "_n" +
+             std::to_string(info.param.num_ops);
+    });
+
+}  // namespace
+}  // namespace kgfd

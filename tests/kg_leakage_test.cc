@@ -1,0 +1,122 @@
+#include "kg/leakage.h"
+
+#include <gtest/gtest.h>
+
+namespace kgfd {
+namespace {
+
+TEST(DetectInverseRelationsTest, PerfectInversePairFound) {
+  // Relation 1 is exactly the inverse of relation 0.
+  TripleStore store(6, 3);
+  ASSERT_TRUE(store
+                  .AddAll({{0, 0, 1}, {1, 1, 0},
+                           {2, 0, 3}, {3, 1, 2},
+                           {4, 0, 5}, {5, 1, 4}})
+                  .ok());
+  const auto pairs = DetectInverseRelations(store, 0.9);
+  ASSERT_GE(pairs.size(), 2u);  // (0 -> 1) and (1 -> 0)
+  bool found_forward = false;
+  for (const InverseRelationPair& p : pairs) {
+    if (p.relation == 0 && p.inverse == 1) {
+      found_forward = true;
+      EXPECT_DOUBLE_EQ(p.coverage, 1.0);
+      EXPECT_EQ(p.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST(DetectInverseRelationsTest, SymmetricRelationIsSelfInverse) {
+  TripleStore store(4, 1);
+  ASSERT_TRUE(store.AddAll({{0, 0, 1}, {1, 0, 0}, {2, 0, 3}, {3, 0, 2}})
+                  .ok());
+  const auto pairs = DetectInverseRelations(store, 0.9);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].relation, 0u);
+  EXPECT_EQ(pairs[0].inverse, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].coverage, 1.0);
+}
+
+TEST(DetectInverseRelationsTest, PartialCoverageRespectsThreshold) {
+  // 2 of 4 triples of relation 0 have inverses under relation 1
+  // (coverage 0.5), while both relation-1 triples invert under relation 0
+  // (coverage 1.0).
+  TripleStore store(8, 2);
+  ASSERT_TRUE(store
+                  .AddAll({{0, 0, 1}, {1, 1, 0},
+                           {2, 0, 3}, {3, 1, 2},
+                           {4, 0, 5}, {6, 0, 7}})
+                  .ok());
+  const auto strict = DetectInverseRelations(store, 0.6);
+  ASSERT_EQ(strict.size(), 1u);  // only the fully-covered 1 -> 0 direction
+  EXPECT_EQ(strict[0].relation, 1u);
+  EXPECT_EQ(strict[0].inverse, 0u);
+  EXPECT_DOUBLE_EQ(strict[0].coverage, 1.0);
+
+  const auto loose = DetectInverseRelations(store, 0.5);
+  ASSERT_EQ(loose.size(), 2u);  // sorted by coverage: (1->0) then (0->1)
+  EXPECT_EQ(loose[0].relation, 1u);
+  EXPECT_EQ(loose[1].relation, 0u);
+  EXPECT_EQ(loose[1].inverse, 1u);
+  EXPECT_DOUBLE_EQ(loose[1].coverage, 0.5);
+}
+
+TEST(DetectInverseRelationsTest, CleanGraphReportsNothing) {
+  TripleStore store(6, 2);
+  ASSERT_TRUE(store.AddAll({{0, 0, 1}, {1, 0, 2}, {3, 1, 4}}).ok());
+  EXPECT_TRUE(DetectInverseRelations(store, 0.5).empty());
+}
+
+TEST(DetectInverseRelationsTest, SortedByCoverageDescending) {
+  TripleStore store(10, 3);
+  // r0 -> r1 fully inverse; r2 -> r1 half inverse.
+  ASSERT_TRUE(store
+                  .AddAll({{0, 0, 1}, {1, 1, 0},
+                           {2, 2, 3}, {3, 1, 2},
+                           {4, 2, 5}})
+                  .ok());
+  const auto pairs = DetectInverseRelations(store, 0.4);
+  ASSERT_GE(pairs.size(), 2u);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].coverage, pairs[i].coverage);
+  }
+}
+
+TEST(TestLeakageScoreTest, RejectsEmptyTest) {
+  Dataset d("x", 4, 1);
+  ASSERT_TRUE(d.train().Add({0, 0, 1}).ok());
+  EXPECT_FALSE(TestLeakageScore(d).ok());
+}
+
+TEST(TestLeakageScoreTest, FullyLeakedDataset) {
+  // Every test triple is the flip of a training triple (the FB15K flaw).
+  Dataset d("leaky", 6, 2);
+  ASSERT_TRUE(d.train().AddAll({{0, 0, 1}, {2, 0, 3}, {4, 0, 5},
+                                {1, 1, 2}})
+                  .ok());
+  ASSERT_TRUE(d.test().AddAll({{1, 1, 0}, {3, 1, 2}}).ok());
+  auto score = TestLeakageScore(d);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), 1.0);
+}
+
+TEST(TestLeakageScoreTest, CleanDatasetScoresZero) {
+  Dataset d("clean", 6, 1);
+  ASSERT_TRUE(d.train().AddAll({{0, 0, 1}, {1, 0, 2}, {2, 0, 3}}).ok());
+  ASSERT_TRUE(d.test().AddAll({{0, 0, 3}, {1, 0, 3}}).ok());
+  auto score = TestLeakageScore(d);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), 0.0);
+}
+
+TEST(TestLeakageScoreTest, PartialLeakage) {
+  Dataset d("partial", 6, 2);
+  ASSERT_TRUE(d.train().AddAll({{0, 0, 1}, {2, 0, 3}, {1, 1, 3}}).ok());
+  ASSERT_TRUE(d.test().AddAll({{1, 1, 0}, {3, 0, 0}}).ok());
+  auto score = TestLeakageScore(d);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), 0.5);  // only (1,1,0) flips (0,0,1)
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,72 @@
+#include "kg/kg_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kgfd {
+namespace {
+
+TripleStore MakeToyStore() {
+  // 0 -r0-> 1, 0 -r0-> 2, 1 -r1-> 2, 2 -r1-> 0
+  TripleStore store(4, 2);
+  store.AddAll({{0, 0, 1}, {0, 0, 2}, {1, 1, 2}, {2, 1, 0}})
+      .AbortIfNotOk("toy store");
+  return store;
+}
+
+TEST(SideCountsTest, SubjectCountsMatch) {
+  const SideCounts c = ComputeSideCounts(MakeToyStore());
+  EXPECT_EQ(c.subject_count[0], 2u);
+  EXPECT_EQ(c.subject_count[1], 1u);
+  EXPECT_EQ(c.subject_count[2], 1u);
+  EXPECT_EQ(c.subject_count[3], 0u);
+}
+
+TEST(SideCountsTest, ObjectCountsMatch) {
+  const SideCounts c = ComputeSideCounts(MakeToyStore());
+  EXPECT_EQ(c.object_count[0], 1u);
+  EXPECT_EQ(c.object_count[1], 1u);
+  EXPECT_EQ(c.object_count[2], 2u);
+  EXPECT_EQ(c.object_count[3], 0u);
+}
+
+TEST(SideCountsTest, UniquePoolsExcludeAbsentEntities) {
+  const SideCounts c = ComputeSideCounts(MakeToyStore());
+  EXPECT_EQ(c.unique_subjects, (std::vector<EntityId>{0, 1, 2}));
+  EXPECT_EQ(c.unique_objects, (std::vector<EntityId>{0, 1, 2}));
+}
+
+TEST(SideCountsTest, SideAccessorsDispatch) {
+  const SideCounts c = ComputeSideCounts(MakeToyStore());
+  EXPECT_EQ(c.count(0, TripleSide::kSubject), 2u);
+  EXPECT_EQ(c.count(0, TripleSide::kObject), 1u);
+  EXPECT_EQ(&c.unique(TripleSide::kSubject), &c.unique_subjects);
+  EXPECT_EQ(&c.unique(TripleSide::kObject), &c.unique_objects);
+}
+
+TEST(SideCountsTest, EmptyStore) {
+  TripleStore store(3, 1);
+  const SideCounts c = ComputeSideCounts(store);
+  EXPECT_TRUE(c.unique_subjects.empty());
+  EXPECT_TRUE(c.unique_objects.empty());
+}
+
+TEST(KgShapeTest, CountsAndDerivedMetrics) {
+  const KgShape shape = ComputeShape(MakeToyStore());
+  EXPECT_EQ(shape.num_entities, 4u);
+  EXPECT_EQ(shape.num_relations, 2u);
+  EXPECT_EQ(shape.num_triples, 4u);
+  // 2 * 4 / 4 = 2 triple slots per entity (the paper's WN18RR measure).
+  EXPECT_DOUBLE_EQ(shape.avg_relations_per_entity, 2.0);
+  // 4 / (16 * 2)
+  EXPECT_DOUBLE_EQ(shape.density, 4.0 / 32.0);
+}
+
+TEST(KgShapeTest, EmptyStoreHasZeroDensity) {
+  TripleStore store(5, 2);
+  const KgShape shape = ComputeShape(store);
+  EXPECT_EQ(shape.num_triples, 0u);
+  EXPECT_DOUBLE_EQ(shape.density, 0.0);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,118 @@
+#include "kg/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kg/types.h"
+
+namespace kgfd {
+namespace {
+
+TEST(TripleTypesTest, PackUnpackRoundTrips) {
+  const Triple t{123456, 4000, 654321};
+  EXPECT_EQ(UnpackTriple(PackTriple(t)), t);
+}
+
+TEST(TripleTypesTest, PackIsInjectiveOnDistinctTriples) {
+  const Triple a{1, 2, 3};
+  const Triple b{3, 2, 1};
+  const Triple c{1, 3, 2};
+  EXPECT_NE(PackTriple(a), PackTriple(b));
+  EXPECT_NE(PackTriple(a), PackTriple(c));
+}
+
+TEST(TripleTypesTest, PackBoundaryValues) {
+  const Triple t{static_cast<EntityId>(kMaxPackableEntities - 1),
+                 static_cast<RelationId>(kMaxPackableRelations - 1),
+                 static_cast<EntityId>(kMaxPackableEntities - 1)};
+  EXPECT_EQ(UnpackTriple(PackTriple(t)), t);
+}
+
+TEST(TripleStoreTest, AddAndContains) {
+  TripleStore store(10, 3);
+  ASSERT_TRUE(store.Add({1, 0, 2}).ok());
+  EXPECT_TRUE(store.Contains({1, 0, 2}));
+  EXPECT_FALSE(store.Contains({2, 0, 1}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, DuplicateAddReturnsFalse) {
+  TripleStore store(10, 3);
+  auto first = store.Add({1, 0, 2});
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value());
+  auto second = store.Add({1, 0, 2});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, RejectsOutOfRangeIds) {
+  TripleStore store(5, 2);
+  EXPECT_FALSE(store.Add({5, 0, 1}).ok());   // subject out of range
+  EXPECT_FALSE(store.Add({0, 2, 1}).ok());   // relation out of range
+  EXPECT_FALSE(store.Add({0, 0, 99}).ok());  // object out of range
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TripleStoreTest, ByRelationBuckets) {
+  TripleStore store(10, 3);
+  ASSERT_TRUE(store.AddAll({{0, 0, 1}, {1, 0, 2}, {2, 1, 3}}).ok());
+  EXPECT_EQ(store.ByRelation(0).size(), 2u);
+  EXPECT_EQ(store.ByRelation(1).size(), 1u);
+  EXPECT_TRUE(store.ByRelation(2).empty());
+}
+
+TEST(TripleStoreTest, ByRelationOutOfRangeIsEmpty) {
+  TripleStore store(10, 3);
+  EXPECT_TRUE(store.ByRelation(99).empty());
+}
+
+TEST(TripleStoreTest, UsedRelationsSkipsEmpty) {
+  TripleStore store(10, 5);
+  ASSERT_TRUE(store.AddAll({{0, 1, 1}, {0, 3, 1}}).ok());
+  EXPECT_EQ(store.UsedRelations(), (std::vector<RelationId>{1, 3}));
+}
+
+TEST(TripleStoreTest, ObjectsOfIndex) {
+  TripleStore store(10, 2);
+  ASSERT_TRUE(store.AddAll({{1, 0, 2}, {1, 0, 3}, {1, 1, 4}, {2, 0, 5}})
+                  .ok());
+  std::vector<EntityId> objects = store.ObjectsOf(1, 0);
+  std::sort(objects.begin(), objects.end());
+  EXPECT_EQ(objects, (std::vector<EntityId>{2, 3}));
+  EXPECT_TRUE(store.ObjectsOf(9, 0).empty());
+}
+
+TEST(TripleStoreTest, SubjectsOfIndex) {
+  TripleStore store(10, 2);
+  ASSERT_TRUE(store.AddAll({{1, 0, 5}, {2, 0, 5}, {3, 1, 5}}).ok());
+  std::vector<EntityId> subjects = store.SubjectsOf(0, 5);
+  std::sort(subjects.begin(), subjects.end());
+  EXPECT_EQ(subjects, (std::vector<EntityId>{1, 2}));
+  EXPECT_TRUE(store.SubjectsOf(1, 9).empty());
+}
+
+TEST(TripleStoreTest, AddAllFailsFastOnInvalid) {
+  TripleStore store(3, 1);
+  const Status s = store.AddAll({{0, 0, 1}, {99, 0, 1}, {1, 0, 2}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(store.size(), 1u);  // first triple landed before the failure
+}
+
+TEST(TripleStoreTest, SelfLoopsAreAllowed) {
+  TripleStore store(4, 1);
+  ASSERT_TRUE(store.Add({2, 0, 2}).ok());
+  EXPECT_TRUE(store.Contains({2, 0, 2}));
+}
+
+TEST(TripleStoreTest, TriplesPreservesInsertionOrder) {
+  TripleStore store(10, 2);
+  ASSERT_TRUE(store.AddAll({{3, 1, 4}, {0, 0, 1}}).ok());
+  EXPECT_EQ(store.triples()[0], (Triple{3, 1, 4}));
+  EXPECT_EQ(store.triples()[1], (Triple{0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace kgfd

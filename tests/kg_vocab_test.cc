@@ -1,0 +1,76 @@
+#include "kg/vocab.h"
+
+#include <gtest/gtest.h>
+
+namespace kgfd {
+namespace {
+
+TEST(VocabTest, AddAssignsSequentialIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.AddOrGet("a"), 0u);
+  EXPECT_EQ(v.AddOrGet("b"), 1u);
+  EXPECT_EQ(v.AddOrGet("c"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocabulary v;
+  const uint32_t id = v.AddOrGet("x");
+  EXPECT_EQ(v.AddOrGet("x"), id);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabTest, LookupFindsExisting) {
+  Vocabulary v;
+  v.AddOrGet("hello");
+  auto result = v.Lookup("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 0u);
+}
+
+TEST(VocabTest, LookupMissingIsNotFound) {
+  Vocabulary v;
+  auto result = v.Lookup("ghost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VocabTest, NameRoundTrips) {
+  Vocabulary v;
+  const uint32_t id = v.AddOrGet("entity/42");
+  auto name = v.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), "entity/42");
+}
+
+TEST(VocabTest, NameOutOfRange) {
+  Vocabulary v;
+  EXPECT_FALSE(v.Name(0).ok());
+  v.AddOrGet("only");
+  EXPECT_TRUE(v.Name(0).ok());
+  EXPECT_FALSE(v.Name(1).ok());
+}
+
+TEST(VocabTest, ContainsReflectsMembership) {
+  Vocabulary v;
+  EXPECT_FALSE(v.Contains("a"));
+  v.AddOrGet("a");
+  EXPECT_TRUE(v.Contains("a"));
+}
+
+TEST(VocabTest, EmptyStringIsAValidName) {
+  Vocabulary v;
+  const uint32_t id = v.AddOrGet("");
+  EXPECT_TRUE(v.Contains(""));
+  EXPECT_EQ(v.Name(id).value(), "");
+}
+
+TEST(VocabTest, NamesVectorMatchesInsertionOrder) {
+  Vocabulary v;
+  v.AddOrGet("z");
+  v.AddOrGet("y");
+  EXPECT_EQ(v.names(), (std::vector<std::string>{"z", "y"}));
+}
+
+}  // namespace
+}  // namespace kgfd

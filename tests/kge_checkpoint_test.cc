@@ -1,0 +1,118 @@
+#include "kge/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+class CheckpointTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/kgfd_ckpt_" +
+            ModelKindName(GetParam()) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  ModelConfig Config() const {
+    ModelConfig c;
+    c.num_entities = 9;
+    c.num_relations = 4;
+    c.embedding_dim = 8;
+    c.transe_norm = 2;
+    c.conve_reshape_height = 2;
+    c.conve_num_filters = 3;
+    return c;
+  }
+
+  std::string path_;
+};
+
+TEST_P(CheckpointTest, RoundTripsScoresBitExactly) {
+  Rng rng(71);
+  const ModelConfig config = Config();
+  auto model = std::move(CreateModel(GetParam(), config, &rng))
+                   .ValueOrDie("create");
+  ASSERT_TRUE(SaveModel(model.get(), config, path_).ok());
+  auto loaded = LoadModel(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->kind(), GetParam());
+  EXPECT_EQ(loaded.value()->num_entities(), model->num_entities());
+  EXPECT_EQ(loaded.value()->num_relations(), model->num_relations());
+  for (EntityId s = 0; s < 9; ++s) {
+    for (RelationId r = 0; r < 4; ++r) {
+      const Triple t{s, r, (s + 2u) % 9u};
+      EXPECT_EQ(loaded.value()->Score(t), model->Score(t))
+          << ModelKindName(GetParam());
+      EXPECT_EQ(loaded.value()->TrainingScore(t), model->TrainingScore(t));
+    }
+  }
+}
+
+TEST_P(CheckpointTest, ParametersIdenticalAfterLoad) {
+  Rng rng(72);
+  const ModelConfig config = Config();
+  auto model = std::move(CreateModel(GetParam(), config, &rng))
+                   .ValueOrDie("create");
+  ASSERT_TRUE(SaveModel(model.get(), config, path_).ok());
+  auto loaded = LoadModel(path_);
+  ASSERT_TRUE(loaded.ok());
+  auto orig_params = model->Parameters();
+  auto new_params = loaded.value()->Parameters();
+  ASSERT_EQ(orig_params.size(), new_params.size());
+  for (size_t i = 0; i < orig_params.size(); ++i) {
+    EXPECT_EQ(orig_params[i].name, new_params[i].name);
+    EXPECT_EQ(orig_params[i].tensor->data(), new_params[i].tensor->data());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, CheckpointTest,
+    ::testing::Values(ModelKind::kTransE, ModelKind::kDistMult,
+                      ModelKind::kComplEx, ModelKind::kRescal,
+                      ModelKind::kHolE, ModelKind::kConvE),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return ModelKindName(info.param);
+    });
+
+TEST(CheckpointErrorTest, MissingFileIsIoError) {
+  auto result = LoadModel("/nonexistent/kgfd.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointErrorTest, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/kgfd_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint at all, not even close";
+  }
+  auto result = LoadModel(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, TruncatedFileRejected) {
+  Rng rng(73);
+  ModelConfig config;
+  config.num_entities = 5;
+  config.num_relations = 2;
+  config.embedding_dim = 8;
+  auto model = std::move(CreateModel(ModelKind::kDistMult, config, &rng))
+                   .ValueOrDie("create");
+  const std::string path = ::testing::TempDir() + "/kgfd_truncated.bin";
+  ASSERT_TRUE(SaveModel(model.get(), config, path).ok());
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kgfd

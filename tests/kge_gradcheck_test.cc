@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kge/grad.h"
+#include "kge/model.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+/// Finite-difference gradient check of AccumulateScoreGradient against
+/// TrainingScore for every model. The analytic gradient of the scoring
+/// function is the backbone of the whole training stack, so this is the
+/// most load-bearing property test in the suite.
+struct GradCheckParam {
+  ModelKind kind;
+  size_t dim;
+  int transe_norm = 1;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCheckParam> {
+ protected:
+  static constexpr double kEps = 1e-3;    // central difference step
+  static constexpr double kTol = 2e-2;    // float params => loose-ish bound
+
+  void CheckTriple(Model* model, const Triple& t) {
+    GradientBatch grads;
+    model->AccumulateScoreGradient(t, 1.0, &grads);
+    for (const NamedTensor& p : model->Parameters()) {
+      const auto* rows = grads.RowsFor(p.tensor);
+      // Perturb every touched row coordinate and compare.
+      if (rows == nullptr) continue;
+      for (const auto& [row, grad] : *rows) {
+        for (size_t i = 0; i < p.tensor->cols(); ++i) {
+          float* cell = &p.tensor->Row(row)[i];
+          const float saved = *cell;
+          *cell = saved + static_cast<float>(kEps);
+          const double up = model->TrainingScore(t);
+          *cell = saved - static_cast<float>(kEps);
+          const double down = model->TrainingScore(t);
+          *cell = saved;
+          const double numeric = (up - down) / (2.0 * kEps);
+          EXPECT_NEAR(grad[i], numeric,
+                      kTol * std::max(1.0, std::fabs(numeric)))
+              << p.name << " row=" << row << " col=" << i;
+        }
+      }
+    }
+  }
+};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const GradCheckParam& param = GetParam();
+  ModelConfig config;
+  config.num_entities = 6;
+  config.num_relations = 2;
+  config.embedding_dim = param.dim;
+  config.transe_norm = param.transe_norm;
+  config.conve_reshape_height = 2;
+  config.conve_num_filters = 2;
+  Rng rng(31);
+  auto model_or = CreateModel(param.kind, config, &rng);
+  ASSERT_TRUE(model_or.ok()) << model_or.status().ToString();
+  std::unique_ptr<Model> model = std::move(model_or).value();
+
+  // Several triples, including a self-loop and repeated entities (the
+  // gradient must accumulate correctly when subject == object).
+  for (const Triple& t : std::vector<Triple>{
+           {0, 0, 1}, {2, 1, 3}, {4, 0, 4}, {5, 1, 0}}) {
+    CheckTriple(model.get(), t);
+  }
+}
+
+TEST_P(GradCheckTest, GradientScalesLinearlyWithDscore) {
+  const GradCheckParam& param = GetParam();
+  ModelConfig config;
+  config.num_entities = 5;
+  config.num_relations = 2;
+  config.embedding_dim = param.dim;
+  config.transe_norm = param.transe_norm;
+  config.conve_reshape_height = 2;
+  config.conve_num_filters = 2;
+  Rng rng(32);
+  auto model = std::move(CreateModel(param.kind, config, &rng))
+                   .ValueOrDie("CreateModel");
+  const Triple t{1, 0, 2};
+  GradientBatch g1, g3;
+  model->AccumulateScoreGradient(t, 1.0, &g1);
+  model->AccumulateScoreGradient(t, 3.0, &g3);
+  for (const NamedTensor& p : model->Parameters()) {
+    const auto* rows1 = g1.RowsFor(p.tensor);
+    const auto* rows3 = g3.RowsFor(p.tensor);
+    if (rows1 == nullptr) {
+      EXPECT_EQ(rows3, nullptr);
+      continue;
+    }
+    ASSERT_NE(rows3, nullptr);
+    for (const auto& [row, grad] : *rows1) {
+      const auto& grad3 = rows3->at(row);
+      for (size_t i = 0; i < grad.size(); ++i) {
+        EXPECT_NEAR(grad3[i], 3.0f * grad[i],
+                    1e-4 * std::max(1.0f, std::fabs(grad[i])));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, GradCheckTest,
+    ::testing::Values(GradCheckParam{ModelKind::kTransE, 8, 2},
+                      GradCheckParam{ModelKind::kTransE, 6, 1},
+                      GradCheckParam{ModelKind::kDistMult, 8},
+                      GradCheckParam{ModelKind::kComplEx, 8},
+                      GradCheckParam{ModelKind::kRescal, 6},
+                      GradCheckParam{ModelKind::kHolE, 7},
+                      GradCheckParam{ModelKind::kConvE, 8},
+                      GradCheckParam{ModelKind::kConvE, 10}),
+    [](const ::testing::TestParamInfo<GradCheckParam>& info) {
+      return std::string(ModelKindName(info.param.kind)) + "_dim" +
+             std::to_string(info.param.dim) +
+             (info.param.kind == ModelKind::kTransE
+                  ? "_L" + std::to_string(info.param.transe_norm)
+                  : "");
+    });
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "kge/loss.h"
+#include "kge/optimizer.h"
+
+namespace kgfd {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+TEST(LossNamesTest, RoundTrip) {
+  for (LossKind kind : {LossKind::kMarginRanking,
+                        LossKind::kBinaryCrossEntropy, LossKind::kSoftplus}) {
+    auto back = LossKindFromName(LossKindName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(LossKindFromName("nope").ok());
+}
+
+TEST(MarginRankingTest, NoLossWhenMarginSatisfied) {
+  const PairwiseLoss l = EvalMarginRankingLoss(5.0, 1.0, 1.0);
+  EXPECT_EQ(l.value, 0.0);
+  EXPECT_EQ(l.dscore_pos, 0.0);
+  EXPECT_EQ(l.dscore_neg, 0.0);
+}
+
+TEST(MarginRankingTest, ActiveViolation) {
+  const PairwiseLoss l = EvalMarginRankingLoss(1.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(l.value, 0.5);  // 1 - 1 + 0.5
+  EXPECT_EQ(l.dscore_pos, -1.0);
+  EXPECT_EQ(l.dscore_neg, 1.0);
+}
+
+TEST(MarginRankingTest, BoundaryIsInactive) {
+  const PairwiseLoss l = EvalMarginRankingLoss(2.0, 1.0, 1.0);
+  EXPECT_EQ(l.value, 0.0);
+}
+
+TEST(BceLossTest, ValueAndGradientMatchClosedForm) {
+  for (double score : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+    const PointwiseLoss pos = EvalPointwiseLoss(
+        LossKind::kBinaryCrossEntropy, score, +1);
+    EXPECT_NEAR(pos.value, -std::log(Sigmoid(score)), 1e-9);
+    EXPECT_NEAR(pos.dscore, Sigmoid(score) - 1.0, 1e-9);
+    const PointwiseLoss neg = EvalPointwiseLoss(
+        LossKind::kBinaryCrossEntropy, score, -1);
+    EXPECT_NEAR(neg.value, -std::log(1.0 - Sigmoid(score)), 1e-9);
+    EXPECT_NEAR(neg.dscore, Sigmoid(score), 1e-9);
+  }
+}
+
+TEST(BceLossTest, NumericallyStableAtExtremes) {
+  const PointwiseLoss l = EvalPointwiseLoss(
+      LossKind::kBinaryCrossEntropy, 1000.0, -1);
+  EXPECT_TRUE(std::isfinite(l.value));
+  EXPECT_NEAR(l.dscore, 1.0, 1e-9);
+  const PointwiseLoss l2 = EvalPointwiseLoss(
+      LossKind::kBinaryCrossEntropy, -1000.0, +1);
+  EXPECT_TRUE(std::isfinite(l2.value));
+}
+
+TEST(SoftplusLossTest, MatchesClosedForm) {
+  for (double score : {-2.0, 0.0, 2.0}) {
+    for (int label : {+1, -1}) {
+      const PointwiseLoss l =
+          EvalPointwiseLoss(LossKind::kSoftplus, score, label);
+      EXPECT_NEAR(l.value, std::log1p(std::exp(-label * score)), 1e-9);
+      EXPECT_NEAR(l.dscore, -label * Sigmoid(-label * score), 1e-9);
+    }
+  }
+}
+
+TEST(PointwiseLossGradientTest, FiniteDifferenceSweep) {
+  constexpr double kEps = 1e-6;
+  for (LossKind kind : {LossKind::kBinaryCrossEntropy, LossKind::kSoftplus}) {
+    for (double score : {-1.5, -0.2, 0.3, 1.7}) {
+      for (int label : {+1, -1}) {
+        const double up =
+            EvalPointwiseLoss(kind, score + kEps, label).value;
+        const double down =
+            EvalPointwiseLoss(kind, score - kEps, label).value;
+        const double numeric = (up - down) / (2.0 * kEps);
+        EXPECT_NEAR(EvalPointwiseLoss(kind, score, label).dscore, numeric,
+                    1e-5);
+      }
+    }
+  }
+}
+
+TEST(OptimizerNamesTest, RoundTrip) {
+  for (OptimizerKind kind : {OptimizerKind::kSgd, OptimizerKind::kAdagrad,
+                             OptimizerKind::kAdam}) {
+    auto back = OptimizerKindFromName(OptimizerKindName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(OptimizerKindFromName("bogus").ok());
+}
+
+/// Minimizes f(x) = (x - 3)^2 per coordinate by feeding grad = 2(x - 3).
+class OptimizerConvergenceTest
+    : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerConvergenceTest, ConvergesOnQuadratic) {
+  OptimizerConfig config;
+  config.kind = GetParam();
+  config.learning_rate =
+      GetParam() == OptimizerKind::kAdagrad ? 0.5 : 0.1;
+  auto opt = CreateOptimizer(config);
+  ASSERT_NE(opt, nullptr);
+  Tensor x(1, 4);
+  x.Fill(0.0f);
+  GradientBatch batch;
+  for (int step = 0; step < 500; ++step) {
+    batch.Clear();
+    float* g = batch.RowGrad(&x, 0);
+    for (size_t i = 0; i < 4; ++i) g[i] = 2.0f * (x.Row(0)[i] - 3.0f);
+    opt->Apply(&batch);
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(x.Row(0)[i], 3.0f, 0.05f);
+  EXPECT_EQ(opt->step_count(), 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergenceTest,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kAdagrad,
+                                           OptimizerKind::kAdam),
+                         [](const auto& info) {
+                           return std::string(
+                               OptimizerKindName(info.param));
+                         });
+
+TEST(SgdTest, SingleStepIsExact) {
+  OptimizerConfig config;
+  config.kind = OptimizerKind::kSgd;
+  config.learning_rate = 0.5;
+  auto opt = CreateOptimizer(config);
+  Tensor x(2, 2);
+  x.Fill(1.0f);
+  GradientBatch batch;
+  batch.RowGrad(&x, 0)[0] = 2.0f;  // only one coordinate touched
+  opt->Apply(&batch);
+  EXPECT_FLOAT_EQ(x.At(0, 0), 0.0f);  // 1 - 0.5 * 2
+  EXPECT_FLOAT_EQ(x.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.At(1, 0), 1.0f);  // untouched row unchanged
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  OptimizerConfig config;
+  config.kind = OptimizerKind::kSgd;
+  config.learning_rate = 0.1;
+  config.weight_decay = 1.0;
+  auto opt = CreateOptimizer(config);
+  Tensor x(1, 1);
+  x.At(0, 0) = 1.0f;
+  GradientBatch batch;
+  batch.RowGrad(&x, 0)[0] = 0.0f;  // pure decay
+  opt->Apply(&batch);
+  EXPECT_FLOAT_EQ(x.At(0, 0), 0.9f);  // 1 - 0.1 * (0 + 1 * 1)
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, Adam's first step is ~lr * sign(grad).
+  OptimizerConfig config;
+  config.kind = OptimizerKind::kAdam;
+  config.learning_rate = 0.01;
+  auto opt = CreateOptimizer(config);
+  Tensor x(1, 2);
+  x.Fill(0.0f);
+  GradientBatch batch;
+  batch.RowGrad(&x, 0)[0] = 5.0f;
+  batch.RowGrad(&x, 0)[1] = -0.001f;
+  opt->Apply(&batch);
+  EXPECT_NEAR(x.At(0, 0), -0.01f, 1e-4);
+  EXPECT_NEAR(x.At(0, 1), 0.01f, 1e-4);
+}
+
+TEST(AdamTest, UntouchedRowsDoNotMove) {
+  OptimizerConfig config;
+  config.kind = OptimizerKind::kAdam;
+  auto opt = CreateOptimizer(config);
+  Tensor x(3, 2);
+  x.Fill(2.0f);
+  GradientBatch batch;
+  batch.RowGrad(&x, 1)[0] = 1.0f;
+  opt->Apply(&batch);
+  EXPECT_FLOAT_EQ(x.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.At(2, 1), 2.0f);
+  EXPECT_NE(x.At(1, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kge/model.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+/// Algebraic invariants of the scoring functions — properties that hold by
+/// construction of each model's math and pin down implementation details
+/// the generic gradcheck cannot (sign conventions, index orientation).
+
+ModelConfig Config(size_t dim = 8) {
+  ModelConfig c;
+  c.num_entities = 6;
+  c.num_relations = 2;
+  c.embedding_dim = dim;
+  c.conve_reshape_height = 2;
+  c.conve_num_filters = 2;
+  return c;
+}
+
+std::unique_ptr<Model> Make(ModelKind kind, uint64_t seed = 44) {
+  Rng rng(seed);
+  return std::move(CreateModel(kind, Config(), &rng)).ValueOrDie("model");
+}
+
+Tensor* Param(Model* model, const std::string& name) {
+  for (const NamedTensor& p : model->Parameters()) {
+    if (p.name == name) return p.tensor;
+  }
+  return nullptr;
+}
+
+TEST(TransEPropertyTest, ScoresAreTranslationInvariant) {
+  // Adding a constant vector c to every entity embedding leaves
+  // s + r - o unchanged, hence every score unchanged.
+  auto model = Make(ModelKind::kTransE);
+  std::vector<double> before;
+  for (EntityId s = 0; s < 6; ++s) before.push_back(model->Score({s, 0, 5}));
+  Tensor* entities = Param(model.get(), "entities");
+  for (size_t row = 0; row < entities->rows(); ++row) {
+    for (size_t i = 0; i < entities->cols(); ++i) {
+      entities->Row(row)[i] += 0.73f;
+    }
+  }
+  for (EntityId s = 0; s < 6; ++s) {
+    EXPECT_NEAR(model->Score({s, 0, 5}), before[s], 1e-5);
+  }
+}
+
+TEST(TransEPropertyTest, ScoresAreNonPositive) {
+  auto model = Make(ModelKind::kTransE);
+  for (EntityId s = 0; s < 6; ++s) {
+    for (EntityId o = 0; o < 6; ++o) {
+      EXPECT_LE(model->Score({s, 0, o}), 0.0);
+    }
+  }
+}
+
+TEST(BilinearPropertyTest, ScoreIsLinearInRelation) {
+  // DistMult, ComplEx, RESCAL and HolE are all linear in r: doubling the
+  // relation row doubles every score.
+  for (ModelKind kind : {ModelKind::kDistMult, ModelKind::kComplEx,
+                         ModelKind::kRescal, ModelKind::kHolE}) {
+    auto model = Make(kind);
+    const Triple t{1, 0, 4};
+    const double before = model->Score(t);
+    Tensor* relations = Param(model.get(), "relations");
+    for (size_t i = 0; i < relations->cols(); ++i) {
+      relations->Row(0)[i] *= 2.0f;
+    }
+    EXPECT_NEAR(model->Score(t), 2.0 * before, 1e-5 + 1e-5 * fabs(before))
+        << ModelKindName(kind);
+  }
+}
+
+TEST(BilinearPropertyTest, ScoreIsLinearInSubject) {
+  for (ModelKind kind : {ModelKind::kDistMult, ModelKind::kComplEx,
+                         ModelKind::kRescal, ModelKind::kHolE}) {
+    auto model = Make(kind);
+    const Triple t{2, 1, 3};
+    const double before = model->Score(t);
+    Tensor* entities = Param(model.get(), "entities");
+    for (size_t i = 0; i < entities->cols(); ++i) {
+      entities->Row(2)[i] *= -3.0f;
+    }
+    EXPECT_NEAR(model->Score(t), -3.0 * before,
+                1e-5 + 1e-5 * fabs(before))
+        << ModelKindName(kind);
+  }
+}
+
+TEST(HolEPropertyTest, ZeroRelationZeroScore) {
+  auto model = Make(ModelKind::kHolE);
+  Param(model.get(), "relations")->Fill(0.0f);
+  for (EntityId s = 0; s < 6; ++s) {
+    EXPECT_DOUBLE_EQ(model->Score({s, 0, (s + 1u) % 6u}), 0.0);
+  }
+}
+
+TEST(RescalPropertyTest, ZeroMatrixZeroScore) {
+  auto model = Make(ModelKind::kRescal);
+  Param(model.get(), "relations")->Fill(0.0f);
+  EXPECT_DOUBLE_EQ(model->Score({0, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(model->Score({3, 1, 2}), 0.0);
+}
+
+TEST(ComplExPropertyTest, ConjugationAntisymmetry) {
+  // Re(<s, r, conj(o)>) with purely imaginary r is antisymmetric under
+  // swapping s and o: score(s, r, o) = -score(o, r, s).
+  auto model = Make(ModelKind::kComplEx);
+  Tensor* relations = Param(model.get(), "relations");
+  const size_t half = model->embedding_dim() / 2;
+  for (size_t k = 0; k < half; ++k) relations->Row(0)[k] = 0.0f;
+  for (EntityId s = 0; s < 5; ++s) {
+    const double forward = model->Score({s, 0, s + 1u});
+    const double backward = model->Score({s + 1u, 0, s});
+    EXPECT_NEAR(forward, -backward, 1e-6);
+  }
+}
+
+TEST(ConvEPropertyTest, ZeroEntityOutputScoreIsBias) {
+  // With the output entity's embedding zeroed, the score is exactly that
+  // entity's bias (hidden . 0 + b_o).
+  auto model = Make(ModelKind::kConvE);
+  Tensor* entities = Param(model.get(), "entities");
+  Tensor* bias = Param(model.get(), "ent_bias");
+  ASSERT_NE(bias, nullptr);
+  for (size_t i = 0; i < entities->cols(); ++i) entities->Row(3)[i] = 0.0f;
+  bias->At(3, 0) = 0.625f;
+  EXPECT_NEAR(model->Score({1, 0, 3}), 0.625, 1e-6);
+}
+
+TEST(ConvEPropertyTest, HiddenIsNonNegative) {
+  // The final ReLU means hidden >= 0; with all-positive object embeddings
+  // and zero bias, scores are then >= 0.
+  auto model = Make(ModelKind::kConvE);
+  Tensor* entities = Param(model.get(), "entities");
+  Tensor* bias = Param(model.get(), "ent_bias");
+  bias->Fill(0.0f);
+  for (size_t i = 0; i < entities->cols(); ++i) {
+    entities->Row(4)[i] = 0.5f;
+  }
+  for (EntityId s = 0; s < 6; ++s) {
+    EXPECT_GE(model->Score({s, 1, 4}), 0.0);
+  }
+}
+
+TEST(AllModelsPropertyTest, ScoresAreFiniteEverywhere) {
+  for (ModelKind kind :
+       {ModelKind::kTransE, ModelKind::kDistMult, ModelKind::kComplEx,
+        ModelKind::kRescal, ModelKind::kHolE, ModelKind::kConvE}) {
+    auto model = Make(kind);
+    for (EntityId s = 0; s < 6; ++s) {
+      for (RelationId r = 0; r < 2; ++r) {
+        for (EntityId o = 0; o < 6; ++o) {
+          EXPECT_TRUE(std::isfinite(model->Score({s, r, o})))
+              << ModelKindName(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllModelsPropertyTest, ParameterCountsMatchArchitecture) {
+  const ModelConfig c = Config();
+  const size_t e = c.num_entities, k = c.num_relations,
+               d = c.embedding_dim;
+  EXPECT_EQ(Make(ModelKind::kTransE)->NumParameters(), e * d + k * d);
+  EXPECT_EQ(Make(ModelKind::kDistMult)->NumParameters(), e * d + k * d);
+  EXPECT_EQ(Make(ModelKind::kComplEx)->NumParameters(), e * d + k * d);
+  EXPECT_EQ(Make(ModelKind::kRescal)->NumParameters(), e * d + k * d * d);
+  EXPECT_EQ(Make(ModelKind::kHolE)->NumParameters(), e * d + k * d);
+  // ConvE: entities + 2k relations (reciprocal) + conv (2 filters x 9 + 2)
+  // + fc (flat x d + d) + entity bias. flat = 2 * (2*2-2) * (4-2) = 8.
+  const size_t flat = 2 * (2 * 2 - 2) * (8 / 2 - 2);
+  EXPECT_EQ(Make(ModelKind::kConvE)->NumParameters(),
+            e * d + 2 * k * d + (2 * 9 + 2) + (flat * d + d) + e);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "kge/model.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+ModelConfig SmallConfig(size_t dim = 8) {
+  ModelConfig c;
+  c.num_entities = 7;
+  c.num_relations = 3;
+  c.embedding_dim = dim;
+  c.conve_reshape_height = 2;
+  c.conve_num_filters = 3;
+  return c;
+}
+
+std::unique_ptr<Model> Make(ModelKind kind, size_t dim = 8,
+                            uint64_t seed = 17) {
+  Rng rng(seed);
+  auto result = CreateModel(kind, SmallConfig(dim), &rng);
+  return std::move(result).ValueOrDie("CreateModel");
+}
+
+TEST(ModelFactoryTest, NamesRoundTrip) {
+  for (ModelKind kind :
+       {ModelKind::kTransE, ModelKind::kDistMult, ModelKind::kComplEx,
+        ModelKind::kRescal, ModelKind::kHolE, ModelKind::kConvE}) {
+    auto back = ModelKindFromName(ModelKindName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(ModelKindFromName("NotAModel").ok());
+}
+
+TEST(ModelFactoryTest, RejectsInvalidConfigs) {
+  Rng rng(1);
+  ModelConfig c = SmallConfig();
+  c.num_entities = 0;
+  EXPECT_FALSE(CreateModel(ModelKind::kTransE, c, &rng).ok());
+
+  c = SmallConfig(7);  // odd dim
+  EXPECT_FALSE(CreateModel(ModelKind::kComplEx, c, &rng).ok());
+
+  c = SmallConfig();
+  c.transe_norm = 3;
+  EXPECT_FALSE(CreateModel(ModelKind::kTransE, c, &rng).ok());
+
+  c = SmallConfig(4);  // width 4/2 = 2 < 3
+  EXPECT_FALSE(CreateModel(ModelKind::kConvE, c, &rng).ok());
+
+  c = SmallConfig();
+  c.conve_num_filters = 0;
+  EXPECT_FALSE(CreateModel(ModelKind::kConvE, c, &rng).ok());
+}
+
+TEST(ModelFactoryTest, ReportsDims) {
+  auto m = Make(ModelKind::kDistMult);
+  EXPECT_EQ(m->num_entities(), 7u);
+  EXPECT_EQ(m->num_relations(), 3u);
+  EXPECT_EQ(m->embedding_dim(), 8u);
+  EXPECT_GT(m->NumParameters(), 0u);
+}
+
+TEST(ModelFactoryTest, ConvEReportsLogicalRelationCount) {
+  auto m = Make(ModelKind::kConvE);
+  EXPECT_EQ(m->num_relations(), 3u);  // table holds 6 rows internally
+}
+
+/// ScoreObjects/ScoreSubjects must agree elementwise with Score for every
+/// model whose heads coincide (all but ConvE's subject head, checked
+/// separately).
+class BatchScoringConsistencyTest
+    : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(BatchScoringConsistencyTest, ScoreObjectsMatchesScore) {
+  auto m = Make(GetParam());
+  std::vector<double> scores;
+  for (RelationId r = 0; r < m->num_relations(); ++r) {
+    for (EntityId s = 0; s < m->num_entities(); ++s) {
+      m->ScoreObjects(s, r, &scores);
+      ASSERT_EQ(scores.size(), m->num_entities());
+      for (EntityId o = 0; o < m->num_entities(); ++o) {
+        EXPECT_NEAR(scores[o], m->Score({s, r, o}), 1e-5)
+            << ModelKindName(GetParam()) << " s=" << s << " r=" << r
+            << " o=" << o;
+      }
+    }
+  }
+}
+
+TEST_P(BatchScoringConsistencyTest, ScoreSubjectsMatchesScore) {
+  const ModelKind kind = GetParam();
+  if (kind == ModelKind::kConvE) {
+    GTEST_SKIP() << "ConvE subject head is the reciprocal-relation scorer";
+  }
+  auto m = Make(kind);
+  std::vector<double> scores;
+  for (RelationId r = 0; r < m->num_relations(); ++r) {
+    for (EntityId o = 0; o < m->num_entities(); ++o) {
+      m->ScoreSubjects(r, o, &scores);
+      for (EntityId s = 0; s < m->num_entities(); ++s) {
+        EXPECT_NEAR(scores[s], m->Score({s, r, o}), 1e-5);
+      }
+    }
+  }
+}
+
+TEST_P(BatchScoringConsistencyTest, DeterministicScoring) {
+  auto a = Make(GetParam(), 8, 99);
+  auto b = Make(GetParam(), 8, 99);
+  for (EntityId s = 0; s < 7; ++s) {
+    EXPECT_EQ(a->Score({s, 1, (s + 1u) % 7u}), b->Score({s, 1, (s + 1u) % 7u}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BatchScoringConsistencyTest,
+    ::testing::Values(ModelKind::kTransE, ModelKind::kDistMult,
+                      ModelKind::kComplEx, ModelKind::kRescal,
+                      ModelKind::kHolE, ModelKind::kConvE),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return ModelKindName(info.param);
+    });
+
+TEST(TransEScoringTest, PerfectTranslationScoresZero) {
+  // Force o = s + r; the score (negative distance) must be exactly 0,
+  // which is the model's maximum.
+  auto m = Make(ModelKind::kTransE);
+  auto params = m->Parameters();
+  Tensor* entities = params[0].tensor;
+  Tensor* relations = params[1].tensor;
+  for (size_t i = 0; i < m->embedding_dim(); ++i) {
+    entities->Row(2)[i] = entities->Row(1)[i] + relations->Row(0)[i];
+  }
+  // Float storage rounds s + r, so the distance is zero only to float
+  // precision.
+  EXPECT_NEAR(m->Score({1, 0, 2}), 0.0, 1e-6);
+  EXPECT_LT(m->Score({1, 0, 3}), -1e-3);
+}
+
+TEST(TransEScoringTest, L2NormOption) {
+  Rng rng(5);
+  ModelConfig c = SmallConfig();
+  c.transe_norm = 2;
+  auto m = std::move(CreateModel(ModelKind::kTransE, c, &rng))
+               .ValueOrDie("transe l2");
+  // Same setup: score is -sqrt(sum of squares) <= 0.
+  EXPECT_LE(m->Score({0, 0, 1}), 0.0);
+}
+
+TEST(DistMultScoringTest, SymmetricInSubjectObject) {
+  // DistMult cannot distinguish (s, r, o) from (o, r, s) — the paper's
+  // stated limitation.
+  auto m = Make(ModelKind::kDistMult);
+  for (RelationId r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(m->Score({2, r, 5}), m->Score({5, r, 2}));
+  }
+}
+
+TEST(ComplExScoringTest, AsymmetricInGeneral) {
+  auto m = Make(ModelKind::kComplEx);
+  bool any_asymmetric = false;
+  for (EntityId s = 0; s < 6 && !any_asymmetric; ++s) {
+    if (std::fabs(m->Score({s, 0, s + 1u}) - m->Score({s + 1u, 0, s})) >
+        1e-9) {
+      any_asymmetric = true;
+    }
+  }
+  EXPECT_TRUE(any_asymmetric);
+}
+
+TEST(ComplExScoringTest, RealRelationReducesToDistMultBehavior) {
+  // With zero imaginary parts everywhere, ComplEx is DistMult on the real
+  // half, hence symmetric.
+  auto m = Make(ModelKind::kComplEx);
+  auto params = m->Parameters();
+  const size_t half = m->embedding_dim() / 2;
+  for (const NamedTensor& p : params) {
+    for (size_t row = 0; row < p.tensor->rows(); ++row) {
+      for (size_t i = half; i < m->embedding_dim(); ++i) {
+        p.tensor->Row(row)[i] = 0.0f;
+      }
+    }
+  }
+  EXPECT_NEAR(m->Score({1, 0, 2}), m->Score({2, 0, 1}), 1e-6);
+}
+
+TEST(RescalScoringTest, IdentityRelationGivesDotProduct) {
+  auto m = Make(ModelKind::kRescal);
+  auto params = m->Parameters();
+  Tensor* entities = params[0].tensor;
+  Tensor* relations = params[1].tensor;
+  const size_t dim = m->embedding_dim();
+  // R_0 = I
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      relations->Row(0)[i * dim + j] = (i == j) ? 1.0f : 0.0f;
+    }
+  }
+  double dot = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += static_cast<double>(entities->Row(3)[i]) * entities->Row(4)[i];
+  }
+  EXPECT_NEAR(m->Score({3, 0, 4}), dot, 1e-6);
+}
+
+TEST(HolEScoringTest, MatchesDirectDefinition) {
+  auto m = Make(ModelKind::kHolE);
+  auto params = m->Parameters();
+  const Tensor* entities = params[0].tensor;
+  const Tensor* relations = params[1].tensor;
+  const size_t dim = m->embedding_dim();
+  const float* s = entities->Row(1);
+  const float* r = relations->Row(2);
+  const float* o = entities->Row(4);
+  double expected = 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    double corr = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      corr += static_cast<double>(s[i]) * o[(i + k) % dim];
+    }
+    expected += static_cast<double>(r[k]) * corr;
+  }
+  EXPECT_NEAR(m->Score({1, 2, 4}), expected, 1e-9);
+}
+
+TEST(ConvETest, TrainingScoreAveragesBothDirections) {
+  auto m = Make(ModelKind::kConvE);
+  // TrainingScore is 0.5 * (canonical + inverse); the canonical part alone
+  // is Score, so the two generally differ.
+  const Triple t{1, 0, 2};
+  std::vector<double> subj_scores;
+  m->ScoreSubjects(t.relation, t.object, &subj_scores);
+  const double inverse_part = subj_scores[t.subject];
+  EXPECT_NEAR(m->TrainingScore(t), 0.5 * (m->Score(t) + inverse_part),
+              1e-9);
+}
+
+TEST(ConvETest, NonConvModelsTrainingScoreEqualsScore) {
+  for (ModelKind kind : {ModelKind::kTransE, ModelKind::kDistMult,
+                         ModelKind::kComplEx, ModelKind::kRescal,
+                         ModelKind::kHolE}) {
+    auto m = Make(kind);
+    const Triple t{0, 1, 3};
+    EXPECT_DOUBLE_EQ(m->TrainingScore(t), m->Score(t)) << ModelKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kge/grad.h"
+#include "kge/tensor.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+TEST(TensorTest, ShapeAndZeroInit) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, RowAccess) {
+  Tensor t(2, 3);
+  t.At(1, 2) = 7.0f;
+  EXPECT_EQ(t.Row(1)[2], 7.0f);
+  EXPECT_EQ(t.At(1, 2), 7.0f);
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(TensorTest, FillSetsAll) {
+  Tensor t(2, 2);
+  t.Fill(3.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(TensorTest, InitUniformRespectsRange) {
+  Tensor t(10, 10);
+  Rng rng(1);
+  t.InitUniform(&rng, -0.5f, 0.5f);
+  bool any_nonzero = false;
+  for (float v : t.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+    if (v != 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(TensorTest, InitXavierBound) {
+  Tensor t(8, 16);
+  Rng rng(2);
+  t.InitXavierUniform(&rng, 16, 16);
+  const float bound = std::sqrt(6.0f / 32.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(TensorTest, InitNormalMoments) {
+  Tensor t(100, 100);
+  Rng rng(3);
+  t.InitNormal(&rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  for (float v : t.data()) sum += v;
+  EXPECT_NEAR(sum / t.size(), 1.0, 0.05);
+}
+
+TEST(GradientBatchTest, RowGradZeroInitialized) {
+  Tensor t(4, 3);
+  GradientBatch batch;
+  const float* g = batch.RowGrad(&t, 2);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(g[i], 0.0f);
+}
+
+TEST(GradientBatchTest, AccumulateRowAddsScaled) {
+  Tensor t(4, 3);
+  GradientBatch batch;
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  batch.AccumulateRow(&t, 1, values, 3, 2.0f);
+  batch.AccumulateRow(&t, 1, values, 3, -1.0f);
+  const float* g = batch.RowGrad(&t, 1);
+  EXPECT_EQ(g[0], 1.0f);
+  EXPECT_EQ(g[1], 2.0f);
+  EXPECT_EQ(g[2], 3.0f);
+}
+
+TEST(GradientBatchTest, RowsForTracksTouchedRows) {
+  Tensor t(4, 2);
+  GradientBatch batch;
+  EXPECT_EQ(batch.RowsFor(&t), nullptr);
+  batch.RowGrad(&t, 0);
+  batch.RowGrad(&t, 3);
+  const auto* rows = batch.RowsFor(&t);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_TRUE(rows->count(0));
+  EXPECT_TRUE(rows->count(3));
+}
+
+TEST(GradientBatchTest, TouchedTensors) {
+  Tensor a(2, 2), b(2, 2);
+  GradientBatch batch;
+  EXPECT_TRUE(batch.TouchedTensors().empty());
+  batch.RowGrad(&a, 0);
+  batch.RowGrad(&b, 1);
+  EXPECT_EQ(batch.TouchedTensors().size(), 2u);
+}
+
+TEST(GradientBatchTest, ClearResets) {
+  Tensor t(2, 2);
+  GradientBatch batch;
+  batch.RowGrad(&t, 0)[0] = 5.0f;
+  batch.Clear();
+  EXPECT_EQ(batch.RowsFor(&t), nullptr);
+  EXPECT_EQ(batch.RowGrad(&t, 0)[0], 0.0f);
+}
+
+TEST(GradientBatchTest, RepeatedRowGradReturnsSameBuffer) {
+  Tensor t(2, 2);
+  GradientBatch batch;
+  float* g1 = batch.RowGrad(&t, 1);
+  g1[0] = 9.0f;
+  float* g2 = batch.RowGrad(&t, 1);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g2[0], 9.0f);
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,180 @@
+#include "kge/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "kge/evaluator.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+/// A tiny dense KG that a model can memorize in a few epochs.
+Dataset TinyDataset() {
+  SyntheticConfig c;
+  c.name = "tiny";
+  c.num_entities = 40;
+  c.num_relations = 3;
+  c.num_train = 300;
+  c.num_valid = 15;
+  c.num_test = 15;
+  c.seed = 5;
+  return std::move(GenerateSyntheticDataset(c)).ValueOrDie("tiny dataset");
+}
+
+TrainerConfig FastConfig(LossKind loss) {
+  TrainerConfig t;
+  t.epochs = 15;
+  t.batch_size = 64;
+  t.negatives_per_positive = 2;
+  t.loss = loss;
+  t.optimizer.learning_rate = 0.05;
+  t.seed = 11;
+  return t;
+}
+
+TEST(TrainerTest, RejectsEmptyTrainingSet) {
+  TripleStore empty(5, 1);
+  Rng rng(1);
+  ModelConfig mc;
+  mc.num_entities = 5;
+  mc.num_relations = 1;
+  mc.embedding_dim = 8;
+  auto model = std::move(CreateModel(ModelKind::kTransE, mc, &rng))
+                   .ValueOrDie("model");
+  Trainer trainer(model.get(), &empty, FastConfig(LossKind::kMarginRanking));
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+TEST(TrainerTest, RejectsZeroHyperparameters) {
+  const Dataset d = TinyDataset();
+  Rng rng(1);
+  ModelConfig mc;
+  mc.num_entities = d.num_entities();
+  mc.num_relations = d.num_relations();
+  mc.embedding_dim = 8;
+  auto model = std::move(CreateModel(ModelKind::kTransE, mc, &rng))
+                   .ValueOrDie("model");
+  TrainerConfig bad = FastConfig(LossKind::kMarginRanking);
+  bad.epochs = 0;
+  EXPECT_FALSE(Trainer(model.get(), &d.train(), bad).Train().ok());
+  bad = FastConfig(LossKind::kMarginRanking);
+  bad.batch_size = 0;
+  EXPECT_FALSE(Trainer(model.get(), &d.train(), bad).Train().ok());
+  bad = FastConfig(LossKind::kMarginRanking);
+  bad.negatives_per_positive = 0;
+  EXPECT_FALSE(Trainer(model.get(), &d.train(), bad).Train().ok());
+}
+
+TEST(TrainerTest, ReportsOneStatPerEpoch) {
+  const Dataset d = TinyDataset();
+  ModelConfig mc;
+  mc.num_entities = d.num_entities();
+  mc.num_relations = d.num_relations();
+  mc.embedding_dim = 8;
+  auto model = TrainModel(ModelKind::kDistMult, mc, d.train(),
+                          FastConfig(LossKind::kSoftplus));
+  ASSERT_TRUE(model.ok());
+}
+
+/// Training must reduce the loss for every model x loss combination used by
+/// the experiments.
+struct TrainParam {
+  ModelKind kind;
+  LossKind loss;
+};
+
+class TrainerLossDecreaseTest : public ::testing::TestWithParam<TrainParam> {
+};
+
+TEST_P(TrainerLossDecreaseTest, LossDecreases) {
+  const Dataset d = TinyDataset();
+  ModelConfig mc;
+  mc.num_entities = d.num_entities();
+  mc.num_relations = d.num_relations();
+  mc.embedding_dim = 8;
+  mc.conve_reshape_height = 2;
+  mc.conve_num_filters = 3;
+  Rng rng(21);
+  auto model = std::move(CreateModel(GetParam().kind, mc, &rng))
+                   .ValueOrDie("model");
+  Trainer trainer(model.get(), &d.train(), FastConfig(GetParam().loss));
+  auto stats = trainer.Train();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().size(), 15u);
+  const double first = stats.value().front().mean_loss;
+  const double last = stats.value().back().mean_loss;
+  EXPECT_LT(last, first) << ModelKindName(GetParam().kind) << " with "
+                         << LossKindName(GetParam().loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndLosses, TrainerLossDecreaseTest,
+    ::testing::Values(
+        TrainParam{ModelKind::kTransE, LossKind::kMarginRanking},
+        TrainParam{ModelKind::kDistMult, LossKind::kSoftplus},
+        TrainParam{ModelKind::kDistMult, LossKind::kBinaryCrossEntropy},
+        TrainParam{ModelKind::kComplEx, LossKind::kSoftplus},
+        TrainParam{ModelKind::kRescal, LossKind::kSoftplus},
+        TrainParam{ModelKind::kHolE, LossKind::kSoftplus},
+        TrainParam{ModelKind::kConvE, LossKind::kBinaryCrossEntropy}),
+    [](const ::testing::TestParamInfo<TrainParam>& info) {
+      return std::string(ModelKindName(info.param.kind)) + "_" +
+             LossKindName(info.param.loss);
+    });
+
+TEST(TrainerTest, TrainingMemorizesTrainingTriples) {
+  // Held-out synthetic triples carry little learnable signal, so the
+  // machinery check is memorization: ranks of *training* triples must
+  // improve massively over an untrained model.
+  const Dataset d = TinyDataset();
+  TripleStore probe(d.num_entities(), d.num_relations());
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(probe.Add(d.train().triples()[i]).ok());
+  }
+  ModelConfig mc;
+  mc.num_entities = d.num_entities();
+  mc.num_relations = d.num_relations();
+  mc.embedding_dim = 16;
+  EvalConfig raw;
+  raw.filtered = false;
+
+  Rng rng(33);
+  auto untrained = std::move(CreateModel(ModelKind::kComplEx, mc, &rng))
+                       .ValueOrDie("untrained");
+  auto untrained_metrics = EvaluateLinkPrediction(*untrained, d, probe, raw);
+  ASSERT_TRUE(untrained_metrics.ok());
+
+  TrainerConfig tc = FastConfig(LossKind::kSoftplus);
+  tc.epochs = 40;
+  tc.negatives_per_positive = 4;
+  auto trained = TrainModel(ModelKind::kComplEx, mc, d.train(), tc);
+  ASSERT_TRUE(trained.ok());
+  auto trained_metrics =
+      EvaluateLinkPrediction(*trained.value(), d, probe, raw);
+  ASSERT_TRUE(trained_metrics.ok());
+
+  EXPECT_GT(trained_metrics.value().mrr, 0.3);
+  EXPECT_GT(trained_metrics.value().mrr,
+            3.0 * untrained_metrics.value().mrr);
+}
+
+TEST(TrainerTest, DeterministicUnderSeed) {
+  const Dataset d = TinyDataset();
+  ModelConfig mc;
+  mc.num_entities = d.num_entities();
+  mc.num_relations = d.num_relations();
+  mc.embedding_dim = 8;
+  TrainerConfig tc = FastConfig(LossKind::kMarginRanking);
+  tc.epochs = 5;
+  auto a = TrainModel(ModelKind::kTransE, mc, d.train(), tc);
+  auto b = TrainModel(ModelKind::kTransE, mc, d.train(), tc);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (EntityId s = 0; s < 10; ++s) {
+    const Triple t{s, 0, (s + 3u) % 40u};
+    EXPECT_EQ(a.value()->Score(t), b.value()->Score(t));
+  }
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,122 @@
+#include "util/alias_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace kgfd {
+namespace {
+
+TEST(AliasSamplerTest, RejectsEmptyWeights) {
+  EXPECT_FALSE(AliasSampler::Build({}).ok());
+}
+
+TEST(AliasSamplerTest, RejectsNegativeWeights) {
+  EXPECT_FALSE(AliasSampler::Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasSamplerTest, RejectsAllZeroWeights) {
+  EXPECT_FALSE(AliasSampler::Build({0.0, 0.0}).ok());
+}
+
+TEST(AliasSamplerTest, SingleElementAlwaysSampled) {
+  auto sampler = AliasSampler::Build({3.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.value().Sample(&rng), 0u);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  auto sampler = AliasSampler::Build({1.0, 0.0, 1.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(sampler.value().Sample(&rng), 1u);
+  }
+}
+
+TEST(AliasSamplerTest, NormalizedProbabilitiesSumToOne) {
+  auto sampler = AliasSampler::Build({2.0, 3.0, 5.0});
+  ASSERT_TRUE(sampler.ok());
+  double sum = 0.0;
+  for (size_t i = 0; i < sampler.value().size(); ++i) {
+    sum += sampler.value().Probability(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(sampler.value().Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(sampler.value().Probability(2), 0.5, 1e-12);
+}
+
+TEST(AliasSamplerTest, SampleManyCountMatches) {
+  auto sampler = AliasSampler::Build({1.0, 1.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  EXPECT_EQ(sampler.value().SampleMany(57, &rng).size(), 57u);
+}
+
+TEST(AliasSamplerTest, DeterministicUnderSeed) {
+  auto s1 = AliasSampler::Build({1.0, 2.0, 3.0});
+  auto s2 = AliasSampler::Build({1.0, 2.0, 3.0});
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  Rng a(77), b(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s1.value().Sample(&a), s2.value().Sample(&b));
+  }
+}
+
+/// Property sweep: the empirical distribution of draws matches the weight
+/// distribution (chi-square below a generous critical value).
+class AliasSamplerDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasSamplerDistributionTest, EmpiricalDistributionMatchesWeights) {
+  const std::vector<double>& weights = GetParam();
+  auto sampler = AliasSampler::Build(weights);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(12345);
+  constexpr size_t kDraws = 200000;
+  std::vector<size_t> observed(weights.size(), 0);
+  for (size_t i = 0; i < kDraws; ++i) {
+    ++observed[sampler.value().Sample(&rng)];
+  }
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<double> expected(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    expected[i] = weights[i] / total;
+  }
+  auto chi2 = ChiSquareStatistic(observed, expected);
+  ASSERT_TRUE(chi2.ok()) << chi2.status().ToString();
+  // p=0.999 critical value for up to 20 dof is < 46; use a wide margin so
+  // the test is deterministic-by-seed yet meaningful.
+  EXPECT_LT(chi2.value(), 60.0)
+      << "chi2 too large for " << weights.size() << " buckets";
+}
+
+std::vector<double> ZipfLike(size_t n, double exponent) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, AliasSamplerDistributionTest,
+    ::testing::Values(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                      std::vector<double>{0.5, 0.0, 0.5},
+                      std::vector<double>{10.0, 1.0, 1.0, 1.0, 1.0},
+                      ZipfLike(10, 1.0), ZipfLike(20, 0.5),
+                      std::vector<double>{1e-6, 1e6},
+                      std::vector<double>(16, 1.0)));
+
+}  // namespace
+}  // namespace kgfd

@@ -1,0 +1,167 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+TEST(SummarizeTest, EmptySampleIsZeroed) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic example, population stddev
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(SummarizeTest, MedianInterpolates) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(PercentileTest, EdgesAndMiddle) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 20.0);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 4
+  h.Add(5.0);   // bin 2 (half-open buckets)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(4), 10.0);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.AddAll({0.1, 0.1, 0.9});
+  const std::string art = h.ToAscii(10);
+  size_t lines = 0;
+  for (char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, ZeroBinsClampedToOne) {
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.5);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(ChiSquareTest, PerfectFitIsSmall) {
+  const std::vector<size_t> observed = {250, 250, 250, 250};
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  auto result = ChiSquareStatistic(observed, probs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value(), 0.0);
+}
+
+TEST(ChiSquareTest, KnownStatistic) {
+  // observed {60, 40}, expected 50/50 => chi2 = 100/50 + 100/50 = 4.
+  auto result = ChiSquareStatistic({60, 40}, {0.5, 0.5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value(), 4.0);
+}
+
+TEST(ChiSquareTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(ChiSquareStatistic({1, 2}, {1.0}).ok());
+}
+
+TEST(ChiSquareTest, RejectsEmptyObservations) {
+  EXPECT_FALSE(ChiSquareStatistic({0, 0}, {0.5, 0.5}).ok());
+}
+
+TEST(ChiSquareTest, RejectsMassInZeroBucket) {
+  EXPECT_FALSE(ChiSquareStatistic({5, 5}, {1.0, 0.0}).ok());
+}
+
+TEST(ChiSquareTest, ZeroBucketWithZeroObservationsOk) {
+  auto result = ChiSquareStatistic({10, 0}, {1.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value(), 0.0);
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, MismatchedOrShortInputsGiveZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {1.0}), 0.0);
+}
+
+TEST(PearsonTest, IndependentSamplesNearZero) {
+  Rng rng(5);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace kgfd

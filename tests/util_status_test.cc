@@ -1,0 +1,114 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kgfd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::IoError("disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), 7);
+}
+
+Status FailingFunction() { return Status::Internal("inner"); }
+
+Status PropagatingFunction() {
+  KGFD_RETURN_NOT_OK(FailingFunction());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  const Status s = PropagatingFunction();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::OutOfRange("bad");
+  return 5;
+}
+
+Result<int> ConsumeValue(bool fail) {
+  KGFD_ASSIGN_OR_RETURN(int v, ProduceValue(fail));
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssigns) {
+  Result<int> r = ConsumeValue(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 10);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagates) {
+  Result<int> r = ConsumeValue(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH((void)Result<int>(Status::OK()), "OK status");
+}
+
+TEST(StatusDeathTest, AbortIfNotOkAborts) {
+  EXPECT_DEATH(Status::Internal("boom").AbortIfNotOk("ctx"), "boom");
+}
+
+}  // namespace
+}  // namespace kgfd

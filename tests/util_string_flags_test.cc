@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace kgfd {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nothing"), "nothing");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  Flags ParseOk(std::vector<const char*> args) {
+    args.insert(args.begin(), "prog");
+    auto result =
+        Flags::Parse(static_cast<int>(args.size()),
+                     const_cast<char**>(args.data()));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  const Flags f = ParseOk({"--scale=20", "--name=test"});
+  EXPECT_EQ(f.GetInt("scale", 0), 20);
+  EXPECT_EQ(f.GetString("name", ""), "test");
+}
+
+TEST_F(FlagsTest, SpaceSyntax) {
+  const Flags f = ParseOk({"--scale", "30"});
+  EXPECT_EQ(f.GetInt("scale", 0), 30);
+}
+
+TEST_F(FlagsTest, BareFlagIsTrue) {
+  const Flags f = ParseOk({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST_F(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = ParseOk({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("missing", "d"), "d");
+  EXPECT_FALSE(f.GetBool("missing", false));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST_F(FlagsTest, BoolFalseSpellings) {
+  const Flags f = ParseOk({"--a=false", "--b=0", "--c=yes"});
+  EXPECT_FALSE(f.GetBool("a", true));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+}
+
+TEST_F(FlagsTest, DoubleParsing) {
+  const Flags f = ParseOk({"--rate=0.125"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 0.125);
+}
+
+TEST(FlagsErrorTest, PositionalArgumentRejected) {
+  const char* argv[] = {"prog", "positional"};
+  auto result = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace kgfd

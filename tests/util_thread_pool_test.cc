@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kgfd {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversFullRangeWithPool) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, hits.size(), [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);  // each index exactly once
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, hits.size(), [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ZeroElementsNeverInvokesBody) {
+  ThreadPool pool(2);
+  bool invoked = false;
+  ParallelFor(&pool, 0, [&invoked](size_t, size_t) { invoked = true; });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  ThreadPool pool(8);
+  int calls = 0;
+  // n < 2 * workers falls back to a single inline call.
+  ParallelFor(&pool, 3, [&calls](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 5);
+}
+
+}  // namespace
+}  // namespace kgfd

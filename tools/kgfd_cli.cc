@@ -1,0 +1,345 @@
+/// kgfd command-line tool: the full paper workflow over on-disk datasets.
+///
+///   kgfd_cli generate --preset FB15K-237 --scale 100 --out data/fb/
+///   kgfd_cli train    --data data/fb/ --model TransE --dim 32
+///                     --epochs 25 --checkpoint model.bin
+///   kgfd_cli eval     --data data/fb/ --checkpoint model.bin
+///   kgfd_cli discover --data data/fb/ --checkpoint model.bin
+///                     --strategy ENTITY_FREQUENCY --top_n 500
+///                     --max_candidates 500 --out facts.tsv
+///
+/// Datasets are LibKGE-style directories (train.txt / valid.txt /
+/// test.txt, tab-separated names). Checkpoints are kgfd binary model
+/// files; discovered facts are written as TSV with a rank column.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "kgfd.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgfd {
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kgfd_cli <generate|train|tune|eval|discover|run> [--flags]\n"
+      "  run:      --config FILE   # declarative job (see core/job.h)\n"
+      "  generate: --preset NAME --scale N --out DIR [--seed N]\n"
+      "  train:    --data DIR --model NAME --checkpoint FILE\n"
+      "            [--dim N] [--epochs N] [--lr X] [--loss NAME]\n"
+      "            [--batch N] [--negatives N] [--seed N]\n"
+      "  tune:     --data DIR --model NAME --checkpoint FILE\n"
+      "            [--dims A,B,..] [--lrs A,B,..] [--epochs N]\n"
+      "  eval:     --data DIR --checkpoint FILE [--raw] [--buckets N]\n"
+      "  discover: --data DIR --checkpoint FILE [--strategy NAME]\n"
+      "            [--top_n N] [--max_candidates N] [--out FILE]\n"
+      "            [--type_filter] [--seed N]\n");
+}
+
+Result<Dataset> LoadData(const Flags& flags) {
+  const std::string dir = flags.GetString("data", "");
+  if (dir.empty()) return Status::InvalidArgument("--data is required");
+  return LoadDatasetDir(dir, dir);
+}
+
+int Generate(const Flags& flags) {
+  const std::string preset = flags.GetString("preset", "FB15K-237");
+  const double scale = flags.GetDouble("scale", 100.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out directory is required\n");
+    return 1;
+  }
+  SyntheticConfig config;
+  bool found = false;
+  for (const SyntheticConfig& c : AllDatasetConfigs(scale, seed)) {
+    if (c.name == preset) {
+      config = c;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "unknown preset '%s' (FB15K-237, WN18RR, YAGO3-10, "
+                 "CoDEx-L)\n",
+                 preset.c_str());
+    return 1;
+  }
+  auto dataset = GenerateSyntheticDataset(config);
+  dataset.status().AbortIfNotOk("generate");
+  // Synthetic data uses dense ids; give them stable names for the TSV.
+  Dataset& d = dataset.value();
+  for (size_t e = 0; e < d.num_entities(); ++e) {
+    d.entity_vocab().AddOrGet("e" + std::to_string(e));
+  }
+  for (size_t r = 0; r < d.num_relations(); ++r) {
+    d.relation_vocab().AddOrGet("r" + std::to_string(r));
+  }
+  SaveDatasetDir(d, out).AbortIfNotOk("save dataset");
+  std::printf("wrote %s (%zu/%zu/%zu triples, %zu entities, %zu "
+              "relations) to %s\n",
+              preset.c_str(), d.train().size(), d.valid().size(),
+              d.test().size(), d.num_entities(), d.num_relations(),
+              out.c_str());
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  auto dataset = LoadData(flags);
+  dataset.status().AbortIfNotOk("load dataset");
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  if (checkpoint.empty()) {
+    std::fprintf(stderr, "--checkpoint output path is required\n");
+    return 1;
+  }
+  auto kind = ModelKindFromName(flags.GetString("model", "TransE"));
+  kind.status().AbortIfNotOk("model name");
+
+  ModelConfig model_config;
+  model_config.num_entities = dataset.value().num_entities();
+  model_config.num_relations = dataset.value().num_relations();
+  model_config.embedding_dim =
+      static_cast<size_t>(flags.GetInt("dim", 32));
+
+  TrainerConfig trainer_config;
+  trainer_config.epochs = static_cast<size_t>(flags.GetInt("epochs", 25));
+  trainer_config.batch_size =
+      static_cast<size_t>(flags.GetInt("batch", 128));
+  trainer_config.negatives_per_positive =
+      static_cast<size_t>(flags.GetInt("negatives", 2));
+  trainer_config.optimizer.learning_rate = flags.GetDouble("lr", 0.03);
+  trainer_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  trainer_config.log_every_epochs = 5;
+  auto loss = LossKindFromName(flags.GetString(
+      "loss", kind.value() == ModelKind::kTransE ? "margin_ranking"
+                                                 : "softplus"));
+  loss.status().AbortIfNotOk("loss name");
+  trainer_config.loss = loss.value();
+
+  auto model = TrainModel(kind.value(), model_config,
+                          dataset.value().train(), trainer_config);
+  model.status().AbortIfNotOk("train");
+  SaveModel(model.value().get(), model_config, checkpoint)
+      .AbortIfNotOk("save checkpoint");
+  std::printf("trained %s (%zu parameters) -> %s\n",
+              model.value()->name().c_str(),
+              model.value()->NumParameters(), checkpoint.c_str());
+  return 0;
+}
+
+int Tune(const Flags& flags) {
+  auto dataset = LoadData(flags);
+  dataset.status().AbortIfNotOk("load dataset");
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  if (checkpoint.empty()) {
+    std::fprintf(stderr, "--checkpoint output path is required\n");
+    return 1;
+  }
+  auto kind = ModelKindFromName(flags.GetString("model", "TransE"));
+  kind.status().AbortIfNotOk("model name");
+
+  ModelConfig model_config;
+  model_config.num_entities = dataset.value().num_entities();
+  model_config.num_relations = dataset.value().num_relations();
+  model_config.embedding_dim = 32;
+  TrainerConfig trainer_config;
+  trainer_config.epochs = static_cast<size_t>(flags.GetInt("epochs", 10));
+  trainer_config.loss = kind.value() == ModelKind::kTransE
+                            ? LossKind::kMarginRanking
+                            : LossKind::kSoftplus;
+  trainer_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  GridSearchSpace space;
+  for (const std::string& v :
+       Split(flags.GetString("dims", "16,32"), ',')) {
+    space.embedding_dims.push_back(
+        static_cast<size_t>(std::strtoll(v.c_str(), nullptr, 10)));
+  }
+  for (const std::string& v :
+       Split(flags.GetString("lrs", "0.01,0.05"), ',')) {
+    space.learning_rates.push_back(std::strtod(v.c_str(), nullptr));
+  }
+
+  auto result = RunGridSearch(kind.value(), dataset.value(), model_config,
+                              trainer_config, space);
+  result.status().AbortIfNotOk("grid search");
+  Table table({"dim", "lr", "loss", "valid_MRR", "train_s"});
+  for (const GridTrial& trial : result.value().trials) {
+    table.AddRow({Table::Fmt(trial.model_config.embedding_dim),
+                  Table::Fmt(trial.trainer_config.optimizer.learning_rate,
+                             3),
+                  LossKindName(trial.trainer_config.loss),
+                  Table::Fmt(trial.valid_mrr, 4),
+                  Table::Fmt(trial.train_seconds, 2)});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  const GridTrial& best = result.value().best();
+  std::printf("best: dim=%zu lr=%.3f (valid MRR %.4f)\n",
+              best.model_config.embedding_dim,
+              best.trainer_config.optimizer.learning_rate, best.valid_mrr);
+  SaveModel(result.value().best_model.get(), best.model_config, checkpoint)
+      .AbortIfNotOk("save checkpoint");
+  std::printf("best model -> %s\n", checkpoint.c_str());
+  return 0;
+}
+
+int Eval(const Flags& flags) {
+  auto dataset = LoadData(flags);
+  dataset.status().AbortIfNotOk("load dataset");
+  auto model = LoadModel(flags.GetString("checkpoint", ""));
+  model.status().AbortIfNotOk("load checkpoint");
+  EvalConfig config;
+  config.filtered = !flags.GetBool("raw", false);
+  auto metrics = EvaluateLinkPrediction(*model.value(), dataset.value(),
+                                        dataset.value().test(), config);
+  metrics.status().AbortIfNotOk("evaluate");
+  Table table({"metric", "value"});
+  table.AddRow({"protocol", config.filtered ? "filtered" : "raw"});
+  table.AddRow({"MRR", Table::Fmt(metrics.value().mrr, 4)});
+  table.AddRow({"MR", Table::Fmt(metrics.value().mean_rank, 1)});
+  table.AddRow({"Hits@1", Table::Fmt(metrics.value().hits_at_1, 4)});
+  table.AddRow({"Hits@3", Table::Fmt(metrics.value().hits_at_3, 4)});
+  table.AddRow({"Hits@10", Table::Fmt(metrics.value().hits_at_10, 4)});
+  table.AddRow({"ranks", Table::Fmt(metrics.value().num_ranks)});
+  std::printf("%s", table.ToAscii().c_str());
+
+  const size_t buckets = static_cast<size_t>(flags.GetInt("buckets", 0));
+  if (buckets > 1) {
+    auto stratified = EvaluateByPopularity(
+        *model.value(), dataset.value(), dataset.value().test(), buckets,
+        config);
+    stratified.status().AbortIfNotOk("stratified evaluation");
+    Table strat({"popularity bucket", "max degree", "MRR", "Hits@10",
+                 "ranks"});
+    for (size_t b = 0; b < buckets; ++b) {
+      const LinkPredictionMetrics& m = stratified.value().buckets[b];
+      strat.AddRow({"#" + std::to_string(b),
+                    Table::Fmt(size_t{
+                        stratified.value().bucket_max_degree[b]}),
+                    Table::Fmt(m.mrr, 4), Table::Fmt(m.hits_at_10, 4),
+                    Table::Fmt(m.num_ranks)});
+    }
+    std::printf("\nby predicted-entity popularity:\n%s",
+                strat.ToAscii().c_str());
+  }
+  return 0;
+}
+
+int Discover(const Flags& flags) {
+  auto dataset = LoadData(flags);
+  dataset.status().AbortIfNotOk("load dataset");
+  auto model = LoadModel(flags.GetString("checkpoint", ""));
+  model.status().AbortIfNotOk("load checkpoint");
+
+  DiscoveryOptions options;
+  auto strategy = SamplingStrategyFromName(
+      flags.GetString("strategy", "ENTITY_FREQUENCY"));
+  strategy.status().AbortIfNotOk("strategy name");
+  options.strategy = strategy.value();
+  options.top_n = static_cast<size_t>(flags.GetInt("top_n", 500));
+  options.max_candidates =
+      static_cast<size_t>(flags.GetInt("max_candidates", 500));
+  options.type_filter = flags.GetBool("type_filter", false);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 123));
+
+  auto result =
+      DiscoverFacts(*model.value(), dataset.value().train(), options);
+  result.status().AbortIfNotOk("discover");
+  std::printf("discovered %zu facts from %zu candidates in %.2fs "
+              "(MRR=%.4f, %.0f facts/hour, long-tail share %.3f)\n",
+              result.value().stats.num_facts,
+              result.value().stats.num_candidates,
+              result.value().stats.total_seconds,
+              DiscoveryMrr(result.value().facts),
+              result.value().stats.FactsPerHour(),
+              LongTailShare(result.value().facts,
+                            dataset.value().train()));
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 1;
+    }
+    const Vocabulary& entities = dataset.value().entity_vocab();
+    const Vocabulary& relations = dataset.value().relation_vocab();
+    auto name = [](const Vocabulary& vocab, uint32_t id) {
+      auto n = vocab.Name(id);
+      return n.ok() ? std::move(n).value() : std::to_string(id);
+    };
+    for (const DiscoveredFact& fact : result.value().facts) {
+      file << name(entities, fact.triple.subject) << '\t'
+           << name(relations, fact.triple.relation) << '\t'
+           << name(entities, fact.triple.object) << '\t' << fact.rank
+           << '\n';
+    }
+    std::printf("facts written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int Run(const Flags& flags) {
+  const std::string path = flags.GetString("config", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--config FILE is required\n");
+    return 1;
+  }
+  auto config = ConfigFile::Load(path);
+  config.status().AbortIfNotOk("load config");
+  auto spec = JobSpec::FromConfig(config.value());
+  spec.status().AbortIfNotOk("parse job spec");
+  auto result = RunJob(spec.value());
+  result.status().AbortIfNotOk("run job");
+
+  std::printf("job complete: %s, %s, %zu parameters\n",
+              result.value().dataset_name.c_str(),
+              ModelKindName(spec.value().model),
+              result.value().model->NumParameters());
+  if (spec.value().run_eval) {
+    std::printf("test: MRR=%.4f Hits@10=%.4f MR=%.1f\n",
+                result.value().test_metrics.mrr,
+                result.value().test_metrics.hits_at_10,
+                result.value().test_metrics.mean_rank);
+  }
+  if (spec.value().run_discovery) {
+    const DiscoveryResult& d = result.value().discovery;
+    std::printf("discovery: %zu facts, MRR=%.4f, %.2fs, %.0f facts/hour\n",
+                d.stats.num_facts, DiscoveryMrr(d.facts),
+                d.stats.total_seconds, d.stats.FactsPerHour());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgfd
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    kgfd::PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  auto flags = kgfd::Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    kgfd::PrintUsage();
+    return 1;
+  }
+  if (command == "generate") return kgfd::Generate(flags.value());
+  if (command == "train") return kgfd::Train(flags.value());
+  if (command == "tune") return kgfd::Tune(flags.value());
+  if (command == "eval") return kgfd::Eval(flags.value());
+  if (command == "discover") return kgfd::Discover(flags.value());
+  if (command == "run") return kgfd::Run(flags.value());
+  kgfd::PrintUsage();
+  return 1;
+}
