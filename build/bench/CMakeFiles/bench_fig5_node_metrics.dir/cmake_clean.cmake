@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_node_metrics.dir/bench_fig5_node_metrics.cc.o"
+  "CMakeFiles/bench_fig5_node_metrics.dir/bench_fig5_node_metrics.cc.o.d"
+  "bench_fig5_node_metrics"
+  "bench_fig5_node_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_node_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_quality_hparams.dir/bench_fig8_quality_hparams.cc.o"
+  "CMakeFiles/bench_fig8_quality_hparams.dir/bench_fig8_quality_hparams.cc.o.d"
+  "bench_fig8_quality_hparams"
+  "bench_fig8_quality_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_quality_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_longtail.dir/bench_future_longtail.cc.o"
+  "CMakeFiles/bench_future_longtail.dir/bench_future_longtail.cc.o.d"
+  "bench_future_longtail"
+  "bench_future_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kge.dir/bench_micro_kge.cc.o"
+  "CMakeFiles/bench_micro_kge.dir/bench_micro_kge.cc.o.d"
+  "bench_micro_kge"
+  "bench_micro_kge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sampling.dir/bench_micro_sampling.cc.o"
+  "CMakeFiles/bench_micro_sampling.dir/bench_micro_sampling.cc.o.d"
+  "bench_micro_sampling"
+  "bench_micro_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

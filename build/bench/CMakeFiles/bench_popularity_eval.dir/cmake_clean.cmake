@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_popularity_eval.dir/bench_popularity_eval.cc.o"
+  "CMakeFiles/bench_popularity_eval.dir/bench_popularity_eval.cc.o.d"
+  "bench_popularity_eval"
+  "bench_popularity_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_popularity_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_popularity_eval.
+# This may be replaced when dependencies are built.

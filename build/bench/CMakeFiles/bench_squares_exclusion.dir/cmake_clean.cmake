@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_squares_exclusion.dir/bench_squares_exclusion.cc.o"
+  "CMakeFiles/bench_squares_exclusion.dir/bench_squares_exclusion.cc.o.d"
+  "bench_squares_exclusion"
+  "bench_squares_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_squares_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

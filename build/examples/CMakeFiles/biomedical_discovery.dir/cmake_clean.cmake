@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biomedical_discovery.dir/biomedical_discovery.cpp.o"
+  "CMakeFiles/biomedical_discovery.dir/biomedical_discovery.cpp.o.d"
+  "biomedical_discovery"
+  "biomedical_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biomedical_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

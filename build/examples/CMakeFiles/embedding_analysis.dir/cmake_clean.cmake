@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_analysis.dir/embedding_analysis.cpp.o"
+  "CMakeFiles/embedding_analysis.dir/embedding_analysis.cpp.o.d"
+  "embedding_analysis"
+  "embedding_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/discovery.cc" "src/CMakeFiles/kgfd.dir/core/discovery.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/discovery.cc.o.d"
+  "/root/repo/src/core/embedding_analysis.cc" "src/CMakeFiles/kgfd.dir/core/embedding_analysis.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/embedding_analysis.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/kgfd.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/CMakeFiles/kgfd.dir/core/job.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/job.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/kgfd.dir/core/report.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/report.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/kgfd.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/type_filter.cc" "src/CMakeFiles/kgfd.dir/core/type_filter.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/core/type_filter.cc.o.d"
+  "/root/repo/src/graph/adjacency.cc" "src/CMakeFiles/kgfd.dir/graph/adjacency.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/graph/adjacency.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/kgfd.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/CMakeFiles/kgfd.dir/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/graph/pagerank.cc.o.d"
+  "/root/repo/src/kg/dataset.cc" "src/CMakeFiles/kgfd.dir/kg/dataset.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/dataset.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/CMakeFiles/kgfd.dir/kg/io.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/io.cc.o.d"
+  "/root/repo/src/kg/kg_stats.cc" "src/CMakeFiles/kgfd.dir/kg/kg_stats.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/kg_stats.cc.o.d"
+  "/root/repo/src/kg/leakage.cc" "src/CMakeFiles/kgfd.dir/kg/leakage.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/leakage.cc.o.d"
+  "/root/repo/src/kg/relation_stats.cc" "src/CMakeFiles/kgfd.dir/kg/relation_stats.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/relation_stats.cc.o.d"
+  "/root/repo/src/kg/synthetic.cc" "src/CMakeFiles/kgfd.dir/kg/synthetic.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/synthetic.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/CMakeFiles/kgfd.dir/kg/triple_store.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/triple_store.cc.o.d"
+  "/root/repo/src/kg/vocab.cc" "src/CMakeFiles/kgfd.dir/kg/vocab.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kg/vocab.cc.o.d"
+  "/root/repo/src/kge/checkpoint.cc" "src/CMakeFiles/kgfd.dir/kge/checkpoint.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/checkpoint.cc.o.d"
+  "/root/repo/src/kge/evaluator.cc" "src/CMakeFiles/kgfd.dir/kge/evaluator.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/evaluator.cc.o.d"
+  "/root/repo/src/kge/grad.cc" "src/CMakeFiles/kgfd.dir/kge/grad.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/grad.cc.o.d"
+  "/root/repo/src/kge/grid_search.cc" "src/CMakeFiles/kgfd.dir/kge/grid_search.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/grid_search.cc.o.d"
+  "/root/repo/src/kge/loss.cc" "src/CMakeFiles/kgfd.dir/kge/loss.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/loss.cc.o.d"
+  "/root/repo/src/kge/model.cc" "src/CMakeFiles/kgfd.dir/kge/model.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/model.cc.o.d"
+  "/root/repo/src/kge/models/complex.cc" "src/CMakeFiles/kgfd.dir/kge/models/complex.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/complex.cc.o.d"
+  "/root/repo/src/kge/models/conve.cc" "src/CMakeFiles/kgfd.dir/kge/models/conve.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/conve.cc.o.d"
+  "/root/repo/src/kge/models/distmult.cc" "src/CMakeFiles/kgfd.dir/kge/models/distmult.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/distmult.cc.o.d"
+  "/root/repo/src/kge/models/hole.cc" "src/CMakeFiles/kgfd.dir/kge/models/hole.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/hole.cc.o.d"
+  "/root/repo/src/kge/models/rescal.cc" "src/CMakeFiles/kgfd.dir/kge/models/rescal.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/rescal.cc.o.d"
+  "/root/repo/src/kge/models/transe.cc" "src/CMakeFiles/kgfd.dir/kge/models/transe.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/models/transe.cc.o.d"
+  "/root/repo/src/kge/negative_sampling.cc" "src/CMakeFiles/kgfd.dir/kge/negative_sampling.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/negative_sampling.cc.o.d"
+  "/root/repo/src/kge/optimizer.cc" "src/CMakeFiles/kgfd.dir/kge/optimizer.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/optimizer.cc.o.d"
+  "/root/repo/src/kge/trainer.cc" "src/CMakeFiles/kgfd.dir/kge/trainer.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/kge/trainer.cc.o.d"
+  "/root/repo/src/util/alias_sampler.cc" "src/CMakeFiles/kgfd.dir/util/alias_sampler.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/alias_sampler.cc.o.d"
+  "/root/repo/src/util/config_file.cc" "src/CMakeFiles/kgfd.dir/util/config_file.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/config_file.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/kgfd.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/kgfd.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/kgfd.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/kgfd.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/kgfd.dir/util/status.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/kgfd.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/kgfd.dir/util/table.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/kgfd.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/kgfd.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_pagerank_test.dir/graph_pagerank_test.cc.o"
+  "CMakeFiles/graph_pagerank_test.dir/graph_pagerank_test.cc.o.d"
+  "graph_pagerank_test"
+  "graph_pagerank_test.pdb"
+  "graph_pagerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_dataset_io_test.dir/kg_dataset_io_test.cc.o"
+  "CMakeFiles/kg_dataset_io_test.dir/kg_dataset_io_test.cc.o.d"
+  "kg_dataset_io_test"
+  "kg_dataset_io_test.pdb"
+  "kg_dataset_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_dataset_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

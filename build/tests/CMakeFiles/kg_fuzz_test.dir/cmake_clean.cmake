@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_fuzz_test.dir/kg_fuzz_test.cc.o"
+  "CMakeFiles/kg_fuzz_test.dir/kg_fuzz_test.cc.o.d"
+  "kg_fuzz_test"
+  "kg_fuzz_test.pdb"
+  "kg_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_leakage_test.dir/kg_leakage_test.cc.o"
+  "CMakeFiles/kg_leakage_test.dir/kg_leakage_test.cc.o.d"
+  "kg_leakage_test"
+  "kg_leakage_test.pdb"
+  "kg_leakage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_leakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

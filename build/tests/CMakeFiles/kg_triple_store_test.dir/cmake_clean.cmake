@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_triple_store_test.dir/kg_triple_store_test.cc.o"
+  "CMakeFiles/kg_triple_store_test.dir/kg_triple_store_test.cc.o.d"
+  "kg_triple_store_test"
+  "kg_triple_store_test.pdb"
+  "kg_triple_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_triple_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

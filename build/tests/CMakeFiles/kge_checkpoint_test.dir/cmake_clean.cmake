@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_checkpoint_test.dir/kge_checkpoint_test.cc.o"
+  "CMakeFiles/kge_checkpoint_test.dir/kge_checkpoint_test.cc.o.d"
+  "kge_checkpoint_test"
+  "kge_checkpoint_test.pdb"
+  "kge_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_evaluator_test.dir/kge_evaluator_test.cc.o"
+  "CMakeFiles/kge_evaluator_test.dir/kge_evaluator_test.cc.o.d"
+  "kge_evaluator_test"
+  "kge_evaluator_test.pdb"
+  "kge_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

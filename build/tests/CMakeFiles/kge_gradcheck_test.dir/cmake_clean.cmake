@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_gradcheck_test.dir/kge_gradcheck_test.cc.o"
+  "CMakeFiles/kge_gradcheck_test.dir/kge_gradcheck_test.cc.o.d"
+  "kge_gradcheck_test"
+  "kge_gradcheck_test.pdb"
+  "kge_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

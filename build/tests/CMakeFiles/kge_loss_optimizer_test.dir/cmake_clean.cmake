@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_loss_optimizer_test.dir/kge_loss_optimizer_test.cc.o"
+  "CMakeFiles/kge_loss_optimizer_test.dir/kge_loss_optimizer_test.cc.o.d"
+  "kge_loss_optimizer_test"
+  "kge_loss_optimizer_test.pdb"
+  "kge_loss_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_loss_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_model_scoring_test.dir/kge_model_scoring_test.cc.o"
+  "CMakeFiles/kge_model_scoring_test.dir/kge_model_scoring_test.cc.o.d"
+  "kge_model_scoring_test"
+  "kge_model_scoring_test.pdb"
+  "kge_model_scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_model_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

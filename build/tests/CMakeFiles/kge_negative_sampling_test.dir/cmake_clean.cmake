@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_negative_sampling_test.dir/kge_negative_sampling_test.cc.o"
+  "CMakeFiles/kge_negative_sampling_test.dir/kge_negative_sampling_test.cc.o.d"
+  "kge_negative_sampling_test"
+  "kge_negative_sampling_test.pdb"
+  "kge_negative_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_negative_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_tensor_grad_test.dir/kge_tensor_grad_test.cc.o"
+  "CMakeFiles/kge_tensor_grad_test.dir/kge_tensor_grad_test.cc.o.d"
+  "kge_tensor_grad_test"
+  "kge_tensor_grad_test.pdb"
+  "kge_tensor_grad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_tensor_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_trainer_test.dir/kge_trainer_test.cc.o"
+  "CMakeFiles/kge_trainer_test.dir/kge_trainer_test.cc.o.d"
+  "kge_trainer_test"
+  "kge_trainer_test.pdb"
+  "kge_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_training_extensions_test.dir/kge_training_extensions_test.cc.o"
+  "CMakeFiles/kge_training_extensions_test.dir/kge_training_extensions_test.cc.o.d"
+  "kge_training_extensions_test"
+  "kge_training_extensions_test.pdb"
+  "kge_training_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_training_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

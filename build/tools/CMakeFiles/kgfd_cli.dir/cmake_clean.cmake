@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgfd_cli.dir/kgfd_cli.cc.o"
+  "CMakeFiles/kgfd_cli.dir/kgfd_cli.cc.o.d"
+  "kgfd_cli"
+  "kgfd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgfd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
