@@ -10,6 +10,8 @@
 #include "graph/adjacency.h"
 #include "graph/metrics.h"
 #include "kge/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/alias_sampler.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -78,7 +80,11 @@ class SideScoreCache {
   const Entry& ObjectsEntry(const Model& model, const TripleStore& kg,
                             EntityId s, RelationId r, bool filtered) {
     auto it = by_subject_.find(s);
-    if (it != by_subject_.end()) return it->second;
+    if (it != by_subject_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
     Entry entry;
     model.ScoreObjects(s, r, &entry.scores);
     entry.excluded.assign(entry.scores.size(), 0);
@@ -91,7 +97,11 @@ class SideScoreCache {
   const Entry& SubjectsEntry(const Model& model, const TripleStore& kg,
                              RelationId r, EntityId o, bool filtered) {
     auto it = by_object_.find(o);
-    if (it != by_object_.end()) return it->second;
+    if (it != by_object_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
     Entry entry;
     model.ScoreSubjects(r, o, &entry.scores);
     entry.excluded.assign(entry.scores.size(), 0);
@@ -106,9 +116,14 @@ class SideScoreCache {
     by_object_.clear();
   }
 
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
  private:
   std::unordered_map<EntityId, Entry> by_subject_;
   std::unordered_map<EntityId, Entry> by_object_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace
@@ -145,6 +160,20 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       10;
 
   WallTimer total_timer;
+  MetricsRegistry* const metrics = options.metrics;
+  // Resolve counters once so worker threads only pay an atomic increment.
+  Counter* candidates_counter = nullptr;
+  Counter* facts_counter = nullptr;
+  Counter* cache_hits_counter = nullptr;
+  Counter* cache_misses_counter = nullptr;
+  Counter* relations_counter = nullptr;
+  if (metrics != nullptr) {
+    candidates_counter = metrics->GetCounter(kDiscoveryCandidatesCounter);
+    facts_counter = metrics->GetCounter(kDiscoveryFactsCounter);
+    cache_hits_counter = metrics->GetCounter(kDiscoveryScoreCacheHits);
+    cache_misses_counter = metrics->GetCounter(kDiscoveryScoreCacheMisses);
+    relations_counter = metrics->GetCounter(kDiscoveryRelationsCounter);
+  }
 
   // Optional weight-caching ablation: hoist line 7 out of the loop.
   StrategyWeights hoisted_weights;
@@ -152,14 +181,14 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
   AliasSampler hoisted_object_sampler;
   double hoisted_weight_seconds = 0.0;
   if (options.cache_weights) {
-    WallTimer weight_timer;
+    ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
     KGFD_ASSIGN_OR_RETURN(hoisted_weights,
                           ComputeStrategyWeights(options.strategy, kg));
     KGFD_ASSIGN_OR_RETURN(hoisted_subject_sampler,
                           AliasSampler::Build(hoisted_weights.subject_weights));
     KGFD_ASSIGN_OR_RETURN(hoisted_object_sampler,
                           AliasSampler::Build(hoisted_weights.object_weights));
-    hoisted_weight_seconds = weight_timer.ElapsedSeconds();
+    hoisted_weight_seconds = weight_span.Stop();
   }
 
   std::unique_ptr<RelationTypeFilter> type_filter;
@@ -186,10 +215,10 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     RelationOutcome& out = outcomes[index];
     Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL *
                             (static_cast<uint64_t>(r) + 1)));
-    WallTimer generation_timer;
 
     // Line 7: compute_weights(strategy) — inside the loop, as published
-    // (unless the caching ablation hoisted it above).
+    // (unless the caching ablation hoisted it above). Timed as its own
+    // phase, disjoint from generation.
     const StrategyWeights* weights = &hoisted_weights;
     const AliasSampler* subject_sampler = &hoisted_subject_sampler;
     const AliasSampler* object_sampler = &hoisted_object_sampler;
@@ -197,7 +226,7 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     AliasSampler local_subject_sampler;
     AliasSampler local_object_sampler;
     if (!options.cache_weights) {
-      WallTimer weight_timer;
+      ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
       auto weights_or = ComputeStrategyWeights(options.strategy, kg);
       if (!weights_or.ok()) {
         out.status = weights_or.status();
@@ -213,13 +242,14 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       }
       local_subject_sampler = std::move(subject_or).value();
       local_object_sampler = std::move(object_or).value();
-      out.weight_seconds = weight_timer.ElapsedSeconds();
+      out.weight_seconds = weight_span.Stop();
       weights = &local_weights;
       subject_sampler = &local_subject_sampler;
       object_sampler = &local_object_sampler;
     }
 
     // Lines 8-13: sample, mesh-grid, filter seen, until enough candidates.
+    ScopedSpan generation_span(metrics, kDiscoveryGenerationSpan);
     std::vector<Triple> local_facts;
     std::unordered_set<uint64_t> local_seen;
     for (size_t iteration = 0;
@@ -247,10 +277,10 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       }
     }
     out.num_candidates = local_facts.size();
-    out.generation_seconds = generation_timer.ElapsedSeconds();
+    out.generation_seconds = generation_span.Stop();
 
     // Lines 14-15: rank candidates against corruptions, keep rank <= top_n.
-    WallTimer evaluation_timer;
+    ScopedSpan ranking_span(metrics, kDiscoveryRankingSpan);
     SideScoreCache score_cache;
     for (const Triple& t : local_facts) {
       const SideScoreCache::Entry& obj_entry = score_cache.ObjectsEntry(
@@ -272,7 +302,15 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
         out.facts.push_back(fact);
       }
     }
-    out.evaluation_seconds = evaluation_timer.ElapsedSeconds();
+    out.evaluation_seconds = ranking_span.Stop();
+
+    if (metrics != nullptr) {
+      candidates_counter->Increment(out.num_candidates);
+      facts_counter->Increment(out.facts.size());
+      cache_hits_counter->Increment(score_cache.hits());
+      cache_misses_counter->Increment(score_cache.misses());
+      relations_counter->Increment();
+    }
   };
 
   ParallelFor(pool, relations.size(), [&](size_t begin, size_t end) {
@@ -280,8 +318,9 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
   });
 
   DiscoveryResult result;
+  // Hoisted weight time belongs to the weight phase only; seeding
+  // generation_seconds with it (as this code once did) double-counted it.
   result.stats.weight_seconds = hoisted_weight_seconds;
-  result.stats.generation_seconds = hoisted_weight_seconds;
   for (RelationOutcome& out : outcomes) {
     KGFD_RETURN_NOT_OK(out.status);
     result.facts.insert(result.facts.end(), out.facts.begin(),

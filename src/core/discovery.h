@@ -12,6 +12,26 @@
 
 namespace kgfd {
 
+class MetricsRegistry;
+
+/// Metric names DiscoverFacts populates when DiscoveryOptions::metrics is
+/// set (see src/obs/). The three span histograms partition the per-relation
+/// work into disjoint phases, so their sums line up with the corresponding
+/// DiscoveryStats fields.
+inline constexpr char kDiscoveryWeightsSpan[] = "discovery.weights.seconds";
+inline constexpr char kDiscoveryGenerationSpan[] =
+    "discovery.generation.seconds";
+inline constexpr char kDiscoveryRankingSpan[] = "discovery.ranking.seconds";
+inline constexpr char kDiscoveryCandidatesCounter[] =
+    "discovery.candidates.generated";
+inline constexpr char kDiscoveryFactsCounter[] = "discovery.facts.kept";
+inline constexpr char kDiscoveryScoreCacheHits[] =
+    "discovery.score_cache.hits";
+inline constexpr char kDiscoveryScoreCacheMisses[] =
+    "discovery.score_cache.misses";
+inline constexpr char kDiscoveryRelationsCounter[] =
+    "discovery.relations.processed";
+
 /// How the two side ranks of a candidate collapse into the single rank the
 /// paper's Algorithm 1 filters on.
 enum class RankAggregation { kMean, kMin, kMax };
@@ -43,6 +63,10 @@ struct DiscoveryOptions {
   /// by its §5.1 discussion of rule-based candidate filtering.
   bool type_filter = false;
   uint64_t seed = 123;
+  /// When set, per-phase latency histograms and candidate/fact/score-cache
+  /// counters are recorded here (metric names above). Null disables all
+  /// instrumentation at zero cost.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// One discovered fact: a triple absent from the KG that the model ranks
@@ -55,12 +79,16 @@ struct DiscoveredFact {
   double object_rank = 0.0;
 };
 
-/// Phase-split accounting of one discovery run.
+/// Phase-split accounting of one discovery run. The three phase fields are
+/// disjoint (weights are *not* folded into generation), so
+/// weight + generation + evaluation never double-counts any interval and
+/// sums to at most total_seconds on a serial run.
 struct DiscoveryStats {
   double total_seconds = 0.0;
-  /// Weight computation + sampling + mesh-grid + dedup/filtering.
+  /// Candidate sampling + mesh-grid + dedup/filtering (excluding the
+  /// strategy weight computation, reported separately below).
   double generation_seconds = 0.0;
-  /// Of which: compute_weights() alone.
+  /// compute_weights(): strategy weight computation + sampler builds.
   double weight_seconds = 0.0;
   /// Candidate ranking against corruptions.
   double evaluation_seconds = 0.0;

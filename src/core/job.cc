@@ -121,24 +121,31 @@ Result<JobResult> RunJob(const JobSpec& spec) {
   model_config.num_entities = result.dataset->num_entities();
   model_config.num_relations = result.dataset->num_relations();
   model_config.embedding_dim = spec.embedding_dim;
+  TrainerConfig trainer_config = spec.trainer;
+  if (spec.metrics != nullptr) trainer_config.metrics = spec.metrics;
   KGFD_ASSIGN_OR_RETURN(result.model,
                         TrainModel(spec.model, model_config,
-                                   result.dataset->train(), spec.trainer));
+                                   result.dataset->train(),
+                                   trainer_config));
 
   // Evaluation.
   if (spec.run_eval) {
+    EvalConfig eval_config;
+    eval_config.metrics = spec.metrics;
     KGFD_ASSIGN_OR_RETURN(
         result.test_metrics,
         EvaluateLinkPrediction(*result.model, *result.dataset,
-                               result.dataset->test()));
+                               result.dataset->test(), eval_config));
   }
 
   // Discovery.
   if (spec.run_discovery) {
+    DiscoveryOptions discovery_options = spec.discovery;
+    if (spec.metrics != nullptr) discovery_options.metrics = spec.metrics;
     KGFD_ASSIGN_OR_RETURN(result.discovery,
                           DiscoverFacts(*result.model,
                                         result.dataset->train(),
-                                        spec.discovery));
+                                        discovery_options));
   }
   return result;
 }

@@ -49,6 +49,9 @@ struct JobSpec {
   bool run_discovery = true;
   DiscoveryOptions discovery;
   uint64_t seed = 42;
+  /// When set, RunJob wires this registry into training, evaluation and
+  /// discovery (see src/obs/); not a config-file key — set it in code.
+  MetricsRegistry* metrics = nullptr;
 
   /// Parses a config file; unknown keys are an error (typo safety).
   static Result<JobSpec> FromConfig(const ConfigFile& config);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace kgfd {
@@ -75,6 +77,7 @@ Result<LinkPredictionMetrics> EvaluateLinkPrediction(
   }
   const std::vector<const TripleStore*> stores = {
       &dataset.train(), &dataset.valid(), &dataset.test()};
+  ScopedSpan span(config.metrics, kEvalSpan);
   // Fixed slots per triple keep the result independent of scheduling.
   std::vector<double> ranks(split.size() * 2, 0.0);
   const std::vector<Triple>& triples = split.triples();
@@ -99,6 +102,15 @@ Result<LinkPredictionMetrics> EvaluateLinkPrediction(
       ranks[2 * i + 1] = RankAgainstScores(scores, t.subject, &excluded);
     }
   });
+  const double elapsed = span.Stop();
+  if (config.metrics != nullptr) {
+    config.metrics->GetCounter(kEvalTriplesCounter)
+        ->Increment(triples.size());
+    if (elapsed > 0.0) {
+      config.metrics->GetGauge(kEvalThroughputGauge)
+          ->Set(static_cast<double>(ranks.size()) / elapsed);
+    }
+  }
   return MetricsFromRanks(ranks);
 }
 

@@ -30,10 +30,21 @@ LinkPredictionMetrics MetricsFromRanks(const std::vector<double>& ranks);
 double RankAgainstScores(const std::vector<double>& scores, size_t target,
                          const std::vector<char>* excluded);
 
+class MetricsRegistry;
+
+/// Metric names EvaluateLinkPrediction populates when EvalConfig::metrics
+/// is set (see src/obs/).
+inline constexpr char kEvalSpan[] = "eval.link_prediction.seconds";
+inline constexpr char kEvalTriplesCounter[] = "eval.triples.ranked";
+inline constexpr char kEvalThroughputGauge[] = "eval.ranks_per_sec";
+
 struct EvalConfig {
   /// Filtered protocol (Bordes et al.): corruptions that are known true
   /// triples (in any split) are excluded from the ranking pool.
   bool filtered = true;
+  /// When set, evaluation latency, triples-ranked counters and a scoring
+  /// throughput gauge are recorded here (metric names above).
+  MetricsRegistry* metrics = nullptr;
 };
 
 class ThreadPool;

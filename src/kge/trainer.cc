@@ -4,6 +4,7 @@
 
 #include "kge/evaluator.h"
 #include "kge/negative_sampling.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -52,6 +53,21 @@ Result<std::vector<EpochStats>> Trainer::Train() {
 
   std::vector<size_t> order(train_->size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Resolve metrics once; null means instrumentation is off.
+  HistogramMetric* epoch_seconds_hist = nullptr;
+  HistogramMetric* epoch_loss_hist = nullptr;
+  Counter* epochs_counter = nullptr;
+  Counter* examples_counter = nullptr;
+  Gauge* throughput_gauge = nullptr;
+  if (config_.metrics != nullptr) {
+    epoch_seconds_hist = config_.metrics->GetHistogram(kTrainEpochSecondsHist);
+    epoch_loss_hist = config_.metrics->GetHistogram(
+        kTrainEpochLossHist, ExponentialBuckets(1e-4, 10.0, 9));
+    epochs_counter = config_.metrics->GetCounter(kTrainEpochsCounter);
+    examples_counter = config_.metrics->GetCounter(kTrainExamplesCounter);
+    throughput_gauge = config_.metrics->GetGauge(kTrainThroughputGauge);
+  }
 
   std::vector<EpochStats> stats;
   stats.reserve(config_.epochs);
@@ -153,6 +169,16 @@ Result<std::vector<EpochStats>> Trainer::Train() {
     es.mean_loss =
         loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
     es.seconds = timer.ElapsedSeconds();
+    if (config_.metrics != nullptr) {
+      epoch_seconds_hist->Observe(es.seconds);
+      epoch_loss_hist->Observe(es.mean_loss);
+      epochs_counter->Increment();
+      examples_counter->Increment(order.size());
+      if (es.seconds > 0.0) {
+        throughput_gauge->Set(static_cast<double>(order.size()) /
+                              es.seconds);
+      }
+    }
 
     bool stop_early = false;
     if (config_.early_stopping_dataset != nullptr &&

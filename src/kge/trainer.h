@@ -13,6 +13,16 @@
 
 namespace kgfd {
 
+class MetricsRegistry;
+
+/// Metric names Trainer::Train populates when TrainerConfig::metrics is
+/// set (see src/obs/).
+inline constexpr char kTrainEpochSecondsHist[] = "train.epoch.seconds";
+inline constexpr char kTrainEpochLossHist[] = "train.epoch.loss";
+inline constexpr char kTrainEpochsCounter[] = "train.epochs.completed";
+inline constexpr char kTrainExamplesCounter[] = "train.examples.processed";
+inline constexpr char kTrainThroughputGauge[] = "train.examples_per_sec";
+
 /// How examples are formed from positives (LibKGE terminology).
 enum class TrainingMode {
   /// Corrupt each positive into `negatives_per_positive` negatives.
@@ -50,6 +60,10 @@ struct TrainerConfig {
   const Dataset* early_stopping_dataset = nullptr;
   size_t eval_every_epochs = 5;
   size_t patience = 3;
+
+  /// When set, per-epoch loss/latency histograms, example counters and an
+  /// examples/sec gauge are recorded here (metric names above).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct EpochStats {

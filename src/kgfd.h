@@ -30,6 +30,9 @@
 #include "kge/grid_search.h"   // IWYU pragma: export
 #include "kge/model.h"         // IWYU pragma: export
 #include "kge/trainer.h"       // IWYU pragma: export
+#include "obs/export.h"        // IWYU pragma: export
+#include "obs/metrics.h"       // IWYU pragma: export
+#include "obs/span.h"          // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export
 
 #endif  // KGFD_KGFD_H_

@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace kgfd {
+
+void Gauge::Set(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = v;
+  if (!set_ || v > max_) max_ = v;
+  set_ = true;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+double Gauge::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  std::sort(upper_bounds_.begin(), upper_bounds_.end());
+  upper_bounds_.erase(
+      std::unique(upper_bounds_.begin(), upper_bounds_.end()),
+      upper_bounds_.end());
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void HistogramMetric::Observe(double v) {
+  // First bucket whose inclusive upper bound admits v; past-the-end means
+  // the overflow bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v) -
+      upper_bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += v;
+  if (total_ == 0 || v < min_) min_ = v;
+  if (total_ == 0 || v > max_) max_ = v;
+  ++total_;
+}
+
+uint64_t HistogramMetric::bucket_count(size_t bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[bucket];
+}
+
+uint64_t HistogramMetric::total_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double HistogramMetric::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double HistogramMetric::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> bounds(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = start + width * static_cast<double>(i);
+  }
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds(count);
+  double b = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& DefaultLatencyBuckets() {
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>(ExponentialBuckets(1e-6, 10.0, 8));
+    b->push_back(60.0);
+    return b;
+  }();
+  return *buckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultLatencyBuckets());
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<HistogramMetric>(upper_bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = {gauge->value(), gauge->max()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.upper_bounds = histogram->upper_bounds();
+    value.counts.resize(histogram->num_buckets());
+    for (size_t b = 0; b < value.counts.size(); ++b) {
+      value.counts[b] = histogram->bucket_count(b);
+    }
+    value.total = histogram->total_count();
+    value.sum = histogram->sum();
+    value.min = histogram->min();
+    value.max = histogram->max();
+    snapshot.histograms[name] = std::move(value);
+  }
+  return snapshot;
+}
+
+}  // namespace kgfd

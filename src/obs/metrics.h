@@ -1,0 +1,137 @@
+#ifndef KGFD_OBS_METRICS_H_
+#define KGFD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kgfd {
+
+/// Monotonically increasing event count. Increments are lock-free and safe
+/// from any thread (the discovery and evaluation hot paths increment from
+/// thread-pool workers).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time measurement (e.g. thread-pool queue depth) that also
+/// tracks its high-water mark.
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const;
+  /// Largest value ever Set (0 before the first Set).
+  double max() const;
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool set_ = false;
+};
+
+/// Fixed-bucket histogram: one count per inclusive upper bound plus a
+/// catch-all overflow bucket, with running count/sum/min/max. Upper bounds
+/// are sorted and deduplicated at construction and immutable afterwards;
+/// Observe is thread-safe.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// upper_bounds().size() + 1; the last bucket is the overflow bucket.
+  size_t num_buckets() const { return upper_bounds_.size() + 1; }
+  uint64_t bucket_count(size_t bucket) const;
+  uint64_t total_count() const;
+  double sum() const;
+  /// Smallest / largest observed value; 0 when empty.
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// `count` bucket upper bounds starting at `start`, stepping by `width`.
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+/// `count` bucket upper bounds starting at `start`, multiplying by `factor`.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+/// Power-of-ten latency buckets from 1us to 60s, the default for the
+/// ScopedSpan phase histograms.
+const std::vector<double>& DefaultLatencyBuckets();
+
+/// A consistent point-in-time copy of every registered metric, keyed by
+/// name (sorted, so exports are deterministic).
+struct MetricsSnapshot {
+  struct GaugeValue {
+    double value = 0.0;
+    double max = 0.0;
+  };
+  struct HistogramValue {
+    std::vector<double> upper_bounds;
+    /// upper_bounds.size() + 1 entries; the last one is the overflow bucket.
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+/// Thread-safe, name-keyed home of all metrics of one run. Get* registers
+/// on first use and returns a stable pointer afterwards, so hot paths can
+/// resolve their metrics once and increment lock-free. Counters, gauges and
+/// histograms live in separate namespaces.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers with DefaultLatencyBuckets() on first use.
+  HistogramMetric* GetHistogram(const std::string& name);
+  /// First registration fixes the buckets; later calls (with any bounds)
+  /// return the existing histogram.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::vector<double>& upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<HistogramMetric>>
+      histograms_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_OBS_METRICS_H_

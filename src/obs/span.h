@@ -1,0 +1,51 @@
+#ifndef KGFD_OBS_SPAN_H_
+#define KGFD_OBS_SPAN_H_
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace kgfd {
+
+/// RAII trace timer: measures the wall time from construction to Stop() (or
+/// destruction) and records it into the named latency histogram of
+/// `registry`. Null-registry spans still measure, so instrumented code can
+/// use the same Stop() return value for its own stats whether or not
+/// metrics are enabled — which also keeps the exported histogram totals
+/// exactly consistent with those stats.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, std::string histogram_name)
+      : registry_(registry), name_(std::move(histogram_name)) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { Stop(); }
+
+  /// Stops the clock, records the elapsed seconds (once), and returns
+  /// them. Subsequent calls return the same value without re-recording.
+  double Stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ = timer_.ElapsedSeconds();
+      if (registry_ != nullptr) {
+        registry_->GetHistogram(name_)->Observe(elapsed_);
+      }
+    }
+    return elapsed_;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_OBS_SPAN_H_

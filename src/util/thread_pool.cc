@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace kgfd {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -23,11 +25,29 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::AttachMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    tasks_submitted_ = nullptr;
+    tasks_completed_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  tasks_submitted_ = metrics->GetCounter(kThreadPoolTasksSubmitted);
+  tasks_completed_ = metrics->GetCounter(kThreadPoolTasksCompleted);
+  queue_depth_ = metrics->GetGauge(kThreadPoolQueueDepth);
+  queue_depth_->Set(static_cast<double>(queue_.size()));
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
     ++in_flight_;
+    if (tasks_submitted_ != nullptr) {
+      tasks_submitted_->Increment();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
   }
   task_available_.notify_one();
 }
@@ -47,11 +67,15 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown
       task = std::move(queue_.front());
       queue_.pop();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<double>(queue_.size()));
+      }
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      if (tasks_completed_ != nullptr) tasks_completed_->Increment();
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -11,6 +11,17 @@
 
 namespace kgfd {
 
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+/// Metric names AttachMetrics registers (see src/obs/).
+inline constexpr char kThreadPoolTasksSubmitted[] =
+    "threadpool.tasks.submitted";
+inline constexpr char kThreadPoolTasksCompleted[] =
+    "threadpool.tasks.completed";
+inline constexpr char kThreadPoolQueueDepth[] = "threadpool.queue.depth";
+
 /// Fixed-size worker pool used for data-parallel loops (batch scoring,
 /// corruption ranking). Tasks are plain std::function<void()>; Wait() blocks
 /// until all submitted tasks have finished.
@@ -25,6 +36,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// Starts recording tasks-submitted/completed counters and a queue-depth
+  /// gauge (with high-water mark) into `metrics`; nullptr detaches. Call
+  /// before submitting work.
+  void AttachMetrics(MetricsRegistry* metrics);
 
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
@@ -42,6 +58,10 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  // Resolved once by AttachMetrics; accessed under mu_.
+  Counter* tasks_submitted_ = nullptr;
+  Counter* tasks_completed_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
 };
 
 /// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the

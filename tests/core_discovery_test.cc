@@ -10,6 +10,7 @@
 
 #include "kg/synthetic.h"
 #include "kge/trainer.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -240,12 +241,27 @@ TEST(DiscoverFactsTest, StatsAreInternallyConsistent) {
   const DiscoveryStats& s = result.value().stats;
   EXPECT_EQ(s.num_facts, result.value().facts.size());
   EXPECT_GE(s.total_seconds, 0.0);
-  EXPECT_LE(s.generation_seconds + s.evaluation_seconds,
+  // The three phases are disjoint, so their sum never exceeds wall time
+  // on a serial run.
+  EXPECT_LE(s.weight_seconds + s.generation_seconds + s.evaluation_seconds,
             s.total_seconds + 0.05);
-  EXPECT_LE(s.weight_seconds, s.generation_seconds + 1e-9);
   if (s.total_seconds > 0.0 && s.num_facts > 0) {
     EXPECT_GT(s.FactsPerHour(), 0.0);
   }
+}
+
+TEST(DiscoverFactsTest, CachedWeightsNotDoubleCountedAsGeneration) {
+  // Regression: generation_seconds used to be seeded with the hoisted
+  // weight time, counting it in two phases at once.
+  const Fixture& f = SharedFixture();
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kClusteringTriangles);
+  o.cache_weights = true;
+  auto result = DiscoverFacts(*f.model, f.dataset.train(), o);
+  ASSERT_TRUE(result.ok());
+  const DiscoveryStats& s = result.value().stats;
+  EXPECT_GT(s.weight_seconds, 0.0);
+  EXPECT_LE(s.weight_seconds + s.generation_seconds + s.evaluation_seconds,
+            s.total_seconds + 0.05);
 }
 
 TEST(DiscoverFactsTest, RankAggregationModes) {
@@ -307,6 +323,82 @@ TEST(DiscoverFactsTest, FactsOrderedByRelationSlot) {
       current = fact.triple.relation;
     }
   }
+}
+
+TEST(DiscoverFactsTest, PopulatesMetricsRegistry) {
+  const Fixture& f = SharedFixture();
+  MetricsRegistry registry;
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kEntityFrequency);
+  o.metrics = &registry;
+  auto result = DiscoverFacts(*f.model, f.dataset.train(), o);
+  ASSERT_TRUE(result.ok());
+  const DiscoveryStats& stats = result.value().stats;
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  // Counters line up with the returned stats.
+  ASSERT_EQ(snapshot.counters.count(kDiscoveryCandidatesCounter), 1u);
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryCandidatesCounter),
+            stats.num_candidates);
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryFactsCounter), stats.num_facts);
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryRelationsCounter),
+            stats.num_relations_processed);
+  // Every candidate performs exactly one object-side and one subject-side
+  // score-cache lookup, each a hit or a miss.
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryScoreCacheHits) +
+                snapshot.counters.at(kDiscoveryScoreCacheMisses),
+            2 * stats.num_candidates);
+  EXPECT_GT(snapshot.counters.at(kDiscoveryScoreCacheMisses), 0u);
+
+  // One span per relation per phase, and the histogram totals equal the
+  // phase timings (same measured values, so no double counting).
+  for (const char* span : {kDiscoveryWeightsSpan, kDiscoveryGenerationSpan,
+                           kDiscoveryRankingSpan}) {
+    ASSERT_EQ(snapshot.histograms.count(span), 1u) << span;
+    EXPECT_EQ(snapshot.histograms.at(span).total,
+              stats.num_relations_processed)
+        << span;
+  }
+  EXPECT_NEAR(snapshot.histograms.at(kDiscoveryWeightsSpan).sum,
+              stats.weight_seconds, 1e-9);
+  EXPECT_NEAR(snapshot.histograms.at(kDiscoveryGenerationSpan).sum,
+              stats.generation_seconds, 1e-9);
+  EXPECT_NEAR(snapshot.histograms.at(kDiscoveryRankingSpan).sum,
+              stats.evaluation_seconds, 1e-9);
+}
+
+TEST(DiscoverFactsTest, CachedWeightsRecordOneWeightSpan) {
+  const Fixture& f = SharedFixture();
+  MetricsRegistry registry;
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kEntityFrequency);
+  o.cache_weights = true;
+  o.metrics = &registry;
+  auto result = DiscoverFacts(*f.model, f.dataset.train(), o);
+  ASSERT_TRUE(result.ok());
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.histograms.at(kDiscoveryWeightsSpan).total, 1u);
+  EXPECT_NEAR(snapshot.histograms.at(kDiscoveryWeightsSpan).sum,
+              result.value().stats.weight_seconds, 1e-9);
+}
+
+TEST(DiscoverFactsTest, MetricsMatchUnderThreadPool) {
+  // Worker threads feed the same registry; totals must still line up.
+  const Fixture& f = SharedFixture();
+  MetricsRegistry registry;
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kEntityFrequency);
+  o.metrics = &registry;
+  ThreadPool pool(4);
+  pool.AttachMetrics(&registry);
+  auto result = DiscoverFacts(*f.model, f.dataset.train(), o, &pool);
+  ASSERT_TRUE(result.ok());
+  const DiscoveryStats& stats = result.value().stats;
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryCandidatesCounter),
+            stats.num_candidates);
+  EXPECT_EQ(snapshot.counters.at(kDiscoveryFactsCounter), stats.num_facts);
+  EXPECT_EQ(snapshot.histograms.at(kDiscoveryRankingSpan).total,
+            stats.num_relations_processed);
+  EXPECT_EQ(snapshot.counters.at(kThreadPoolTasksSubmitted),
+            snapshot.counters.at(kThreadPoolTasksCompleted));
 }
 
 TEST(DiscoverFactsTest, UnfilteredRankingIsHarsherOrEqual) {

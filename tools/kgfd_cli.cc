@@ -22,6 +22,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace kgfd {
 namespace {
@@ -40,7 +41,17 @@ void PrintUsage() {
       "  eval:     --data DIR --checkpoint FILE [--raw] [--buckets N]\n"
       "  discover: --data DIR --checkpoint FILE [--strategy NAME]\n"
       "            [--top_n N] [--max_candidates N] [--out FILE]\n"
-      "            [--type_filter] [--seed N]\n");
+      "            [--type_filter] [--seed N]\n"
+      "  train/eval/discover/run also accept --metrics_out FILE to dump\n"
+      "  the run's metrics registry (counters/gauges/histograms) as JSON\n");
+}
+
+/// Writes the registry as JSON when --metrics_out is set.
+void MaybeWriteMetrics(const Flags& flags, const MetricsRegistry& registry) {
+  const std::string path = flags.GetString("metrics_out", "");
+  if (path.empty()) return;
+  WriteMetricsJsonFile(registry, path).AbortIfNotOk("write metrics");
+  std::printf("metrics written to %s\n", path.c_str());
 }
 
 Result<Dataset> LoadData(const Flags& flags) {
@@ -124,6 +135,8 @@ int Train(const Flags& flags) {
   loss.status().AbortIfNotOk("loss name");
   trainer_config.loss = loss.value();
 
+  MetricsRegistry registry;
+  trainer_config.metrics = &registry;
   auto model = TrainModel(kind.value(), model_config,
                           dataset.value().train(), trainer_config);
   model.status().AbortIfNotOk("train");
@@ -132,6 +145,7 @@ int Train(const Flags& flags) {
   std::printf("trained %s (%zu parameters) -> %s\n",
               model.value()->name().c_str(),
               model.value()->NumParameters(), checkpoint.c_str());
+  MaybeWriteMetrics(flags, registry);
   return 0;
 }
 
@@ -196,10 +210,15 @@ int Eval(const Flags& flags) {
   dataset.status().AbortIfNotOk("load dataset");
   auto model = LoadModel(flags.GetString("checkpoint", ""));
   model.status().AbortIfNotOk("load checkpoint");
+  MetricsRegistry registry;
   EvalConfig config;
   config.filtered = !flags.GetBool("raw", false);
+  config.metrics = &registry;
+  ThreadPool pool;
+  pool.AttachMetrics(&registry);
   auto metrics = EvaluateLinkPrediction(*model.value(), dataset.value(),
-                                        dataset.value().test(), config);
+                                        dataset.value().test(), config,
+                                        &pool);
   metrics.status().AbortIfNotOk("evaluate");
   Table table({"metric", "value"});
   table.AddRow({"protocol", config.filtered ? "filtered" : "raw"});
@@ -230,6 +249,7 @@ int Eval(const Flags& flags) {
     std::printf("\nby predicted-entity popularity:\n%s",
                 strat.ToAscii().c_str());
   }
+  MaybeWriteMetrics(flags, registry);
   return 0;
 }
 
@@ -250,8 +270,13 @@ int Discover(const Flags& flags) {
   options.type_filter = flags.GetBool("type_filter", false);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 123));
 
+  MetricsRegistry registry;
+  options.metrics = &registry;
+  ThreadPool pool;
+  pool.AttachMetrics(&registry);
   auto result =
-      DiscoverFacts(*model.value(), dataset.value().train(), options);
+      DiscoverFacts(*model.value(), dataset.value().train(), options,
+                    &pool);
   result.status().AbortIfNotOk("discover");
   std::printf("discovered %zu facts from %zu candidates in %.2fs "
               "(MRR=%.4f, %.0f facts/hour, long-tail share %.3f)\n",
@@ -284,6 +309,7 @@ int Discover(const Flags& flags) {
     }
     std::printf("facts written to %s\n", out.c_str());
   }
+  MaybeWriteMetrics(flags, registry);
   return 0;
 }
 
@@ -297,6 +323,8 @@ int Run(const Flags& flags) {
   config.status().AbortIfNotOk("load config");
   auto spec = JobSpec::FromConfig(config.value());
   spec.status().AbortIfNotOk("parse job spec");
+  MetricsRegistry registry;
+  spec.value().metrics = &registry;
   auto result = RunJob(spec.value());
   result.status().AbortIfNotOk("run job");
 
@@ -316,6 +344,7 @@ int Run(const Flags& flags) {
                 d.stats.num_facts, DiscoveryMrr(d.facts),
                 d.stats.total_seconds, d.stats.FactsPerHour());
   }
+  MaybeWriteMetrics(flags, registry);
   return 0;
 }
 
