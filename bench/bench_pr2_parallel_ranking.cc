@@ -1,0 +1,142 @@
+/// PR2 perf-trajectory bench: ranking-phase speedup of the parallel
+/// corruption-ranking path over the serial one, on the worst case for the
+/// old scheduler — a single hot relation, where the outer per-relation loop
+/// offers no parallelism at all (and the seed's `n < 2 * workers` fallback
+/// ran the whole job serially even with relations to spare).
+///
+/// Writes a JSON record (default BENCH_pr2.json) so CI can archive the
+/// number per PR:
+///   {"bench": "pr2_parallel_ranking", "strategy": ..., "num_relations": 1,
+///    "threads": T, "serial_ranking_seconds": ..,
+///    "parallel_ranking_seconds": .., "ranking_speedup": ..,
+///    "facts_identical": true, ...}
+///
+/// Usage: bench_pr2_parallel_ranking [--threads N] [--entities N]
+///   [--max_candidates N] [--dim D] [--epochs E] [--out PATH]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/discovery.h"
+#include "kg/synthetic.h"
+#include "kge/trainer.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace kgfd {
+namespace {
+
+bool SameFacts(const DiscoveryResult& a, const DiscoveryResult& b) {
+  if (a.facts.size() != b.facts.size()) return false;
+  for (size_t i = 0; i < a.facts.size(); ++i) {
+    if (a.facts[i].triple != b.facts[i].triple ||
+        a.facts[i].rank != b.facts[i].rank ||
+        a.facts[i].subject_rank != b.facts[i].subject_rank ||
+        a.facts[i].object_rank != b.facts[i].object_rank) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = std::move(Flags::Parse(argc, argv)).ValueOrDie("flags");
+  const size_t threads = static_cast<size_t>(flags.GetInt(
+      "threads",
+      std::max<int64_t>(2, std::thread::hardware_concurrency())));
+  const std::string out_path = flags.GetString("out", "BENCH_pr2.json");
+
+  SyntheticConfig sc;
+  sc.name = "pr2";
+  sc.num_entities = static_cast<size_t>(flags.GetInt("entities", 1200));
+  sc.num_relations = 6;
+  sc.num_train = sc.num_entities * 8;
+  sc.num_valid = 50;
+  sc.num_test = 50;
+  sc.seed = 7;
+  Dataset dataset =
+      std::move(GenerateSyntheticDataset(sc)).ValueOrDie("dataset");
+
+  ModelConfig mc;
+  mc.num_entities = dataset.num_entities();
+  mc.num_relations = dataset.num_relations();
+  mc.embedding_dim = static_cast<size_t>(flags.GetInt("dim", 32));
+  TrainerConfig tc;
+  tc.epochs = static_cast<size_t>(flags.GetInt("epochs", 2));
+  tc.batch_size = 256;
+  tc.seed = 11;
+  auto model =
+      std::move(TrainModel(ModelKind::kDistMult, mc, dataset.train(), tc))
+          .ValueOrDie("model");
+
+  DiscoveryOptions options;
+  options.strategy = SamplingStrategy::kEntityFrequency;
+  options.top_n = 200;
+  options.max_candidates =
+      static_cast<size_t>(flags.GetInt("max_candidates", 6000));
+  options.max_iterations = 8;
+  options.seed = 99;
+  // The single hottest relation: the degenerate outer loop the tentpole's
+  // inner ranking parallelism exists for.
+  options.relations = {dataset.train().UsedRelations().front()};
+
+  const auto serial =
+      std::move(DiscoverFacts(*model, dataset.train(), options, nullptr))
+          .ValueOrDie("serial discovery");
+  ThreadPool pool(threads);
+  const auto parallel =
+      std::move(DiscoverFacts(*model, dataset.train(), options, &pool))
+          .ValueOrDie("parallel discovery");
+
+  const double serial_ranking = serial.stats.evaluation_seconds;
+  const double parallel_ranking = parallel.stats.evaluation_seconds;
+  const double speedup =
+      parallel_ranking > 0.0 ? serial_ranking / parallel_ranking : 0.0;
+  const bool identical = SameFacts(serial, parallel);
+
+  std::printf(
+      "pr2 parallel ranking: 1 hot relation, %zu candidates, %zu threads\n"
+      "  serial ranking   %.3fs\n"
+      "  parallel ranking %.3fs  (%.2fx)\n"
+      "  facts %zu, bit-identical: %s\n",
+      serial.stats.num_candidates, threads, serial_ranking, parallel_ranking,
+      speedup, serial.facts.size(), identical ? "yes" : "NO");
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"pr2_parallel_ranking\",\n"
+      "  \"strategy\": \"%s\",\n"
+      "  \"num_relations\": %zu,\n"
+      "  \"num_entities\": %zu,\n"
+      "  \"num_candidates\": %zu,\n"
+      "  \"threads\": %zu,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"serial_ranking_seconds\": %.6f,\n"
+      "  \"parallel_ranking_seconds\": %.6f,\n"
+      "  \"ranking_speedup\": %.3f,\n"
+      "  \"serial_total_seconds\": %.6f,\n"
+      "  \"parallel_total_seconds\": %.6f,\n"
+      "  \"num_facts\": %zu,\n"
+      "  \"facts_identical\": %s\n"
+      "}\n",
+      SamplingStrategyName(options.strategy), options.relations.size(),
+      dataset.num_entities(), serial.stats.num_candidates, threads,
+      std::thread::hardware_concurrency(), serial_ranking, parallel_ranking,
+      speedup, serial.stats.total_seconds, parallel.stats.total_seconds,
+      serial.facts.size(), identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace kgfd
+
+int main(int argc, char** argv) { return kgfd::Run(argc, argv); }

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "core/side_score_cache.h"
 #include "core/type_filter.h"
 #include "graph/adjacency.h"
 #include "graph/metrics.h"
@@ -68,64 +68,6 @@ double Aggregate(RankAggregation agg, double subject_rank,
   return 0.5 * (subject_rank + object_rank);
 }
 
-/// Caches ScoreObjects / ScoreSubjects results so all mesh-grid candidates
-/// sharing an (s, r) or (r, o) pair rank against one scoring pass.
-class SideScoreCache {
- public:
-  struct Entry {
-    std::vector<double> scores;
-    std::vector<char> excluded;
-  };
-
-  const Entry& ObjectsEntry(const Model& model, const TripleStore& kg,
-                            EntityId s, RelationId r, bool filtered) {
-    auto it = by_subject_.find(s);
-    if (it != by_subject_.end()) {
-      ++hits_;
-      return it->second;
-    }
-    ++misses_;
-    Entry entry;
-    model.ScoreObjects(s, r, &entry.scores);
-    entry.excluded.assign(entry.scores.size(), 0);
-    if (filtered) {
-      for (EntityId o : kg.ObjectsOf(s, r)) entry.excluded[o] = 1;
-    }
-    return by_subject_.emplace(s, std::move(entry)).first->second;
-  }
-
-  const Entry& SubjectsEntry(const Model& model, const TripleStore& kg,
-                             RelationId r, EntityId o, bool filtered) {
-    auto it = by_object_.find(o);
-    if (it != by_object_.end()) {
-      ++hits_;
-      return it->second;
-    }
-    ++misses_;
-    Entry entry;
-    model.ScoreSubjects(r, o, &entry.scores);
-    entry.excluded.assign(entry.scores.size(), 0);
-    if (filtered) {
-      for (EntityId s : kg.SubjectsOf(r, o)) entry.excluded[s] = 1;
-    }
-    return by_object_.emplace(o, std::move(entry)).first->second;
-  }
-
-  void Clear() {
-    by_subject_.clear();
-    by_object_.clear();
-  }
-
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-
- private:
-  std::unordered_map<EntityId, Entry> by_subject_;
-  std::unordered_map<EntityId, Entry> by_object_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-};
-
 }  // namespace
 
 Result<DiscoveryResult> DiscoverFacts(const Model& model,
@@ -138,11 +80,8 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be > 0");
   }
-  if (model.num_entities() != kg.num_entities() ||
-      model.num_relations() < kg.num_relations()) {
-    return Status::InvalidArgument(
-        "model and KG disagree on entity/relation counts");
-  }
+  KGFD_RETURN_NOT_OK(
+      ValidateModelShape(model, kg.num_entities(), kg.num_relations()));
   for (RelationId r : options.relations) {
     if (r >= kg.num_relations()) {
       return Status::OutOfRange("relation id out of range");
@@ -280,25 +219,58 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     out.generation_seconds = generation_span.Stop();
 
     // Lines 14-15: rank candidates against corruptions, keep rank <= top_n.
+    // The dominant phase: one ScoreObjects/ScoreSubjects pass per distinct
+    // (s, r) / (r, o) pair, each O(num_entities * dim). Both the scoring
+    // passes and the per-candidate rank computations are independent, so
+    // they fan out over `pool` (nested inside the per-relation loop, which
+    // TaskGroup-scoped waiting makes safe). Ranks land in fixed
+    // per-candidate slots and the top_n filter runs serially in candidate
+    // order, so the facts are bit-identical for every thread count.
     ScopedSpan ranking_span(metrics, kDiscoveryRankingSpan);
+    const size_t n_cand = local_facts.size();
+    std::vector<SideScoreCache::Key> subject_keys;  // (s, r): object scores
+    std::vector<SideScoreCache::Key> object_keys;   // (o, r): subject scores
+    {
+      std::unordered_set<EntityId> seen_subjects;
+      std::unordered_set<EntityId> seen_objects;
+      for (const Triple& t : local_facts) {
+        if (seen_subjects.insert(t.subject).second) {
+          subject_keys.emplace_back(t.subject, r);
+        }
+        if (seen_objects.insert(t.object).second) {
+          object_keys.emplace_back(t.object, r);
+        }
+      }
+    }
     SideScoreCache score_cache;
-    for (const Triple& t : local_facts) {
-      const SideScoreCache::Entry& obj_entry = score_cache.ObjectsEntry(
-          model, kg, t.subject, r, options.filtered_ranking);
-      const double object_rank =
-          RankAgainstScores(obj_entry.scores, t.object, &obj_entry.excluded);
-      const SideScoreCache::Entry& subj_entry = score_cache.SubjectsEntry(
-          model, kg, r, t.object, options.filtered_ranking);
-      const double subject_rank = RankAgainstScores(
-          subj_entry.scores, t.subject, &subj_entry.excluded);
-      const double rank =
-          Aggregate(options.rank_aggregation, subject_rank, object_rank);
+    score_cache.PrecomputeObjects(model, kg, subject_keys,
+                                  options.filtered_ranking, pool);
+    score_cache.PrecomputeSubjects(model, kg, object_keys,
+                                   options.filtered_ranking, pool);
+    std::vector<double> subject_ranks(n_cand);
+    std::vector<double> object_ranks(n_cand);
+    ParallelFor(pool, n_cand, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Triple& t = local_facts[i];
+        const SideScoreCache::Entry* obj_entry =
+            score_cache.FindObjects(t.subject, r);
+        object_ranks[i] = RankAgainstScores(obj_entry->scores, t.object,
+                                            &obj_entry->excluded);
+        const SideScoreCache::Entry* subj_entry =
+            score_cache.FindSubjects(r, t.object);
+        subject_ranks[i] = RankAgainstScores(subj_entry->scores, t.subject,
+                                             &subj_entry->excluded);
+      }
+    });
+    for (size_t i = 0; i < n_cand; ++i) {
+      const double rank = Aggregate(options.rank_aggregation,
+                                    subject_ranks[i], object_ranks[i]);
       if (rank <= static_cast<double>(options.top_n)) {
         DiscoveredFact fact;
-        fact.triple = t;
+        fact.triple = local_facts[i];
         fact.rank = rank;
-        fact.subject_rank = subject_rank;
-        fact.object_rank = object_rank;
+        fact.subject_rank = subject_ranks[i];
+        fact.object_rank = object_ranks[i];
         out.facts.push_back(fact);
       }
     }
@@ -307,8 +279,13 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     if (metrics != nullptr) {
       candidates_counter->Increment(out.num_candidates);
       facts_counter->Increment(out.facts.size());
-      cache_hits_counter->Increment(score_cache.hits());
-      cache_misses_counter->Increment(score_cache.misses());
+      // Every candidate does one lookup per side; the first toucher of each
+      // distinct entry is the miss that paid for the scoring pass. Derived
+      // arithmetically so the numbers match the serial path exactly
+      // regardless of how the parallel precompute was scheduled.
+      const size_t unique_entries = subject_keys.size() + object_keys.size();
+      cache_misses_counter->Increment(unique_entries);
+      cache_hits_counter->Increment(2 * n_cand - unique_entries);
       relations_counter->Increment();
     }
   };

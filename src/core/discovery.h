@@ -132,11 +132,19 @@ class ThreadPool;
 /// each candidate against its corruptions with `model`, and keep those with
 /// aggregated rank <= top_n.
 ///
-/// Each relation draws from its own seed-derived RNG stream, so the output
-/// is deterministic in options.seed and identical whether relations are
-/// processed serially (pool == nullptr) or in parallel on `pool`. Under a
-/// pool, the per-phase stats are summed CPU time across workers and may
-/// exceed total_seconds (wall clock).
+/// Parallelism is two-level on `pool`: relations fan out across workers,
+/// and *within* each relation the ranking phase fans out again — scoring
+/// passes over distinct (s, r)/(r, o) pairs and per-candidate rank
+/// computations run as nested ParallelFor loops (safe because waits are
+/// TaskGroup-scoped). A job targeting a single hot relation therefore
+/// still uses every worker.
+///
+/// Each relation draws from its own seed-derived RNG stream and ranks land
+/// in fixed per-candidate slots, so the output is bit-identical in
+/// options.seed for every thread count, including the serial path
+/// (pool == nullptr). Under a pool, the per-phase stats are summed across
+/// concurrently-processed relations and may exceed total_seconds (wall
+/// clock).
 Result<DiscoveryResult> DiscoverFacts(const Model& model,
                                       const TripleStore& kg,
                                       const DiscoveryOptions& options,

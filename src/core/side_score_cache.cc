@@ -1,0 +1,141 @@
+#include "core/side_score_cache.h"
+
+#include <unordered_set>
+
+#include "util/thread_pool.h"
+
+namespace kgfd {
+
+SideScoreCache::Entry SideScoreCache::MakeObjectsEntry(const Model& model,
+                                                       const TripleStore& kg,
+                                                       EntityId s,
+                                                       RelationId r,
+                                                       bool filtered) {
+  Entry entry;
+  model.ScoreObjects(s, r, &entry.scores);
+  entry.excluded.assign(entry.scores.size(), 0);
+  if (filtered) {
+    for (EntityId o : kg.ObjectsOf(s, r)) entry.excluded[o] = 1;
+  }
+  return entry;
+}
+
+SideScoreCache::Entry SideScoreCache::MakeSubjectsEntry(const Model& model,
+                                                        const TripleStore& kg,
+                                                        RelationId r,
+                                                        EntityId o,
+                                                        bool filtered) {
+  Entry entry;
+  model.ScoreSubjects(r, o, &entry.scores);
+  entry.excluded.assign(entry.scores.size(), 0);
+  if (filtered) {
+    for (EntityId s : kg.SubjectsOf(r, o)) entry.excluded[s] = 1;
+  }
+  return entry;
+}
+
+const SideScoreCache::Entry& SideScoreCache::ObjectsEntry(
+    const Model& model, const TripleStore& kg, EntityId s, RelationId r,
+    bool filtered) {
+  const uint64_t key = PackKey(s, r);
+  auto it = by_subject_.find(key);
+  if (it != by_subject_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return by_subject_
+      .emplace(key, MakeObjectsEntry(model, kg, s, r, filtered))
+      .first->second;
+}
+
+const SideScoreCache::Entry& SideScoreCache::SubjectsEntry(
+    const Model& model, const TripleStore& kg, RelationId r, EntityId o,
+    bool filtered) {
+  const uint64_t key = PackKey(o, r);
+  auto it = by_object_.find(key);
+  if (it != by_object_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return by_object_
+      .emplace(key, MakeSubjectsEntry(model, kg, r, o, filtered))
+      .first->second;
+}
+
+namespace {
+
+/// Shared shape of both Precompute* calls: compute entries for the
+/// not-yet-cached keys into fixed slots on the pool, then insert serially
+/// (the map itself is not thread-safe).
+template <typename MakeEntry>
+size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
+                      const std::vector<SideScoreCache::Key>& keys,
+                      uint64_t (*pack)(const SideScoreCache::Key&),
+                      const MakeEntry& make_entry, ThreadPool* pool) {
+  std::vector<const SideScoreCache::Key*> fresh;
+  fresh.reserve(keys.size());
+  std::unordered_set<uint64_t> batch;  // dedup within this key list too
+  for (const SideScoreCache::Key& key : keys) {
+    const uint64_t packed = pack(key);
+    if (map->find(packed) == map->end() && batch.insert(packed).second) {
+      fresh.push_back(&key);
+    }
+  }
+  std::vector<SideScoreCache::Entry> entries(fresh.size());
+  ParallelFor(pool, fresh.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) entries[i] = make_entry(*fresh[i]);
+  });
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    map->emplace(pack(*fresh[i]), std::move(entries[i]));
+  }
+  return fresh.size();
+}
+
+}  // namespace
+
+size_t SideScoreCache::PrecomputeObjects(const Model& model,
+                                         const TripleStore& kg,
+                                         const std::vector<Key>& keys,
+                                         bool filtered, ThreadPool* pool) {
+  return PrecomputeInto(
+      &by_subject_, keys,
+      +[](const Key& k) { return PackKey(k.first, k.second); },
+      [&](const Key& k) {
+        return MakeObjectsEntry(model, kg, k.first, k.second, filtered);
+      },
+      pool);
+}
+
+size_t SideScoreCache::PrecomputeSubjects(const Model& model,
+                                          const TripleStore& kg,
+                                          const std::vector<Key>& keys,
+                                          bool filtered, ThreadPool* pool) {
+  return PrecomputeInto(
+      &by_object_, keys,
+      +[](const Key& k) { return PackKey(k.first, k.second); },
+      [&](const Key& k) {
+        return MakeSubjectsEntry(model, kg, k.second, k.first, filtered);
+      },
+      pool);
+}
+
+const SideScoreCache::Entry* SideScoreCache::FindObjects(EntityId s,
+                                                         RelationId r) const {
+  auto it = by_subject_.find(PackKey(s, r));
+  return it == by_subject_.end() ? nullptr : &it->second;
+}
+
+const SideScoreCache::Entry* SideScoreCache::FindSubjects(RelationId r,
+                                                          EntityId o) const {
+  auto it = by_object_.find(PackKey(o, r));
+  return it == by_object_.end() ? nullptr : &it->second;
+}
+
+void SideScoreCache::Clear() {
+  by_subject_.clear();
+  by_object_.clear();
+}
+
+}  // namespace kgfd

@@ -133,22 +133,26 @@ Result<StrategyWeights> ComputeStrategyWeights(SamplingStrategy strategy,
       return w;
     }
     case SamplingStrategy::kEntityFrequency: {
-      // weight(x, side) = count(x, side) / len(side)  (Eq. 2)
+      // weight(x, side) = count(x, side) / len(side)  (Eq. 2), where
+      // len(side) is the number of triples on that side — every triple
+      // contributes exactly one subject and one object, so len(side) ==
+      // kg.size() for both sides and each side's weights sum to 1. (An
+      // earlier version divided by the unique-entity pool size instead,
+      // leaving the weights unnormalized.)
       const SideCounts counts = ComputeSideCounts(kg);
+      const double len_side = static_cast<double>(kg.size());
       StrategyWeights w;
       w.subject_pool = counts.unique_subjects;
       w.object_pool = counts.unique_objects;
       w.subject_weights.reserve(w.subject_pool.size());
       for (EntityId e : w.subject_pool) {
         w.subject_weights.push_back(
-            static_cast<double>(counts.subject_count[e]) /
-            static_cast<double>(w.subject_pool.size()));
+            static_cast<double>(counts.subject_count[e]) / len_side);
       }
       w.object_weights.reserve(w.object_pool.size());
       for (EntityId e : w.object_pool) {
         w.object_weights.push_back(
-            static_cast<double>(counts.object_count[e]) /
-            static_cast<double>(w.object_pool.size()));
+            static_cast<double>(counts.object_count[e]) / len_side);
       }
       return w;
     }

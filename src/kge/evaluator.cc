@@ -70,11 +70,8 @@ void MarkKnownSubjects(const std::vector<const TripleStore*>& stores,
 Result<LinkPredictionMetrics> EvaluateLinkPrediction(
     const Model& model, const Dataset& dataset, const TripleStore& split,
     const EvalConfig& config, ThreadPool* pool) {
-  if (model.num_entities() != dataset.num_entities() ||
-      model.num_relations() != dataset.num_relations()) {
-    return Status::InvalidArgument(
-        "model and dataset disagree on entity/relation counts");
-  }
+  KGFD_RETURN_NOT_OK(ValidateModelShape(model, dataset.num_entities(),
+                                        dataset.num_relations()));
   const std::vector<const TripleStore*> stores = {
       &dataset.train(), &dataset.valid(), &dataset.test()};
   ScopedSpan span(config.metrics, kEvalSpan);
@@ -120,11 +117,8 @@ Result<StratifiedMetrics> EvaluateByPopularity(
   if (num_buckets == 0) {
     return Status::InvalidArgument("need at least one bucket");
   }
-  if (model.num_entities() != dataset.num_entities() ||
-      model.num_relations() != dataset.num_relations()) {
-    return Status::InvalidArgument(
-        "model and dataset disagree on entity/relation counts");
-  }
+  KGFD_RETURN_NOT_OK(ValidateModelShape(model, dataset.num_entities(),
+                                        dataset.num_relations()));
   // Undirected degree per entity over the training triples.
   std::vector<uint64_t> degree(dataset.num_entities(), 0);
   for (const Triple& t : dataset.train().triples()) {

@@ -89,4 +89,20 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
   return model;
 }
 
+Status ValidateModelShape(const Model& model, size_t num_entities,
+                          size_t num_relations) {
+  if (model.num_entities() != num_entities) {
+    return Status::InvalidArgument(
+        "model has " + std::to_string(model.num_entities()) +
+        " entities but the graph has " + std::to_string(num_entities) +
+        "; entity vocabularies must match exactly");
+  }
+  if (model.num_relations() < num_relations) {
+    return Status::InvalidArgument(
+        "model knows " + std::to_string(model.num_relations()) +
+        " relations but the graph uses " + std::to_string(num_relations));
+  }
+  return Status::OK();
+}
+
 }  // namespace kgfd

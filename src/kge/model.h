@@ -102,6 +102,15 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
                                            const ModelConfig& config,
                                            Rng* rng);
 
+/// The shared model/graph shape contract enforced by both fact discovery
+/// and link-prediction evaluation: the model's entity vocabulary must match
+/// the graph's exactly — ScoreObjects/ScoreSubjects rank over *every* model
+/// entity, so extra or missing entities would silently change all ranks —
+/// while the model may know *more* relations than the graph uses (a model
+/// trained on a superset vocabulary can score a sub-KG slice).
+Status ValidateModelShape(const Model& model, size_t num_entities,
+                          size_t num_relations);
+
 }  // namespace kgfd
 
 #endif  // KGFD_KGE_MODEL_H_

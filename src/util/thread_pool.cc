@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "obs/metrics.h"
 
@@ -30,20 +32,26 @@ void ThreadPool::AttachMetrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     tasks_submitted_ = nullptr;
     tasks_completed_ = nullptr;
+    tasks_helped_ = nullptr;
     queue_depth_ = nullptr;
+    groups_active_gauge_ = nullptr;
     return;
   }
   tasks_submitted_ = metrics->GetCounter(kThreadPoolTasksSubmitted);
   tasks_completed_ = metrics->GetCounter(kThreadPoolTasksCompleted);
+  tasks_helped_ = metrics->GetCounter(kThreadPoolTasksHelped);
   queue_depth_ = metrics->GetGauge(kThreadPoolQueueDepth);
+  groups_active_gauge_ = metrics->GetGauge(kThreadPoolGroupsActive);
   queue_depth_->Set(static_cast<double>(queue_.size()));
+  groups_active_gauge_->Set(static_cast<double>(groups_active_));
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Enqueue(std::function<void()> fn, TaskGroup* group) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_.push_back(Task{std::move(fn), group});
     ++in_flight_;
+    if (group != nullptr) ++group->pending_;
     if (tasks_submitted_ != nullptr) {
       tasks_submitted_->Increment();
       queue_depth_->Set(static_cast<double>(queue_.size()));
@@ -52,32 +60,94 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(std::move(task), nullptr);
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::FinishTaskLocked(const Task& task) {
+  --in_flight_;
+  if (tasks_completed_ != nullptr) tasks_completed_->Increment();
+  if (task.group != nullptr) {
+    if (--task.group->pending_ == 0) task.group->done_.notify_all();
+  }
+  if (in_flight_ == 0) all_done_.notify_all();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
                            [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown
       task = std::move(queue_.front());
-      queue_.pop();
+      queue_.pop_front();
       if (queue_depth_ != nullptr) {
         queue_depth_->Set(static_cast<double>(queue_.size()));
       }
     }
-    task();
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (tasks_completed_ != nullptr) tasks_completed_->Increment();
-      if (in_flight_ == 0) all_done_.notify_all();
+      FinishTaskLocked(task);
     }
+  }
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  ++pool_->groups_active_;
+  if (pool_->groups_active_gauge_ != nullptr) {
+    pool_->groups_active_gauge_->Set(
+        static_cast<double>(pool_->groups_active_));
+  }
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  Wait();
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  --pool_->groups_active_;
+  if (pool_->groups_active_gauge_ != nullptr) {
+    pool_->groups_active_gauge_->Set(
+        static_cast<double>(pool_->groups_active_));
+  }
+}
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  pool_->Enqueue(std::move(task), this);
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  while (pending_ > 0) {
+    // Work-assisting wait: run our own queued tasks (newest first, so a
+    // nested loop drains itself before its parent) rather than blocking.
+    // Other groups' tasks are left alone — stealing them could recurse
+    // arbitrarily deep and would make us wait on work we never submitted.
+    auto it = std::find_if(pool_->queue_.rbegin(), pool_->queue_.rend(),
+                           [this](const Task& t) { return t.group == this; });
+    if (it != pool_->queue_.rend()) {
+      Task task = std::move(*it);
+      pool_->queue_.erase(std::next(it).base());
+      if (pool_->queue_depth_ != nullptr) {
+        pool_->queue_depth_->Set(static_cast<double>(pool_->queue_.size()));
+      }
+      lock.unlock();
+      task.fn();
+      lock.lock();
+      if (pool_->tasks_helped_ != nullptr) pool_->tasks_helped_->Increment();
+      pool_->FinishTaskLocked(task);
+      continue;
+    }
+    // All remaining tasks of this group are running on other threads; each
+    // completion signals done_, so no wakeup can be missed.
+    done_.wait(lock, [this] { return pending_ == 0; });
   }
 }
 
@@ -85,16 +155,33 @@ void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
   const size_t workers = pool != nullptr ? pool->num_threads() : 1;
-  if (pool == nullptr || workers <= 1 || n < 2 * workers) {
+  if (pool == nullptr || workers <= 1 || n < 2) {
     body(0, n);
     return;
   }
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    const size_t end = std::min(begin + chunk, n);
-    pool->Submit([&body, begin, end] { body(begin, end); });
-  }
-  pool->Wait();
+  // Dynamic chunking: enough chunks per worker that a skewed chunk cannot
+  // serialize the loop, claimed off a shared index so idle threads keep
+  // pulling work until the range is exhausted.
+  const size_t target_chunks = 8 * workers;
+  const size_t chunk = std::max<size_t>(1, (n + target_chunks - 1) /
+                                               target_chunks);
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  // shared_ptr: a claiming task may outlive this frame's locals only if the
+  // caller abandons Wait via exception; keep the index alive regardless.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto run_chunks = [next, chunk, n, num_chunks, &body] {
+    size_t c;
+    while ((c = next->fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+      const size_t begin = c * chunk;
+      body(begin, std::min(begin + chunk, n));
+    }
+  };
+  ThreadPool::TaskGroup group(pool);
+  // One claiming task per worker is enough: each loops until the index runs
+  // out, and the caller joins in through the group's work-assisting Wait.
+  const size_t num_tasks = std::min(workers, num_chunks);
+  for (size_t t = 0; t < num_tasks; ++t) group.Submit(run_chunks);
+  group.Wait();
 }
 
 }  // namespace kgfd

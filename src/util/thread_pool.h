@@ -3,9 +3,9 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -21,10 +21,24 @@ inline constexpr char kThreadPoolTasksSubmitted[] =
 inline constexpr char kThreadPoolTasksCompleted[] =
     "threadpool.tasks.completed";
 inline constexpr char kThreadPoolQueueDepth[] = "threadpool.queue.depth";
+/// Gauge: number of live TaskGroups (high-water mark tracks peak nesting /
+/// concurrency of ParallelFor callers).
+inline constexpr char kThreadPoolGroupsActive[] = "threadpool.groups.active";
+/// Counter: tasks executed inline by a thread blocked in TaskGroup::Wait
+/// (work-assisting wait), as opposed to a pool worker.
+inline constexpr char kThreadPoolTasksHelped[] = "threadpool.tasks.helped";
 
 /// Fixed-size worker pool used for data-parallel loops (batch scoring,
-/// corruption ranking). Tasks are plain std::function<void()>; Wait() blocks
-/// until all submitted tasks have finished.
+/// corruption ranking). Tasks are plain std::function<void()>.
+///
+/// Waiting comes in two flavors:
+///  - ThreadPool::Wait() blocks until *every* task submitted to the pool has
+///    finished — pool-global, only meaningful when a single caller owns the
+///    pool's whole workload.
+///  - ThreadPool::TaskGroup scopes Wait() to the tasks submitted through
+///    that group, so independent callers (concurrent ParallelFor from two
+///    threads, or a nested ParallelFor issued from inside a pool task) never
+///    wait on — or deadlock against — each other's work.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
@@ -35,39 +49,95 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// A handle scoping Wait() to the tasks submitted through it. Wait() is
+  /// work-assisting: while this group has queued tasks, the waiting thread
+  /// pops and runs them itself instead of blocking, which makes nested
+  /// ParallelFor (a pool task waiting on sub-tasks of the same pool) both
+  /// deadlock-free and fast even when every worker is busy.
+  ///
+  /// A group is owned by one submitting thread: Submit() and Wait() may not
+  /// race with each other from different threads (the tasks themselves run
+  /// anywhere, of course).
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool);
+    /// Blocks until all of this group's tasks finished (equivalent to
+    /// Wait()), then unregisters the group.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueues a task belonging to this group.
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted through this group has finished.
+    /// Tasks of *other* groups are neither waited on nor stolen, so
+    /// recursion depth stays bounded by the caller's own nesting depth.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* const pool_;
+    /// Unfinished tasks of this group; guarded by pool_->mu_.
+    size_t pending_ = 0;
+    /// Signalled each time one of this group's tasks completes.
+    std::condition_variable done_;
+  };
+
   size_t num_threads() const { return workers_.size(); }
 
-  /// Starts recording tasks-submitted/completed counters and a queue-depth
-  /// gauge (with high-water mark) into `metrics`; nullptr detaches. Call
-  /// before submitting work.
+  /// Starts recording tasks-submitted/completed/helped counters and
+  /// queue-depth / groups-active gauges (with high-water marks) into
+  /// `metrics`; nullptr detaches. Call before submitting work.
   void AttachMetrics(MetricsRegistry* metrics);
 
-  /// Enqueues a task for execution.
+  /// Enqueues an ungrouped task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is drained and no task is running.
+  /// Blocks until the queue is drained and no task is running — including
+  /// tasks submitted by other threads or through TaskGroups. Prefer
+  /// TaskGroup::Wait for anything that can run concurrently or nested.
   void Wait();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;  // nullptr for ungrouped Submit()
+  };
+
   void WorkerLoop();
+  void Enqueue(std::function<void()> fn, TaskGroup* group);
+  /// Marks `task`'s bookkeeping as finished; requires mu_ held.
+  void FinishTaskLocked(const Task& task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
+  size_t groups_active_ = 0;
   bool shutdown_ = false;
   // Resolved once by AttachMetrics; accessed under mu_.
   Counter* tasks_submitted_ = nullptr;
   Counter* tasks_completed_ = nullptr;
+  Counter* tasks_helped_ = nullptr;
   Gauge* queue_depth_ = nullptr;
+  Gauge* groups_active_gauge_ = nullptr;
 };
 
-/// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
-/// pool, blocking until completion. With a null pool (or a single worker and
-/// small n) the body runs inline, which keeps single-core machines free of
-/// synchronization overhead.
+/// Splits [0, n) into chunks and runs `body(begin, end)` on the pool,
+/// blocking until completion. Scheduling is dynamic: workers claim small
+/// chunks off a shared atomic index, so skewed per-index costs load-balance
+/// instead of serializing behind the slowest static shard. The calling
+/// thread participates via TaskGroup::Wait's work-assisting loop, which also
+/// makes nested and concurrent ParallelFor calls on one pool safe.
+///
+/// With a null pool, a single worker, or n == 1 the body runs inline —
+/// exactly one body(0, n) call, which callers may rely on for the serial
+/// path. Chunk boundaries are otherwise unspecified; bodies must be correct
+/// for any partition of [0, n).
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& body);
 

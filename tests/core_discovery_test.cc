@@ -97,6 +97,24 @@ TEST(DiscoverFactsTest, RejectsMismatchedModel) {
           .ok());
 }
 
+TEST(DiscoverFactsTest, AcceptsModelWithExtraRelations) {
+  // The shared shape contract (ValidateModelShape): entity vocabularies
+  // must match exactly, but a model trained on a superset relation
+  // vocabulary may score a sub-KG slice.
+  const Fixture& f = SharedFixture();
+  ModelConfig mc;
+  mc.num_entities = f.dataset.num_entities();
+  mc.num_relations = f.dataset.num_relations() + 3;
+  mc.embedding_dim = 8;
+  Rng rng(5);
+  auto model = CreateModel(ModelKind::kDistMult, mc, &rng);
+  ASSERT_TRUE(model.ok());
+  auto result =
+      DiscoverFacts(*model.value(), f.dataset.train(),
+                    SmallOptions(SamplingStrategy::kUniformRandom));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
 /// Contract sweep over all six strategies.
 class DiscoveryContractTest
     : public ::testing::TestWithParam<SamplingStrategy> {};
@@ -298,6 +316,52 @@ TEST(DiscoverFactsTest, ParallelMatchesSerialExactly) {
   }
   EXPECT_EQ(serial.value().stats.num_candidates,
             parallel.value().stats.num_candidates);
+}
+
+TEST(DiscoverFactsTest, BitIdenticalAcrossThreadCounts) {
+  // The inner ranking loop fans out over candidates; fixed per-candidate
+  // slots plus per-relation RNG streams must keep the full result —
+  // triples, all three ranks, and the candidate count — bit-identical for
+  // every thread count, including the serial path.
+  const Fixture& f = SharedFixture();
+  const DiscoveryOptions o = SmallOptions(SamplingStrategy::kEntityFrequency);
+  auto reference = DiscoverFacts(*f.model, f.dataset.train(), o, nullptr);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {1u, 4u, 16u}) {
+    ThreadPool pool(threads);
+    auto result = DiscoverFacts(*f.model, f.dataset.train(), o, &pool);
+    ASSERT_TRUE(result.ok()) << threads << " threads";
+    ASSERT_EQ(result.value().facts.size(), reference.value().facts.size())
+        << threads << " threads";
+    for (size_t i = 0; i < reference.value().facts.size(); ++i) {
+      const DiscoveredFact& want = reference.value().facts[i];
+      const DiscoveredFact& got = result.value().facts[i];
+      EXPECT_EQ(got.triple, want.triple) << threads << " threads";
+      EXPECT_EQ(got.rank, want.rank) << threads << " threads";
+      EXPECT_EQ(got.subject_rank, want.subject_rank) << threads << " threads";
+      EXPECT_EQ(got.object_rank, want.object_rank) << threads << " threads";
+    }
+    EXPECT_EQ(result.value().stats.num_candidates,
+              reference.value().stats.num_candidates);
+  }
+}
+
+TEST(DiscoverFactsTest, SingleHotRelationUsesInnerParallelism) {
+  // A one-relation job must still produce identical output under a pool
+  // (the outer loop is a single slot; only the inner ranking fans out).
+  const Fixture& f = SharedFixture();
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kGraphDegree);
+  o.relations = {2};
+  auto serial = DiscoverFacts(*f.model, f.dataset.train(), o, nullptr);
+  ThreadPool pool(8);
+  auto parallel = DiscoverFacts(*f.model, f.dataset.train(), o, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ASSERT_EQ(serial.value().facts.size(), parallel.value().facts.size());
+  for (size_t i = 0; i < serial.value().facts.size(); ++i) {
+    EXPECT_EQ(serial.value().facts[i].triple,
+              parallel.value().facts[i].triple);
+    EXPECT_EQ(serial.value().facts[i].rank, parallel.value().facts[i].rank);
+  }
 }
 
 TEST(DiscoverFactsTest, FactsOrderedByRelationSlot) {

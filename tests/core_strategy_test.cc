@@ -77,15 +77,16 @@ TEST(StrategyWeightsTest, EntityFrequencyMatchesEq2) {
   auto w = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
   ASSERT_TRUE(w.ok());
   // count(0, subject) = 3, count(1, subject) = 1, count(2, subject) = 1;
-  // len(subject side) = 3 unique entities.
+  // len(side) = 5 triples on each side (Eq. 2 divides by the side's triple
+  // count, not the unique-entity pool size).
   EXPECT_EQ(w.value().subject_pool, (std::vector<EntityId>{0, 1, 2}));
-  EXPECT_DOUBLE_EQ(w.value().subject_weights[0], 3.0 / 3.0);
-  EXPECT_DOUBLE_EQ(w.value().subject_weights[1], 1.0 / 3.0);
-  EXPECT_DOUBLE_EQ(w.value().subject_weights[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[0], 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[1], 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.value().subject_weights[2], 1.0 / 5.0);
   // Objects: 1 once, 2 twice, 3 twice.
-  EXPECT_DOUBLE_EQ(w.value().object_weights[0], 1.0 / 3.0);
-  EXPECT_DOUBLE_EQ(w.value().object_weights[1], 2.0 / 3.0);
-  EXPECT_DOUBLE_EQ(w.value().object_weights[2], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.value().object_weights[0], 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.value().object_weights[1], 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(w.value().object_weights[2], 2.0 / 5.0);
 }
 
 TEST(StrategyWeightsTest, EntityFrequencySidesDifferAsInPaper) {
@@ -93,7 +94,7 @@ TEST(StrategyWeightsTest, EntityFrequencySidesDifferAsInPaper) {
   const TripleStore store = FormulaStore();
   auto w = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
   ASSERT_TRUE(w.ok());
-  // Entity 2: subject weight 1/3, object weight 2/3.
+  // Entity 2: subject weight 1/5, object weight 2/5.
   EXPECT_NE(w.value().subject_weights[2], w.value().object_weights[1]);
 }
 
@@ -153,9 +154,13 @@ TEST(StrategyWeightsTest, ClusteringSquaresMatchesEq6) {
 }
 
 TEST(StrategyWeightsTest, AllStrategiesNormalizeToOne) {
+  // Regression for the ENTITY_FREQUENCY fix: Eq. 2 divides count(x, side)
+  // by the number of triples on that side, so — like every other strategy —
+  // each side's weights form a probability distribution.
   const TripleStore store = FormulaStore();
   for (SamplingStrategy s :
-       {SamplingStrategy::kUniformRandom, SamplingStrategy::kGraphDegree,
+       {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
+        SamplingStrategy::kGraphDegree,
         SamplingStrategy::kClusteringCoefficient,
         SamplingStrategy::kClusteringTriangles,
         SamplingStrategy::kClusteringSquares}) {
@@ -166,11 +171,6 @@ TEST(StrategyWeightsTest, AllStrategiesNormalizeToOne) {
     EXPECT_NEAR(Sum(w.value().object_weights), 1.0, 1e-9)
         << SamplingStrategyName(s);
   }
-  // ENTITY_FREQUENCY's Eq. 2 weights are deliberately unnormalized
-  // (count / unique-count); the sampler normalizes internally.
-  auto ef = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, store);
-  ASSERT_TRUE(ef.ok());
-  EXPECT_GT(Sum(ef.value().subject_weights), 0.0);
 }
 
 TEST(StrategyWeightsTest, TriangleFreeGraphFallsBackToUniform) {

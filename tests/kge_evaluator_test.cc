@@ -138,6 +138,29 @@ TEST(EvaluateLinkPredictionTest, RejectsMismatchedModel) {
   EXPECT_FALSE(EvaluateLinkPrediction(model, d, d.test()).ok());
 }
 
+TEST(EvaluateLinkPredictionTest, ShapeContractMatchesDiscovery) {
+  // ValidateModelShape is shared with DiscoverFacts: entities must match
+  // exactly; the model may know extra relations (superset vocabulary) but
+  // never fewer than the dataset.
+  Dataset d("stub", 5, 2);
+  ASSERT_TRUE(d.train().Add({0, 0, 1}).ok());
+  ASSERT_TRUE(d.test().Add({1, 1, 2}).ok());
+  StubModel extra_relations(5, 4);
+  EXPECT_TRUE(
+      EvaluateLinkPrediction(extra_relations, d, d.test()).ok());
+  EXPECT_TRUE(
+      EvaluateByPopularity(extra_relations, d, d.test(), 2, {}).ok());
+  StubModel fewer_relations(5, 1);
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(fewer_relations, d, d.test()).ok());
+  StubModel fewer_entities(4, 2);
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(fewer_entities, d, d.test()).ok());
+  StubModel extra_entities(6, 2);
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(extra_entities, d, d.test()).ok());
+}
+
 TEST(EvaluateLinkPredictionTest, ParallelMatchesSerial) {
   Dataset d("stub", 30, 2);
   for (EntityId e = 0; e + 1 < 30; ++e) {

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace kgfd {
 namespace {
@@ -42,6 +46,65 @@ TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(TaskGroupTest, WaitScopedToOwnTasks) {
+  ThreadPool pool(2);
+  // Group A holds a task hostage on a future; waiting on group B must
+  // return anyway — under the old pool-global Wait it would block on A.
+  std::promise<void> release_a;
+  std::shared_future<void> gate(release_a.get_future());
+  std::atomic<bool> a_done{false};
+  std::atomic<bool> b_done{false};
+  ThreadPool::TaskGroup group_a(&pool);
+  group_a.Submit([gate, &a_done] {
+    gate.wait();
+    a_done.store(true);
+  });
+  {
+    ThreadPool::TaskGroup group_b(&pool);
+    group_b.Submit([&b_done] { b_done.store(true); });
+    group_b.Wait();
+    EXPECT_TRUE(b_done.load());
+    EXPECT_FALSE(a_done.load());  // A is still pinned on the gate
+  }
+  release_a.set_value();
+  group_a.Wait();
+  EXPECT_TRUE(a_done.load());
+}
+
+TEST(TaskGroupTest, WaitHelpsWhenAllWorkersAreBusy) {
+  // Both workers block on the gate; the submitting thread's Wait must run
+  // its own queued tasks itself instead of deadlocking.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  ThreadPool::TaskGroup blockers(&pool);
+  for (int i = 0; i < 2; ++i) blockers.Submit([gate] { gate.wait(); });
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&counter] { counter.fetch_add(1); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(counter.load(), 8);
+  release.set_value();
+  blockers.Wait();
+}
+
+TEST(TaskGroupTest, DestructorWaitsForPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor must block until all 16 ran.
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
 TEST(ParallelForTest, CoversFullRangeWithPool) {
   ThreadPool pool(4);
   std::vector<int> hits(1000, 0);
@@ -67,16 +130,130 @@ TEST(ParallelForTest, ZeroElementsNeverInvokesBody) {
   EXPECT_FALSE(invoked);
 }
 
-TEST(ParallelForTest, SmallRangeRunsInline) {
+TEST(ParallelForTest, SingleElementRunsInline) {
   ThreadPool pool(8);
   int calls = 0;
-  // n < 2 * workers falls back to a single inline call.
-  ParallelFor(&pool, 3, [&calls](size_t begin, size_t end) {
+  ParallelFor(&pool, 1, [&calls](size_t begin, size_t end) {
     ++calls;
     EXPECT_EQ(begin, 0u);
-    EXPECT_EQ(end, 3u);
+    EXPECT_EQ(end, 1u);
   });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SmallRangeStillRunsInParallelChunks) {
+  // Regression: n < 2 * workers used to fall back to a single serial body
+  // call, silently wasting every core whenever the outer loop was short
+  // (the common case for jobs targeting a few hot relations).
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, hits.size(), [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SkewedChunkDoesNotSerializeTheLoop) {
+  // Dynamic chunking: index 0 is pinned on a gate that only opens once most
+  // of the range has finished. With the old static one-chunk-per-worker
+  // split, n/workers = 64 indices were stranded behind the pinned one and
+  // the threshold could never be reached; dynamic chunks strand at most one
+  // small chunk, so the other workers drive the count past it.
+  ThreadPool pool(4);
+  const size_t n = 256;
+  // Must exceed the largest index count one chunk can strand behind the
+  // gate (ParallelFor targets >= 8 chunks per worker, i.e. chunks of <= 8).
+  const size_t threshold = n - 32;
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<size_t> completed{0};
+  std::thread unblocker([&completed, &release, threshold] {
+    while (completed.load() < threshold) std::this_thread::yield();
+    release.set_value();
+  });
+  ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      completed.fetch_add(1);
+      if (i == 0) gate.wait();
+    }
+  });
+  unblocker.join();
+  EXPECT_EQ(completed.load(), n);
+}
+
+TEST(ParallelForTest, ConcurrentCallsFromTwoThreads) {
+  // Two threads drive independent loops on one pool. Group-scoped waiting
+  // means neither waits on (or deadlocks against) the other's tasks.
+  ThreadPool pool(4);
+  auto run_loop = [&pool](std::vector<int>* hits) {
+    for (int round = 0; round < 10; ++round) {
+      std::fill(hits->begin(), hits->end(), 0);
+      ParallelFor(&pool, hits->size(), [hits](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) (*hits)[i] += 1;
+      });
+      for (int h : *hits) ASSERT_EQ(h, 1);
+    }
+  };
+  std::vector<int> hits_a(500, 0), hits_b(700, 0);
+  std::thread other([&] { run_loop(&hits_b); });
+  run_loop(&hits_a);
+  other.join();
+}
+
+TEST(ParallelForTest, NestedCallFromInsidePoolTask) {
+  // A pool task issuing its own ParallelFor on the same pool used to
+  // deadlock: the inner Wait blocked on the pool-global in-flight count,
+  // which could never reach zero while the outer task itself was running.
+  ThreadPool pool(4);
+  const size_t outer = 16, inner = 64;
+  std::vector<std::vector<int>> hits(outer, std::vector<int>(inner, 0));
+  ParallelFor(&pool, outer, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ParallelFor(&pool, inner, [&hits, i](size_t ib, size_t ie) {
+        for (size_t j = ib; j < ie; ++j) hits[i][j] += 1;
+      });
+    }
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, DeeplyNestedCallsComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  ParallelFor(&pool, 4, [&](size_t b0, size_t e0) {
+    for (size_t i = b0; i < e0; ++i) {
+      ParallelFor(&pool, 4, [&](size_t b1, size_t e1) {
+        for (size_t j = b1; j < e1; ++j) {
+          ParallelFor(&pool, 4, [&](size_t b2, size_t e2) {
+            for (size_t k = b2; k < e2; ++k) leaves.fetch_add(1);
+          });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPoolMetricsTest, GroupGaugeAndHelpedCounterAreRecorded) {
+  MetricsRegistry registry;
+  ThreadPool pool(2);
+  pool.AttachMetrics(&registry);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 100, [&counter](size_t begin, size_t end) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 100);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at(kThreadPoolTasksSubmitted),
+            snapshot.counters.at(kThreadPoolTasksCompleted));
+  // All groups retired by the time ParallelFor returns.
+  EXPECT_EQ(snapshot.gauges.at(kThreadPoolGroupsActive).value, 0.0);
+  EXPECT_GE(snapshot.gauges.at(kThreadPoolGroupsActive).max, 1.0);
+  // Helped tasks are a subset of completed tasks.
+  EXPECT_LE(snapshot.counters.at(kThreadPoolTasksHelped),
+            snapshot.counters.at(kThreadPoolTasksCompleted));
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
