@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/alias_sampler.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -152,6 +153,11 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
   auto process_relation = [&](size_t index) {
     const RelationId r = relations[index];
     RelationOutcome& out = outcomes[index];
+    // Fault-injection seam: a per-relation failure (simulated I/O error,
+    // OOM, ...) aborts this relation only; completed relations keep their
+    // outcomes, which the resume layer has already persisted.
+    out.status = FailPoints::Instance().Evaluate(kFailPointDiscoveryRelation);
+    if (!out.status.ok()) return;
     Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL *
                             (static_cast<uint64_t>(r) + 1)));
 
@@ -287,6 +293,15 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       cache_misses_counter->Increment(unique_entries);
       cache_hits_counter->Increment(2 * n_cand - unique_entries);
       relations_counter->Increment();
+    }
+
+    if (options.on_relation_complete) {
+      RelationCompletion completion;
+      completion.relation = r;
+      completion.index = index;
+      completion.num_candidates = out.num_candidates;
+      completion.facts = out.facts;  // copy: `out` still feeds the result
+      options.on_relation_complete(std::move(completion));
     }
   };
 

@@ -2,6 +2,7 @@
 #define KGFD_CORE_DISCOVERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/strategy.h"
@@ -36,6 +37,8 @@ inline constexpr char kDiscoveryRelationsCounter[] =
 /// paper's Algorithm 1 filters on.
 enum class RankAggregation { kMean, kMin, kMax };
 
+struct RelationCompletion;  // defined below, after DiscoveredFact
+
 /// Hyperparameters of the Discover Facts algorithm (paper Algorithm 1).
 struct DiscoveryOptions {
   /// Candidates ranking worse than this against their corruptions are
@@ -67,6 +70,12 @@ struct DiscoveryOptions {
   /// counters are recorded here (metric names above). Null disables all
   /// instrumentation at zero cost.
   MetricsRegistry* metrics = nullptr;
+  /// Invoked once per relation immediately after its facts are final,
+  /// from whichever thread processed the relation — the callback must be
+  /// thread-safe when a pool is used. Completion order is unspecified under
+  /// a pool; RelationCompletion::index ties each call back to the run's
+  /// relation order. Not a config-file key; set it in code.
+  std::function<void(RelationCompletion&&)> on_relation_complete;
 };
 
 /// One discovered fact: a triple absent from the KG that the model ranks
@@ -77,6 +86,17 @@ struct DiscoveredFact {
   double rank = 0.0;
   double subject_rank = 0.0;
   double object_rank = 0.0;
+};
+
+/// Everything DiscoverFacts knows about one finished relation, handed to
+/// DiscoveryOptions::on_relation_complete (the checkpoint seam the resume
+/// layer in core/resume.h persists after every relation).
+struct RelationCompletion {
+  RelationId relation = 0;
+  /// Position of the relation in the run's relation order.
+  size_t index = 0;
+  size_t num_candidates = 0;
+  std::vector<DiscoveredFact> facts;
 };
 
 /// Phase-split accounting of one discovery run. The three phase fields are

@@ -2,6 +2,7 @@
 
 #include "kg/io.h"
 #include "kg/synthetic.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace kgfd {
@@ -89,6 +90,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
   JobResult result;
 
   // Dataset.
+  KGFD_FAIL_POINT(kFailPointJobDataset);
   if (!spec.dataset_dir.empty()) {
     KGFD_ASSIGN_OR_RETURN(Dataset loaded,
                           LoadDatasetDir(spec.dataset_dir,
@@ -117,6 +119,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
                   << result.dataset->train().size() << " train triples";
 
   // Model + training.
+  KGFD_FAIL_POINT(kFailPointJobTrain);
   ModelConfig model_config;
   model_config.num_entities = result.dataset->num_entities();
   model_config.num_relations = result.dataset->num_relations();
@@ -130,6 +133,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
 
   // Evaluation.
   if (spec.run_eval) {
+    KGFD_FAIL_POINT(kFailPointJobEval);
     EvalConfig eval_config;
     eval_config.metrics = spec.metrics;
     KGFD_ASSIGN_OR_RETURN(
@@ -140,6 +144,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
 
   // Discovery.
   if (spec.run_discovery) {
+    KGFD_FAIL_POINT(kFailPointJobDiscovery);
     DiscoveryOptions discovery_options = spec.discovery;
     if (spec.metrics != nullptr) discovery_options.metrics = spec.metrics;
     KGFD_ASSIGN_OR_RETURN(result.discovery,

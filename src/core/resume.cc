@@ -1,0 +1,386 @@
+#include "core/resume.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace kgfd {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'R', 'S', 'U', 'M'};
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteDouble(std::ofstream& out, double v) {
+  WriteU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint64_t> ReadU64(std::ifstream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return Status::IoError("truncated resume manifest");
+  return v;
+}
+
+Result<uint32_t> ReadU32(std::ifstream& in) {
+  uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return Status::IoError("truncated resume manifest");
+  return v;
+}
+
+Result<double> ReadDouble(std::ifstream& in) {
+  KGFD_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(in));
+  return std::bit_cast<double>(bits);
+}
+
+Result<std::string> ReadString(std::ifstream& in) {
+  KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
+  if (n > (1ULL << 20)) {
+    return Status::IoError("corrupt resume manifest string");
+  }
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::IoError("truncated resume manifest");
+  return s;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+uint64_t HashModelParameters(Model* model) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const NamedTensor& p : model->Parameters()) {
+    mix_bytes(p.name.data(), p.name.size());
+    const uint64_t rows = p.tensor->rows();
+    const uint64_t cols = p.tensor->cols();
+    mix_bytes(&rows, sizeof(rows));
+    mix_bytes(&cols, sizeof(cols));
+    mix_bytes(p.tensor->data().data(), p.tensor->size() * sizeof(float));
+  }
+  return h;
+}
+
+ResumeManifest MakeManifestHeader(Model* model, const TripleStore& kg,
+                                  const DiscoveryOptions& options,
+                                  const std::vector<RelationId>& relations) {
+  ResumeManifest m;
+  m.model_name = model->name();
+  m.model_param_hash = HashModelParameters(model);
+  m.num_entities = kg.num_entities();
+  m.num_relations = kg.num_relations();
+  m.num_triples = kg.size();
+  m.seed = options.seed;
+  m.strategy = SamplingStrategyName(options.strategy);
+  m.top_n = options.top_n;
+  m.max_candidates = options.max_candidates;
+  m.max_iterations = options.max_iterations;
+  m.filtered_ranking = options.filtered_ranking ? 1 : 0;
+  m.cache_weights = options.cache_weights ? 1 : 0;
+  m.type_filter = options.type_filter ? 1 : 0;
+  m.rank_aggregation = static_cast<uint8_t>(options.rank_aggregation);
+  m.relations = relations;
+  return m;
+}
+
+Status CheckManifestCompatible(const ResumeManifest& loaded,
+                               const ResumeManifest& expected) {
+  auto mismatch = [](const std::string& field) {
+    return Status::FailedPrecondition(
+        "resume manifest does not match this run: " + field +
+        " differs (delete the manifest to start over)");
+  };
+  if (loaded.model_name != expected.model_name) return mismatch("model");
+  if (loaded.model_param_hash != expected.model_param_hash) {
+    return mismatch("model parameters");
+  }
+  if (loaded.num_entities != expected.num_entities ||
+      loaded.num_relations != expected.num_relations ||
+      loaded.num_triples != expected.num_triples) {
+    return mismatch("graph shape");
+  }
+  if (loaded.seed != expected.seed) return mismatch("seed");
+  if (loaded.strategy != expected.strategy) return mismatch("strategy");
+  if (loaded.top_n != expected.top_n) return mismatch("top_n");
+  if (loaded.max_candidates != expected.max_candidates) {
+    return mismatch("max_candidates");
+  }
+  if (loaded.max_iterations != expected.max_iterations) {
+    return mismatch("max_iterations");
+  }
+  if (loaded.filtered_ranking != expected.filtered_ranking) {
+    return mismatch("filtered_ranking");
+  }
+  if (loaded.cache_weights != expected.cache_weights) {
+    return mismatch("cache_weights");
+  }
+  if (loaded.type_filter != expected.type_filter) {
+    return mismatch("type_filter");
+  }
+  if (loaded.rank_aggregation != expected.rank_aggregation) {
+    return mismatch("rank_aggregation");
+  }
+  if (loaded.relations != expected.relations) {
+    return mismatch("relation list");
+  }
+  return Status::OK();
+}
+
+Status SaveResumeManifest(const ResumeManifest& manifest,
+                          const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointResumeSave);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    WriteU32(out, kFormatVersion);
+    WriteString(out, manifest.model_name);
+    WriteU64(out, manifest.model_param_hash);
+    WriteU64(out, manifest.num_entities);
+    WriteU64(out, manifest.num_relations);
+    WriteU64(out, manifest.num_triples);
+    WriteU64(out, manifest.seed);
+    WriteString(out, manifest.strategy);
+    WriteU64(out, manifest.top_n);
+    WriteU64(out, manifest.max_candidates);
+    WriteU64(out, manifest.max_iterations);
+    WriteU32(out, (static_cast<uint32_t>(manifest.filtered_ranking) << 0) |
+                      (static_cast<uint32_t>(manifest.cache_weights) << 8) |
+                      (static_cast<uint32_t>(manifest.type_filter) << 16) |
+                      (static_cast<uint32_t>(manifest.rank_aggregation)
+                       << 24));
+    WriteU64(out, manifest.relations.size());
+    for (RelationId r : manifest.relations) WriteU32(out, r);
+    WriteU64(out, manifest.done.size());
+    for (const RelationCheckpointEntry& entry : manifest.done) {
+      WriteU32(out, entry.relation);
+      WriteU64(out, entry.num_candidates);
+      WriteU64(out, entry.facts.size());
+      for (const DiscoveredFact& fact : entry.facts) {
+        WriteU32(out, fact.triple.subject);
+        WriteU32(out, fact.triple.relation);
+        WriteU32(out, fact.triple.object);
+        WriteDouble(out, fact.rank);
+        WriteDouble(out, fact.subject_rank);
+        WriteDouble(out, fact.object_rank);
+      }
+    }
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  // Atomic publish: readers see either the old manifest or the new one,
+  // never a torn write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<ResumeManifest> LoadResumeManifest(const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointResumeLoad);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a kgfd resume manifest: " + path);
+  }
+  KGFD_ASSIGN_OR_RETURN(uint32_t version, ReadU32(in));
+  if (version != kFormatVersion) {
+    return Status::IoError("unsupported resume manifest version");
+  }
+  ResumeManifest m;
+  KGFD_ASSIGN_OR_RETURN(m.model_name, ReadString(in));
+  KGFD_ASSIGN_OR_RETURN(m.model_param_hash, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.num_entities, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.num_relations, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.num_triples, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.seed, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.strategy, ReadString(in));
+  KGFD_ASSIGN_OR_RETURN(m.top_n, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.max_candidates, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.max_iterations, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(uint32_t flags, ReadU32(in));
+  m.filtered_ranking = static_cast<uint8_t>(flags & 0xFF);
+  m.cache_weights = static_cast<uint8_t>((flags >> 8) & 0xFF);
+  m.type_filter = static_cast<uint8_t>((flags >> 16) & 0xFF);
+  m.rank_aggregation = static_cast<uint8_t>((flags >> 24) & 0xFF);
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, ReadU64(in));
+  if (num_relations > (1ULL << 32)) {
+    return Status::IoError("corrupt resume manifest relation count");
+  }
+  m.relations.reserve(num_relations);
+  for (uint64_t i = 0; i < num_relations; ++i) {
+    KGFD_ASSIGN_OR_RETURN(uint32_t r, ReadU32(in));
+    m.relations.push_back(r);
+  }
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_done, ReadU64(in));
+  if (num_done > num_relations) {
+    return Status::IoError("corrupt resume manifest entry count");
+  }
+  m.done.reserve(num_done);
+  for (uint64_t i = 0; i < num_done; ++i) {
+    RelationCheckpointEntry entry;
+    KGFD_ASSIGN_OR_RETURN(entry.relation, ReadU32(in));
+    KGFD_ASSIGN_OR_RETURN(entry.num_candidates, ReadU64(in));
+    KGFD_ASSIGN_OR_RETURN(uint64_t num_facts, ReadU64(in));
+    if (num_facts > (1ULL << 32)) {
+      return Status::IoError("corrupt resume manifest fact count");
+    }
+    entry.facts.reserve(num_facts);
+    for (uint64_t f = 0; f < num_facts; ++f) {
+      DiscoveredFact fact;
+      KGFD_ASSIGN_OR_RETURN(fact.triple.subject, ReadU32(in));
+      KGFD_ASSIGN_OR_RETURN(fact.triple.relation, ReadU32(in));
+      KGFD_ASSIGN_OR_RETURN(fact.triple.object, ReadU32(in));
+      KGFD_ASSIGN_OR_RETURN(fact.rank, ReadDouble(in));
+      KGFD_ASSIGN_OR_RETURN(fact.subject_rank, ReadDouble(in));
+      KGFD_ASSIGN_OR_RETURN(fact.object_rank, ReadDouble(in));
+      entry.facts.push_back(fact);
+    }
+    m.done.push_back(std::move(entry));
+  }
+  return m;
+}
+
+Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
+                                               const TripleStore& kg,
+                                               const DiscoveryOptions& options,
+                                               const ResumeOptions& resume,
+                                               ThreadPool* pool) {
+  if (resume.manifest_path.empty()) {
+    return Status::InvalidArgument("ResumeOptions::manifest_path is empty");
+  }
+  std::vector<RelationId> relations = options.relations;
+  if (relations.empty()) relations = kg.UsedRelations();
+  {
+    std::unordered_set<RelationId> unique(relations.begin(), relations.end());
+    if (unique.size() != relations.size()) {
+      return Status::InvalidArgument(
+          "resumable discovery requires unique relation ids (the manifest "
+          "is keyed by relation)");
+    }
+  }
+
+  // Parameters() is non-const in the Model interface but read-only here.
+  Model* mutable_model = const_cast<Model*>(&model);
+  const ResumeManifest header =
+      MakeManifestHeader(mutable_model, kg, options, relations);
+
+  ResumeManifest manifest;
+  if (FileExists(resume.manifest_path)) {
+    KGFD_ASSIGN_OR_RETURN(manifest, LoadResumeManifest(resume.manifest_path));
+    KGFD_RETURN_NOT_OK(CheckManifestCompatible(manifest, header));
+  } else {
+    manifest = header;
+    // Persist the header immediately: catches an unwritable manifest path
+    // before hours of work, and makes a restart-before-first-relation
+    // resumable too.
+    KGFD_RETURN_NOT_OK(RetryStatus(
+        resume.save_retry, "SaveResumeManifest", [&manifest, &resume]() {
+          return SaveResumeManifest(manifest, resume.manifest_path);
+        }));
+  }
+
+  std::unordered_map<RelationId, const RelationCheckpointEntry*> done;
+  for (const RelationCheckpointEntry& entry : manifest.done) {
+    done.emplace(entry.relation, &entry);
+  }
+  std::vector<RelationId> remaining;
+  remaining.reserve(relations.size());
+  for (RelationId r : relations) {
+    if (done.find(r) == done.end()) remaining.push_back(r);
+  }
+
+  // Completed relations stream into the manifest as they finish; the lock
+  // serializes manifest mutation + atomic rewrite across pool workers.
+  std::mutex manifest_mu;
+  Status save_error;  // first persistence failure, surfaced after the run
+  DiscoveryOptions live_options = options;
+  live_options.relations = remaining;
+  const auto chained_callback = options.on_relation_complete;
+  live_options.on_relation_complete = [&](RelationCompletion&& completion) {
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu);
+      RelationCheckpointEntry entry;
+      entry.relation = completion.relation;
+      entry.num_candidates = completion.num_candidates;
+      entry.facts = completion.facts;
+      manifest.done.push_back(std::move(entry));
+      const Status status = RetryStatus(
+          resume.save_retry, "SaveResumeManifest", [&manifest, &resume]() {
+            return SaveResumeManifest(manifest, resume.manifest_path);
+          });
+      if (!status.ok() && save_error.ok()) save_error = status;
+    }
+    if (chained_callback) chained_callback(std::move(completion));
+  };
+
+  DiscoveryResult live;
+  if (!remaining.empty()) {
+    KGFD_ASSIGN_OR_RETURN(live, DiscoverFacts(model, kg, live_options, pool));
+  } else {
+    KGFD_RETURN_NOT_OK(
+        ValidateModelShape(model, kg.num_entities(), kg.num_relations()));
+  }
+  KGFD_RETURN_NOT_OK(save_error);
+
+  // Assemble the final fact set in canonical relation order from the
+  // manifest, which now holds every relation: restored ones from before the
+  // restart, live ones appended by the callback. This reproduces the exact
+  // concatenation order of an uninterrupted run.
+  done.clear();
+  for (const RelationCheckpointEntry& entry : manifest.done) {
+    done.emplace(entry.relation, &entry);
+  }
+  DiscoveryResult result;
+  result.stats = live.stats;  // timing covers the live portion only
+  result.stats.num_candidates = 0;
+  result.stats.num_relations_processed = relations.size();
+  for (RelationId r : relations) {
+    auto it = done.find(r);
+    if (it == done.end()) {
+      return Status::Internal("resume manifest missing completed relation " +
+                              std::to_string(r));
+    }
+    const RelationCheckpointEntry& entry = *it->second;
+    result.facts.insert(result.facts.end(), entry.facts.begin(),
+                        entry.facts.end());
+    result.stats.num_candidates += entry.num_candidates;
+  }
+  result.stats.num_facts = result.facts.size();
+  return result;
+}
+
+}  // namespace kgfd

@@ -1,0 +1,114 @@
+#ifndef KGFD_CORE_RESUME_H_
+#define KGFD_CORE_RESUME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "kg/triple_store.h"
+#include "kge/model.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Checkpoint/resume for long discovery sweeps: DiscoverFactsResumable
+/// persists a *resume manifest* after every completed relation, so a run
+/// killed by a crash, OOM, or I/O failure restarts from the last finished
+/// relation instead of from scratch — and, because each relation draws from
+/// its own seed-derived RNG stream, the resumed run's fact set is
+/// bit-identical to an uninterrupted run's.
+
+/// One completed relation as recorded in the manifest.
+struct RelationCheckpointEntry {
+  RelationId relation = 0;
+  uint64_t num_candidates = 0;
+  std::vector<DiscoveredFact> facts;
+};
+
+/// On-disk resume state: a fingerprint of everything the output depends on
+/// (model identity and parameters, graph shape, discovery options, relation
+/// order) plus the per-relation results completed so far. Loading validates
+/// the format; CheckManifestCompatible validates the fingerprint.
+struct ResumeManifest {
+  // -- Fingerprint ---------------------------------------------------------
+  std::string model_name;
+  /// FNV-1a over every model parameter tensor, so resuming against retrained
+  /// weights is caught instead of silently mixing two models' facts.
+  uint64_t model_param_hash = 0;
+  uint64_t num_entities = 0;
+  uint64_t num_relations = 0;
+  uint64_t num_triples = 0;
+  uint64_t seed = 0;
+  std::string strategy;
+  uint64_t top_n = 0;
+  uint64_t max_candidates = 0;
+  uint64_t max_iterations = 0;
+  uint8_t filtered_ranking = 0;
+  uint8_t cache_weights = 0;
+  uint8_t type_filter = 0;
+  uint8_t rank_aggregation = 0;
+  /// The full relation order of the run (not just the completed prefix).
+  std::vector<RelationId> relations;
+
+  // -- Progress ------------------------------------------------------------
+  std::vector<RelationCheckpointEntry> done;
+};
+
+/// FNV-1a over the raw bytes of every parameter tensor, in Parameters()
+/// order. (Parameters() is non-const in the Model interface but does not
+/// mutate observable state.)
+uint64_t HashModelParameters(Model* model);
+
+/// Builds the fingerprint header (no progress entries) for a run.
+ResumeManifest MakeManifestHeader(Model* model, const TripleStore& kg,
+                                  const DiscoveryOptions& options,
+                                  const std::vector<RelationId>& relations);
+
+/// FailedPrecondition with a field-naming message if `loaded`'s fingerprint
+/// differs from `expected`'s; OK otherwise.
+Status CheckManifestCompatible(const ResumeManifest& loaded,
+                               const ResumeManifest& expected);
+
+/// Atomically persists the manifest: writes `path`.tmp, then renames over
+/// `path`, so a crash mid-write never clobbers the previous good manifest.
+Status SaveResumeManifest(const ResumeManifest& manifest,
+                          const std::string& path);
+
+/// Loads a manifest written by SaveResumeManifest (binary format; doubles
+/// round-trip bit-exactly).
+Result<ResumeManifest> LoadResumeManifest(const std::string& path);
+
+/// Controls DiscoverFactsResumable.
+struct ResumeOptions {
+  /// Manifest location. Loaded (and fingerprint-checked) if it exists;
+  /// created otherwise. Left in place on success, so re-running a finished
+  /// job is a cheap no-op that returns the same facts.
+  std::string manifest_path;
+  /// Retry policy for manifest saves (a transiently failing checkpoint
+  /// write should not kill an hours-long sweep).
+  RetryPolicy save_retry;
+};
+
+/// DiscoverFacts with checkpoint/resume: skips relations already recorded
+/// in the manifest, persists every newly completed relation, and assembles
+/// the final fact set in the run's canonical relation order — bit-identical
+/// to an uninterrupted DiscoverFacts run with the same options.
+///
+/// On error (including injected faults), completed relations remain in the
+/// manifest and a subsequent call resumes after them. Duplicate entries in
+/// options.relations are rejected: the manifest is keyed by relation id.
+///
+/// Stats caveat: the timing fields cover only the live portion of the run;
+/// counts (candidates, facts, relations) cover manifest-restored relations
+/// too.
+Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
+                                               const TripleStore& kg,
+                                               const DiscoveryOptions& options,
+                                               const ResumeOptions& resume,
+                                               ThreadPool* pool = nullptr);
+
+}  // namespace kgfd
+
+#endif  // KGFD_CORE_RESUME_H_

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/string_util.h"
 
 namespace kgfd {
@@ -10,6 +12,7 @@ namespace kgfd {
 Result<std::vector<Triple>> ReadTriplesTsv(const std::string& path,
                                            Vocabulary* entities,
                                            Vocabulary* relations) {
+  KGFD_FAIL_POINT(kFailPointKgIoRead);
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open: " + path);
   std::vector<Triple> out;
@@ -17,16 +20,32 @@ Result<std::vector<Triple>> ReadTriplesTsv(const std::string& path,
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Accept CRLF files: getline keeps the '\r', strip it before parsing so
+    // the last field and blank lines behave identically to LF input.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    if (line.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": NUL byte in input");
+    }
     const std::vector<std::string> fields = Split(line, '\t');
     if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": expected 3 tab-separated fields, got " +
+          std::to_string(fields.size()));
+    }
+    const std::string subject = Trim(fields[0]);
+    const std::string relation = Trim(fields[1]);
+    const std::string object = Trim(fields[2]);
+    if (subject.empty() || relation.empty() || object.empty()) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": expected 3 tab-separated fields");
+                                     ": empty field");
     }
     Triple t;
-    t.subject = entities->AddOrGet(Trim(fields[0]));
-    t.relation = relations->AddOrGet(Trim(fields[1]));
-    t.object = entities->AddOrGet(Trim(fields[2]));
+    t.subject = entities->AddOrGet(subject);
+    t.relation = relations->AddOrGet(relation);
+    t.object = entities->AddOrGet(object);
     out.push_back(t);
   }
   return out;
@@ -36,6 +55,7 @@ Status WriteTriplesTsv(const std::string& path,
                        const std::vector<Triple>& triples,
                        const Vocabulary& entities,
                        const Vocabulary& relations) {
+  KGFD_FAIL_POINT(kFailPointKgIoWrite);
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   auto name_of = [](const Vocabulary& vocab, uint32_t id) {
@@ -52,18 +72,22 @@ Status WriteTriplesTsv(const std::string& path,
 }
 
 Result<Dataset> LoadDatasetDir(const std::string& dir,
-                               const std::string& name) {
+                               const std::string& name,
+                               const RetryPolicy& retry) {
   Vocabulary entities;
   Vocabulary relations;
-  KGFD_ASSIGN_OR_RETURN(auto train_triples,
-                        ReadTriplesTsv(dir + "/train.txt", &entities,
-                                       &relations));
-  KGFD_ASSIGN_OR_RETURN(auto valid_triples,
-                        ReadTriplesTsv(dir + "/valid.txt", &entities,
-                                       &relations));
-  KGFD_ASSIGN_OR_RETURN(auto test_triples,
-                        ReadTriplesTsv(dir + "/test.txt", &entities,
-                                       &relations));
+  // Each split read retries under the policy: a transient IoError (e.g. an
+  // injected fault or a flaky network filesystem) costs a bounded backoff
+  // instead of the whole load.
+  auto read_split = [&](const char* file) {
+    const std::string path = dir + "/" + file;
+    return Retry<std::vector<Triple>>(retry, "ReadTriplesTsv", [&]() {
+      return ReadTriplesTsv(path, &entities, &relations);
+    });
+  };
+  KGFD_ASSIGN_OR_RETURN(auto train_triples, read_split("train.txt"));
+  KGFD_ASSIGN_OR_RETURN(auto valid_triples, read_split("valid.txt"));
+  KGFD_ASSIGN_OR_RETURN(auto test_triples, read_split("test.txt"));
   Dataset dataset(name, entities.size(), relations.size());
   dataset.entity_vocab() = entities;
   dataset.relation_vocab() = relations;

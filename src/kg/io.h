@@ -7,12 +7,15 @@
 #include "kg/dataset.h"
 #include "kg/types.h"
 #include "kg/vocab.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace kgfd {
 
 /// Parses a `subject<TAB>relation<TAB>object` file (the FB15K/WN18RR/LibKGE
 /// interchange format), growing the vocabularies as new names appear.
+/// CRLF line endings are accepted; lines with a NUL byte, a field count
+/// other than 3, or an empty field after trimming are rejected.
 Result<std::vector<Triple>> ReadTriplesTsv(const std::string& path,
                                            Vocabulary* entities,
                                            Vocabulary* relations);
@@ -26,9 +29,12 @@ Status WriteTriplesTsv(const std::string& path,
 
 /// Loads a LibKGE-style dataset directory containing train.txt, valid.txt
 /// and test.txt. The dataset is validated (disjoint splits, no unseen
-/// valid/test entities) before being returned.
+/// valid/test entities) before being returned. Transient I/O errors on the
+/// split reads are retried under `retry` (default: 3 attempts with small
+/// exponential backoff).
 Result<Dataset> LoadDatasetDir(const std::string& dir,
-                               const std::string& name);
+                               const std::string& name,
+                               const RetryPolicy& retry = RetryPolicy());
 
 /// Writes the three splits of `dataset` into `dir` as train.txt / valid.txt
 /// / test.txt. The directory must exist.

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/failpoint.h"
+
 namespace kgfd {
 namespace {
 
@@ -39,6 +41,7 @@ Result<std::string> ReadString(std::ifstream& in) {
 
 Status SaveModel(Model* model, const ModelConfig& config,
                  const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointCheckpointSave);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out.write(kMagic, sizeof(kMagic));
@@ -67,6 +70,7 @@ Status SaveModel(Model* model, const ModelConfig& config,
 }
 
 Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointCheckpointLoad);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
   char magic[8];

@@ -11,6 +11,7 @@
 #include "core/experiment.h"          // IWYU pragma: export
 #include "core/job.h"                 // IWYU pragma: export
 #include "core/report.h"              // IWYU pragma: export
+#include "core/resume.h"              // IWYU pragma: export
 #include "core/strategy.h"            // IWYU pragma: export
 #include "core/type_filter.h"         // IWYU pragma: export
 #include "graph/adjacency.h"   // IWYU pragma: export
@@ -33,6 +34,8 @@
 #include "obs/export.h"        // IWYU pragma: export
 #include "obs/metrics.h"       // IWYU pragma: export
 #include "obs/span.h"          // IWYU pragma: export
+#include "util/failpoint.h"    // IWYU pragma: export
+#include "util/retry.h"        // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export
 
 #endif  // KGFD_KGFD_H_

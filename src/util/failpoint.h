@@ -1,0 +1,181 @@
+#ifndef KGFD_UTIL_FAILPOINT_H_
+#define KGFD_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+class MetricsRegistry;
+class Counter;
+
+/// Names of the fail points compiled into the library (the "hot seams":
+/// dataset I/O, model checkpointing, job phase boundaries, the discovery
+/// relation loop, resume-manifest persistence, and thread-pool dispatch).
+/// Tests and the CLI's --failpoints flag refer to sites by these names.
+inline constexpr char kFailPointKgIoRead[] = "kg.io.read";
+inline constexpr char kFailPointKgIoWrite[] = "kg.io.write";
+inline constexpr char kFailPointCheckpointSave[] = "kge.checkpoint.save";
+inline constexpr char kFailPointCheckpointLoad[] = "kge.checkpoint.load";
+inline constexpr char kFailPointJobDataset[] = "core.job.dataset";
+inline constexpr char kFailPointJobTrain[] = "core.job.train";
+inline constexpr char kFailPointJobEval[] = "core.job.eval";
+inline constexpr char kFailPointJobDiscovery[] = "core.job.discovery";
+inline constexpr char kFailPointDiscoveryRelation[] =
+    "core.discovery.relation";
+inline constexpr char kFailPointResumeSave[] = "core.resume.save";
+inline constexpr char kFailPointResumeLoad[] = "core.resume.load";
+/// Delay-only site (task dispatch has no Status channel): return-mode specs
+/// enabled here count hits but never trigger.
+inline constexpr char kFailPointThreadPoolDispatch[] = "threadpool.dispatch";
+
+/// Every instrumented site, for documentation and coverage tests.
+inline constexpr const char* kAllFailPointSites[] = {
+    kFailPointKgIoRead,        kFailPointKgIoWrite,
+    kFailPointCheckpointSave,  kFailPointCheckpointLoad,
+    kFailPointJobDataset,      kFailPointJobTrain,
+    kFailPointJobEval,         kFailPointJobDiscovery,
+    kFailPointDiscoveryRelation, kFailPointResumeSave,
+    kFailPointResumeLoad,      kFailPointThreadPoolDispatch,
+};
+
+/// One parsed fail-point configuration. The textual grammar (inspired by
+/// the Rust `fail` crate) is
+///
+///   [SKIP+][PROB%][MAX*]ACTION[(ARGS)]
+///
+/// where ACTION is one of
+///   off            count hits only, inject nothing
+///   return         inject an error Status (default IoError)
+///   return(CODE[,MESSAGE])   inject the named StatusCode
+///   delay(MS)      sleep MS milliseconds, then continue normally
+///
+/// and the optional modifiers mean: skip the first SKIP hits, then trigger
+/// with probability PROB percent, at most MAX times total. Examples:
+///
+///   return(IoError)          every hit fails with IoError
+///   2+return(IoError)        hits 3, 4, 5, ... fail
+///   3*return                 the first 3 hits fail, later ones succeed
+///   50%delay(10)             half of all hits sleep 10 ms
+///   1+25%2*return(Internal)  after the first hit, fail with p=.25, twice
+struct FailPointSpec {
+  static constexpr uint64_t kUnlimited = UINT64_MAX;
+
+  enum class Action { kOff, kReturnError, kDelay };
+
+  Action action = Action::kOff;
+  /// Injected status code (kReturnError).
+  StatusCode code = StatusCode::kIoError;
+  /// Injected status message; empty = "injected fault at <site>".
+  std::string message;
+  /// Sleep duration (kDelay).
+  uint64_t delay_ms = 0;
+  /// Probability in [0, 1] that an eligible hit triggers.
+  double probability = 1.0;
+  /// Hits to let through untouched before becoming eligible.
+  uint64_t skip = 0;
+  /// Cap on total triggers.
+  uint64_t max_triggers = kUnlimited;
+
+  static Result<FailPointSpec> Parse(const std::string& text);
+};
+
+/// Process-wide registry of fault-injection sites. Library code marks a
+/// site with KGFD_FAIL_POINT("name"); the site is a single relaxed atomic
+/// load when no fail point is armed, so production paths pay nothing.
+///
+/// Activation is programmatic (Enable / EnableFromSpec) or via the
+/// KGFD_FAILPOINTS environment variable, read once at first use with the
+/// same "site=spec;site2=spec2" syntax as EnableFromSpec.
+///
+/// While any site is armed, *every* evaluated site records hit counts, and
+/// armed sites additionally record trigger counts; both are exported as
+/// counters ("failpoint.<site>.hits" / "failpoint.<site>.triggers") when a
+/// MetricsRegistry is attached. All methods are thread-safe.
+class FailPoints {
+ public:
+  static FailPoints& Instance();
+
+  FailPoints(const FailPoints&) = delete;
+  FailPoints& operator=(const FailPoints&) = delete;
+
+  /// Arms `site` with a parsed spec ("off" arms hit counting only).
+  Status Enable(const std::string& site, const std::string& spec_text);
+  Status Enable(const std::string& site, const FailPointSpec& spec);
+  /// Parses "site=spec;site2=spec2" (';' or newline separated) and arms
+  /// every entry. Empty segments are ignored.
+  Status EnableFromSpec(const std::string& multi_spec);
+  /// Disarms one site (counters are kept until Reset).
+  void Disable(const std::string& site);
+  /// Disarms every site.
+  void DisableAll();
+  /// Disarms everything and clears counters, seed and metrics attachment.
+  /// Test fixtures call this between tests.
+  void Reset();
+
+  /// Starts mirroring per-site hit/trigger counts into `metrics`;
+  /// nullptr detaches.
+  void AttachMetrics(MetricsRegistry* metrics);
+  /// Reseeds the per-site RNG streams driving probabilistic specs.
+  void SetSeed(uint64_t seed);
+
+  /// Evaluates `site`: returns the injected error if an armed return-mode
+  /// spec triggers, applying delays inline. OK in every other case.
+  Status Evaluate(const char* site);
+  /// Delay-only evaluation for void contexts (thread-pool dispatch):
+  /// return-mode specs count hits but cannot trigger here.
+  void EvaluateDelay(const char* site);
+
+  /// True if any site is armed (the Evaluate fast path, exposed for tests).
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Times `site` was evaluated while the registry was armed.
+  uint64_t HitCount(const std::string& site) const;
+  /// Times `site` actually injected its action.
+  uint64_t TriggerCount(const std::string& site) const;
+  /// Currently armed sites, sorted.
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  struct SiteState {
+    FailPointSpec spec;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+    Rng rng;
+    Counter* hits_counter = nullptr;
+    Counter* triggers_counter = nullptr;
+  };
+
+  FailPoints();
+
+  /// Requires mu_ held; creates the site record on first touch.
+  SiteState& SiteLocked(const std::string& site);
+  void ResolveCountersLocked(const std::string& site, SiteState* state);
+
+  Status EvaluateSlow(const char* site, bool allow_error);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::atomic<uint64_t> armed_count_{0};
+  MetricsRegistry* metrics_ = nullptr;
+  uint64_t seed_ = 0x5bd1e995u;
+};
+
+/// Marks a fail-point site inside a Status- or Result-returning function:
+/// propagates the injected error when the site triggers, no-op otherwise.
+#define KGFD_FAIL_POINT(site) \
+  KGFD_RETURN_NOT_OK(::kgfd::FailPoints::Instance().Evaluate(site))
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_FAILPOINT_H_

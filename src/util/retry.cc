@@ -1,0 +1,71 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace kgfd {
+
+bool RetryableCode(const RetryPolicy& policy, StatusCode code) {
+  if (policy.retryable != nullptr) return policy.retryable(code);
+  return code == StatusCode::kIoError;
+}
+
+double RetryBackoffMs(const RetryPolicy& policy, size_t failures) {
+  if (failures == 0) return 0.0;
+  double backoff = policy.initial_backoff_ms;
+  for (size_t i = 1; i < failures; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= policy.max_backoff_ms) break;
+  }
+  return std::clamp(backoff, 0.0, policy.max_backoff_ms);
+}
+
+namespace internal {
+
+void RetrySleep(const RetryPolicy& policy, size_t failures) {
+  if (policy.metrics != nullptr) {
+    policy.metrics->GetCounter(kRetryBackoffsCounter)->Increment();
+  }
+  const double ms = RetryBackoffMs(policy, failures);
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+void RecordAttempt(const RetryPolicy& policy) {
+  if (policy.metrics != nullptr) {
+    policy.metrics->GetCounter(kRetryAttemptsCounter)->Increment();
+  }
+}
+
+void RecordExhausted(const RetryPolicy& policy) {
+  if (policy.metrics != nullptr) {
+    policy.metrics->GetCounter(kRetryExhaustedCounter)->Increment();
+  }
+}
+
+Status DecorateExhausted(const RetryPolicy& policy, const char* op,
+                         size_t attempts, Status status) {
+  RecordExhausted(policy);
+  if (attempts <= 1) return status;
+  return Status(status.code(), std::string(op) + " failed after " +
+                                   std::to_string(attempts) +
+                                   " attempts: " + status.message());
+}
+
+}  // namespace internal
+
+Status RetryStatus(const RetryPolicy& policy, const char* op,
+                   const std::function<Status()>& fn) {
+  // Piggyback on the Result flavor with a throwaway value type.
+  Result<char> result = Retry<char>(policy, op, [&fn]() -> Result<char> {
+    Status status = fn();
+    if (!status.ok()) return status;
+    return '\0';
+  });
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace kgfd

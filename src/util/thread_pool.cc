@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace kgfd {
 
@@ -92,6 +93,9 @@ void ThreadPool::WorkerLoop() {
         queue_depth_->Set(static_cast<double>(queue_.size()));
       }
     }
+    // Delay-only fault injection: lets stress tests stretch the window
+    // between dequeue and execution to amplify scheduling races.
+    FailPoints::Instance().EvaluateDelay(kFailPointThreadPoolDispatch);
     task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -139,6 +143,7 @@ void ThreadPool::TaskGroup::Wait() {
         pool_->queue_depth_->Set(static_cast<double>(pool_->queue_.size()));
       }
       lock.unlock();
+      FailPoints::Instance().EvaluateDelay(kFailPointThreadPoolDispatch);
       task.fn();
       lock.lock();
       if (pool_->tasks_helped_ != nullptr) pool_->tasks_helped_->Increment();

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/discovery.h"
+#include "kg/synthetic.h"
+#include "kge/trainer.h"
+#include "util/thread_pool.h"
+
+namespace kgfd {
+namespace {
+
+/// Golden-file regression: DiscoverFacts on a fixed synthetic graph with a
+/// seeded TransE must reproduce tests/testdata/golden_discovery_facts.tsv
+/// byte for byte. Any drift in sampling, ranking, aggregation, RNG
+/// streams, or float arithmetic shows up as a diff here before it shows up
+/// as a silently different experiment. Regenerate deliberately with
+///
+///   KGFD_REGEN_GOLDEN=1 ./golden_discovery_test
+///
+/// and commit the new file together with the change that moved it.
+std::string GoldenPath() {
+#ifdef KGFD_TESTDATA_DIR
+  return std::string(KGFD_TESTDATA_DIR) + "/golden_discovery_facts.tsv";
+#else
+  return "tests/testdata/golden_discovery_facts.tsv";
+#endif
+}
+
+DiscoveryOptions GoldenOptions() {
+  DiscoveryOptions o;
+  o.top_n = 40;
+  o.max_candidates = 80;
+  o.strategy = SamplingStrategy::kEntityFrequency;
+  o.seed = 20240131;
+  return o;
+}
+
+Result<DiscoveryResult> RunGoldenPipeline(ThreadPool* pool) {
+  SyntheticConfig c;
+  c.name = "golden";
+  c.num_entities = 48;
+  c.num_relations = 5;
+  c.num_train = 420;
+  c.num_valid = 20;
+  c.num_test = 20;
+  c.seed = 1234;
+  KGFD_ASSIGN_OR_RETURN(Dataset dataset, GenerateSyntheticDataset(c));
+  ModelConfig mc;
+  mc.num_entities = dataset.num_entities();
+  mc.num_relations = dataset.num_relations();
+  mc.embedding_dim = 12;
+  TrainerConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 64;
+  tc.loss = LossKind::kMarginRanking;
+  tc.optimizer.learning_rate = 0.05;
+  tc.seed = 77;
+  KGFD_ASSIGN_OR_RETURN(
+      auto model,
+      TrainModel(ModelKind::kTransE, mc, dataset.train(), tc));
+  return DiscoverFacts(*model, dataset.train(), GoldenOptions(), pool);
+}
+
+/// %.17g round-trips doubles exactly, so byte equality of the rendering is
+/// equivalent to bit equality of the ranks.
+std::string RenderFacts(const DiscoveryResult& result) {
+  std::ostringstream out;
+  out << "# subject\trelation\tobject\trank\tsubject_rank\tobject_rank\n";
+  char buffer[128];
+  for (const DiscoveredFact& f : result.facts) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%u\t%u\t%u\t%.17g\t%.17g\t%.17g\n", f.triple.subject,
+                  f.triple.relation, f.triple.object, f.rank,
+                  f.subject_rank, f.object_rank);
+    out << buffer;
+  }
+  return out.str();
+}
+
+TEST(GoldenDiscoveryTest, MatchesCheckedInGoldenFile) {
+  auto result = RunGoldenPipeline(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result.value().facts.size(), 0u);
+  const std::string rendered = RenderFacts(result.value());
+
+  if (std::getenv("KGFD_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " ("
+                 << result.value().facts.size() << " facts)";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — run with KGFD_REGEN_GOLDEN=1 to create it";
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  // EXPECT_EQ on the whole strings would dump both files on mismatch;
+  // locate the first differing line instead for a readable failure.
+  if (rendered != golden) {
+    std::istringstream got_stream(rendered), want_stream(golden);
+    std::string got_line, want_line;
+    size_t line = 0;
+    while (true) {
+      ++line;
+      const bool got_more = bool(std::getline(got_stream, got_line));
+      const bool want_more = bool(std::getline(want_stream, want_line));
+      if (!got_more && !want_more) break;
+      ASSERT_EQ(got_more, want_more)
+          << "line count differs from golden at line " << line;
+      ASSERT_EQ(got_line, want_line) << "first divergence at line " << line;
+    }
+    FAIL() << "rendered output differs from golden in whitespace only";
+  }
+  SUCCEED();
+}
+
+TEST(GoldenDiscoveryTest, PoolExecutionReproducesGoldenBytes) {
+  // The same pipeline under a thread pool must render identically: golden
+  // stability may not depend on the execution schedule.
+  auto serial = RunGoldenPipeline(nullptr);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(3);
+  auto pooled = RunGoldenPipeline(&pool);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(RenderFacts(serial.value()), RenderFacts(pooled.value()));
+}
+
+}  // namespace
+}  // namespace kgfd

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <vector>
 
+#include "core/strategy.h"
+#include "kg/triple_store.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -117,6 +120,142 @@ INSTANTIATE_TEST_SUITE_P(
                       ZipfLike(10, 1.0), ZipfLike(20, 0.5),
                       std::vector<double>{1e-6, 1e6},
                       std::vector<double>(16, 1.0)));
+
+// ----------------------------- ENTITY_FREQUENCY property test (Eq. 2)
+
+/// Chi-square acceptance threshold for `dof` degrees of freedom: the
+/// distribution has mean dof and variance 2*dof, so mean + 5 sigma is a
+/// deterministic-by-seed bound with vanishing false-alarm probability that
+/// still catches any systematic skew.
+double ChiSquareThreshold(size_t dof) {
+  return static_cast<double>(dof) +
+         5.0 * std::sqrt(2.0 * static_cast<double>(dof));
+}
+
+/// Samples `draws` times from an alias sampler built on `weights` and
+/// chi-squares the empirical counts against the exact distribution.
+void ExpectSamplesMatchWeights(const std::vector<double>& weights,
+                               uint64_t seed, size_t draws = 200000) {
+  auto sampler = AliasSampler::Build(weights);
+  ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+  Rng rng(seed);
+  std::vector<size_t> observed(weights.size(), 0);
+  for (size_t i = 0; i < draws; ++i) {
+    ++observed[sampler.value().Sample(&rng)];
+  }
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<double> expected(weights.size());
+  size_t support = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    expected[i] = weights[i] / total;
+    if (weights[i] > 0.0) ++support;
+  }
+  auto chi2 = ChiSquareStatistic(observed, expected);
+  ASSERT_TRUE(chi2.ok()) << chi2.status().ToString();
+  ASSERT_GE(support, 1u);
+  if (support == 1) {
+    // Degenerate distribution: chi-square has no dof; demand exactness.
+    EXPECT_EQ(chi2.value(), 0.0);
+  } else {
+    EXPECT_LT(chi2.value(), ChiSquareThreshold(support - 1));
+  }
+}
+
+/// End-to-end property: feed a KG through the paper's Eq. 2
+/// (ENTITY_FREQUENCY) weights, verify the weights against hand-counted
+/// frequencies, then verify the alias sampler reproduces that exact
+/// distribution empirically.
+TEST(EntityFrequencyPropertyTest, SamplerMatchesExactEq2Weights) {
+  // Skewed subject usage: e0 x4, e1 x2, e2 x1, e3 x1; kg.size() == 8.
+  TripleStore kg(6, 2);
+  const std::vector<Triple> triples = {
+      {0, 0, 4}, {0, 0, 5}, {0, 1, 4}, {0, 1, 5},
+      {1, 0, 4}, {1, 1, 5}, {2, 0, 5}, {3, 1, 4},
+  };
+  for (const Triple& t : triples) {
+    ASSERT_TRUE(kg.Add(t).ok());
+  }
+  auto weights = ComputeStrategyWeights(SamplingStrategy::kEntityFrequency,
+                                        kg);
+  ASSERT_TRUE(weights.ok());
+
+  // Eq. 2 exactly: weight(x, subject) = count(x, subject) / kg.size().
+  std::map<EntityId, double> expected_subject = {
+      {0, 4.0 / 8.0}, {1, 2.0 / 8.0}, {2, 1.0 / 8.0}, {3, 1.0 / 8.0}};
+  ASSERT_EQ(weights.value().subject_pool.size(), expected_subject.size());
+  for (size_t i = 0; i < weights.value().subject_pool.size(); ++i) {
+    const EntityId e = weights.value().subject_pool[i];
+    ASSERT_TRUE(expected_subject.count(e)) << "entity " << e;
+    EXPECT_DOUBLE_EQ(weights.value().subject_weights[i],
+                     expected_subject[e]);
+  }
+  // Object side: e4 x4, e5 x4.
+  for (size_t i = 0; i < weights.value().object_pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(weights.value().object_weights[i], 4.0 / 8.0);
+  }
+
+  ExpectSamplesMatchWeights(weights.value().subject_weights, 2024);
+  ExpectSamplesMatchWeights(weights.value().object_weights, 2025);
+}
+
+TEST(EntityFrequencyPropertyTest, AllEqualFrequenciesSampleUniformly) {
+  // Every entity appears exactly once per side: Eq. 2 degenerates to the
+  // uniform distribution, and the sampler must too.
+  TripleStore kg(8, 1);
+  for (EntityId e = 0; e < 4; ++e) {
+    ASSERT_TRUE(kg.Add(Triple{e, 0, static_cast<EntityId>(4 + e)}).ok());
+  }
+  auto weights =
+      ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, kg);
+  ASSERT_TRUE(weights.ok());
+  for (double w : weights.value().subject_weights) {
+    EXPECT_DOUBLE_EQ(w, 1.0 / 4.0);
+  }
+  ExpectSamplesMatchWeights(weights.value().subject_weights, 31337);
+}
+
+TEST(EntityFrequencyPropertyTest, SingleNonZeroWeightIsDegenerate) {
+  // One entity owns the whole subject side: the sampler must return it
+  // every single time (chi-square with zero dof demands exactness).
+  TripleStore kg(4, 1);
+  ASSERT_TRUE(kg.Add(Triple{2, 0, 0}).ok());
+  ASSERT_TRUE(kg.Add(Triple{2, 0, 1}).ok());
+  ASSERT_TRUE(kg.Add(Triple{2, 0, 3}).ok());
+  auto weights =
+      ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, kg);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights.value().subject_pool.size(), 1u);
+  EXPECT_EQ(weights.value().subject_pool[0], 2u);
+  EXPECT_DOUBLE_EQ(weights.value().subject_weights[0], 1.0);
+  ExpectSamplesMatchWeights(weights.value().subject_weights, 5,
+                            /*draws=*/5000);
+}
+
+TEST(EntityFrequencyPropertyTest, RandomGraphsMatchEmpirically) {
+  // Property sweep over random graph shapes: whatever Eq. 2 produces, the
+  // sampler's empirical distribution agrees with it.
+  Rng shape_rng(777);
+  for (int round = 0; round < 5; ++round) {
+    const size_t num_entities = 5 + shape_rng.UniformInt(20);
+    TripleStore kg(num_entities, 3);
+    const size_t num_triples = 20 + shape_rng.UniformInt(100);
+    for (size_t i = 0; i < num_triples; ++i) {
+      (void)kg.Add(Triple{
+          static_cast<EntityId>(shape_rng.UniformInt(num_entities)),
+          static_cast<RelationId>(shape_rng.UniformInt(3)),
+          static_cast<EntityId>(shape_rng.UniformInt(num_entities))});
+    }
+    auto weights =
+        ComputeStrategyWeights(SamplingStrategy::kEntityFrequency, kg);
+    ASSERT_TRUE(weights.ok());
+    // The exact Eq. 2 invariant: each side's weights sum to 1 because
+    // every stored triple contributes one subject and one object.
+    const auto& sw = weights.value().subject_weights;
+    EXPECT_NEAR(std::accumulate(sw.begin(), sw.end(), 0.0), 1.0, 1e-12);
+    ExpectSamplesMatchWeights(sw, 1000 + round, /*draws=*/100000);
+  }
+}
 
 }  // namespace
 }  // namespace kgfd

@@ -41,9 +41,11 @@ void PrintUsage() {
       "  eval:     --data DIR --checkpoint FILE [--raw] [--buckets N]\n"
       "  discover: --data DIR --checkpoint FILE [--strategy NAME]\n"
       "            [--top_n N] [--max_candidates N] [--out FILE]\n"
-      "            [--type_filter] [--seed N]\n"
+      "            [--type_filter] [--seed N] [--resume MANIFEST]\n"
       "  train/eval/discover/run also accept --metrics_out FILE to dump\n"
-      "  the run's metrics registry (counters/gauges/histograms) as JSON\n");
+      "  the run's metrics registry (counters/gauges/histograms) as JSON\n"
+      "  every command accepts --failpoints 'site=spec;...' (or env\n"
+      "  KGFD_FAILPOINTS) to arm fault-injection sites; see TESTING.md\n");
 }
 
 /// Writes the registry as JSON when --metrics_out is set.
@@ -274,10 +276,21 @@ int Discover(const Flags& flags) {
   options.metrics = &registry;
   ThreadPool pool;
   pool.AttachMetrics(&registry);
-  auto result =
-      DiscoverFacts(*model.value(), dataset.value().train(), options,
-                    &pool);
+  const std::string manifest = flags.GetString("resume", "");
+  Result<DiscoveryResult> result = [&]() {
+    if (manifest.empty()) {
+      return DiscoverFacts(*model.value(), dataset.value().train(), options,
+                           &pool);
+    }
+    ResumeOptions resume;
+    resume.manifest_path = manifest;
+    return DiscoverFactsResumable(*model.value(), dataset.value().train(),
+                                  options, resume, &pool);
+  }();
   result.status().AbortIfNotOk("discover");
+  if (!manifest.empty()) {
+    std::printf("resume manifest: %s\n", manifest.c_str());
+  }
   std::printf("discovered %zu facts from %zu candidates in %.2fs "
               "(MRR=%.4f, %.0f facts/hour, long-tail share %.3f)\n",
               result.value().stats.num_facts,
@@ -362,6 +375,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     kgfd::PrintUsage();
     return 1;
+  }
+  const std::string failpoints =
+      flags.value().GetString("failpoints", "");
+  if (!failpoints.empty()) {
+    kgfd::FailPoints::Instance()
+        .EnableFromSpec(failpoints)
+        .AbortIfNotOk("parse --failpoints");
   }
   if (command == "generate") return kgfd::Generate(flags.value());
   if (command == "train") return kgfd::Train(flags.value());
