@@ -99,6 +99,30 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
           std::sqrt(static_cast<double>(options.max_candidates))) +
       10;
 
+  // Guard the mesh-grid against absurd max_candidates before anything is
+  // allocated: estimate the per-relation transient footprint (sample
+  // vectors, candidate list, dedup hash set, rank slots) in double
+  // arithmetic so the estimate itself cannot overflow size_t.
+  {
+    // ~48 bytes/candidate of unordered_set node + bucket overhead on top of
+    // the 8-byte packed key is a deliberate overestimate.
+    const double estimated_bytes =
+        2.0 * static_cast<double>(sample_size) * sizeof(EntityId) +
+        static_cast<double>(options.max_candidates) *
+            (sizeof(Triple) + 2 * sizeof(double) + 56.0);
+    if (estimated_bytes >
+        static_cast<double>(options.max_candidate_memory_bytes)) {
+      return Status::InvalidArgument(
+          "max_candidates=" + std::to_string(options.max_candidates) +
+          " needs ~" +
+          std::to_string(static_cast<uint64_t>(estimated_bytes)) +
+          " bytes of per-relation candidate state, over the "
+          "max_candidate_memory_bytes cap of " +
+          std::to_string(options.max_candidate_memory_bytes) +
+          "; lower max_candidates or raise the cap");
+    }
+  }
+
   WallTimer total_timer;
   MetricsRegistry* const metrics = options.metrics;
   // Resolve counters once so worker threads only pay an atomic increment.
@@ -114,6 +138,62 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     cache_misses_counter = metrics->GetCounter(kDiscoveryScoreCacheMisses);
     relations_counter = metrics->GetCounter(kDiscoveryRelationsCounter);
   }
+
+  // --- Cooperative stop machinery -----------------------------------------
+  // All stop sources (external token, deadline, the discovery.cancel
+  // failpoint) funnel into one internal token: the first observer records
+  // the reason + metrics, and every nested ParallelFor watches the internal
+  // token, so one observation stops the whole sweep within a chunk.
+  CancellationToken stop_token;
+  std::atomic<int> stop_reason{static_cast<int>(StoppedReason::kNone)};
+  const CancelContext run_cancel(&stop_token);
+
+  auto observe_stop = [&](StoppedReason reason) {
+    int expected = static_cast<int>(StoppedReason::kNone);
+    if (stop_reason.compare_exchange_strong(expected,
+                                            static_cast<int>(reason))) {
+      if (metrics != nullptr) {
+        metrics->GetCounter(kCancelRequestedCounter)->Increment();
+        // Signal-to-observation latency; only meaningful for an external
+        // token (deadline/failpoint stops have no request timestamp).
+        const CancellationToken* ext = options.cancel.token();
+        metrics->GetHistogram(kCancelObservedSecondsHist)
+            ->Observe(ext != nullptr ? ext->SecondsSinceRequest() : 0.0);
+      }
+    }
+    stop_token.RequestCancel();
+  };
+
+  // Cheap in-loop probe: internal token (already-observed stop) plus the
+  // external token/deadline. No failpoint evaluation, so arming
+  // discovery.cancel with a skip count stays deterministic — only the
+  // coarse checkpoints below consume hits.
+  auto fine_stop = [&]() -> bool {
+    if (stop_token.IsCancelled()) return true;
+    const StoppedReason r = options.cancel.StopReason();
+    if (r != StoppedReason::kNone) {
+      observe_stop(r);
+      return true;
+    }
+    return false;
+  };
+
+  // Coarse checkpoint (relation start, between phases): everything
+  // fine_stop sees plus the discovery.cancel failpoint, which simulates a
+  // stop request — Cancelled or DeadlineExceeded specs map onto the
+  // matching reason; any other injected code reads as a cancellation.
+  auto checkpoint_stop = [&]() -> bool {
+    if (fine_stop()) return true;
+    const Status injected =
+        FailPoints::Instance().Evaluate(kFailPointDiscoveryCancel);
+    if (!injected.ok()) {
+      observe_stop(injected.code() == StatusCode::kDeadlineExceeded
+                       ? StoppedReason::kDeadline
+                       : StoppedReason::kCancelled);
+      return true;
+    }
+    return false;
+  };
 
   // Optional weight-caching ablation: hoist line 7 out of the loop.
   StrategyWeights hoisted_weights;
@@ -147,12 +227,19 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     double evaluation_seconds = 0.0;
     double weight_seconds = 0.0;
     Status status;
+    /// Set only when process_relation ran the relation to the end. A stopped
+    /// sweep treats unfinished relations as all-or-nothing: they contribute
+    /// no facts, no stats phases and no completion callback, so resuming
+    /// later regenerates their facts bit-identically from their own RNG
+    /// streams.
+    bool completed = false;
   };
   std::vector<RelationOutcome> outcomes(relations.size());
 
   auto process_relation = [&](size_t index) {
     const RelationId r = relations[index];
     RelationOutcome& out = outcomes[index];
+    if (checkpoint_stop()) return;  // relation-boundary checkpoint
     // Fault-injection seam: a per-relation failure (simulated I/O error,
     // OOM, ...) aborts this relation only; completed relations keep their
     // outcomes, which the resume layer has already persisted.
@@ -193,6 +280,8 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       object_sampler = &local_object_sampler;
     }
 
+    if (checkpoint_stop()) return;  // post-weights checkpoint
+
     // Lines 8-13: sample, mesh-grid, filter seen, until enough candidates.
     ScopedSpan generation_span(metrics, kDiscoveryGenerationSpan);
     std::vector<Triple> local_facts;
@@ -224,6 +313,8 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     out.num_candidates = local_facts.size();
     out.generation_seconds = generation_span.Stop();
 
+    if (checkpoint_stop()) return;  // post-generation checkpoint
+
     // Lines 14-15: rank candidates against corruptions, keep rank <= top_n.
     // The dominant phase: one ScoreObjects/ScoreSubjects pass per distinct
     // (s, r) / (r, o) pair, each O(num_entities * dim). Both the scoring
@@ -250,24 +341,41 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     }
     SideScoreCache score_cache;
     score_cache.PrecomputeObjects(model, kg, subject_keys,
-                                  options.filtered_ranking, pool);
+                                  options.filtered_ranking, pool,
+                                  &run_cancel);
     score_cache.PrecomputeSubjects(model, kg, object_keys,
-                                   options.filtered_ranking, pool);
+                                   options.filtered_ranking, pool,
+                                   &run_cancel);
+    // Pre-ranking checkpoint; also covers a stop during precompute, whose
+    // partially-built cache must never be dereferenced below.
+    if (checkpoint_stop()) return;
     std::vector<double> subject_ranks(n_cand);
     std::vector<double> object_ranks(n_cand);
-    ParallelFor(pool, n_cand, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        const Triple& t = local_facts[i];
-        const SideScoreCache::Entry* obj_entry =
-            score_cache.FindObjects(t.subject, r);
-        object_ranks[i] = RankAgainstScores(obj_entry->scores, t.object,
-                                            &obj_entry->excluded);
-        const SideScoreCache::Entry* subj_entry =
-            score_cache.FindSubjects(r, t.object);
-        subject_ranks[i] = RankAgainstScores(subj_entry->scores, t.subject,
-                                             &subj_entry->excluded);
-      }
-    });
+    ParallelFor(
+        pool, n_cand,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            // Per-ranking-chunk granularity on the pool comes from
+            // ParallelFor's claim loop; this probe bounds the *serial*
+            // path (one body call covering all candidates) too. The
+            // relation is abandoned below, so bailing mid-chunk is safe.
+            if ((i & 63u) == 0 && fine_stop()) return;
+            const Triple& t = local_facts[i];
+            const SideScoreCache::Entry* obj_entry =
+                score_cache.FindObjects(t.subject, r);
+            object_ranks[i] = RankAgainstScores(obj_entry->scores, t.object,
+                                                &obj_entry->excluded);
+            const SideScoreCache::Entry* subj_entry =
+                score_cache.FindSubjects(r, t.object);
+            subject_ranks[i] = RankAgainstScores(subj_entry->scores,
+                                                 t.subject,
+                                                 &subj_entry->excluded);
+          }
+        },
+        &run_cancel);
+    // A stop observed any time during ranking may have left rank slots
+    // unfilled — abandon the whole relation rather than emit partial facts.
+    if (fine_stop()) return;
     for (size_t i = 0; i < n_cand; ++i) {
       const double rank = Aggregate(options.rank_aggregation,
                                     subject_ranks[i], object_ranks[i]);
@@ -295,6 +403,7 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
       relations_counter->Increment();
     }
 
+    out.completed = true;
     if (options.on_relation_complete) {
       RelationCompletion completion;
       completion.relation = r;
@@ -305,16 +414,29 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     }
   };
 
-  ParallelFor(pool, relations.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) process_relation(i);
-  });
+  ParallelFor(
+      pool, relations.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) process_relation(i);
+      },
+      &run_cancel);
+  const auto final_reason =
+      static_cast<StoppedReason>(stop_reason.load(std::memory_order_acquire));
 
   DiscoveryResult result;
+  result.stopped_reason = final_reason;
   // Hoisted weight time belongs to the weight phase only; seeding
   // generation_seconds with it (as this code once did) double-counted it.
   result.stats.weight_seconds = hoisted_weight_seconds;
   for (RelationOutcome& out : outcomes) {
     KGFD_RETURN_NOT_OK(out.status);
+    // Unfinished relations on a stopped sweep — whether their checkpoint
+    // bailed or their index was never claimed by the cancelled ParallelFor
+    // — are uniformly "skipped".
+    if (!out.completed) {
+      ++result.stats.num_relations_skipped;
+      continue;
+    }
     result.facts.insert(result.facts.end(), out.facts.begin(),
                         out.facts.end());
     result.stats.num_candidates += out.num_candidates;

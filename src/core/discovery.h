@@ -9,6 +9,7 @@
 #include "kg/triple_store.h"
 #include "kg/types.h"
 #include "kge/model.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace kgfd {
@@ -70,6 +71,21 @@ struct DiscoveryOptions {
   /// counters are recorded here (metric names above). Null disables all
   /// instrumentation at zero cost.
   MetricsRegistry* metrics = nullptr;
+  /// Cooperative stop signal: an optional CancellationToken and/or Deadline
+  /// observed at per-relation and per-ranking-chunk checkpoints. Stopping is
+  /// graceful degradation, not an error — DiscoverFacts returns the facts of
+  /// every relation that completed before the stop, with
+  /// DiscoveryResult::stopped_reason saying why the sweep ended early.
+  /// Relations are all-or-nothing: one interrupted mid-ranking contributes
+  /// no facts and no on_relation_complete call, so a later resume reproduces
+  /// its facts bit-identically. Not a config-file key; set it in code.
+  CancelContext cancel;
+  /// Upper bound on the estimated per-relation transient memory of candidate
+  /// generation + ranking (sample vectors, mesh-grid candidates, dedup set,
+  /// rank slots). Guards against max_candidates values whose sample_size^2
+  /// mesh-grid would overflow or allocate absurdly; exceeding it fails fast
+  /// with InvalidArgument before anything is allocated.
+  size_t max_candidate_memory_bytes = size_t{1} << 30;  // 1 GiB
   /// Invoked once per relation immediately after its facts are final,
   /// from whichever thread processed the relation — the callback must be
   /// thread-safe when a pool is used. Completion order is unspecified under
@@ -115,6 +131,9 @@ struct DiscoveryStats {
   size_t num_candidates = 0;
   size_t num_facts = 0;
   size_t num_relations_processed = 0;
+  /// Relations not processed because the run stopped early (cancellation or
+  /// deadline); always 0 when stopped_reason is kNone.
+  size_t num_relations_skipped = 0;
 
   /// The paper's efficiency metric: discovered facts per hour of total
   /// runtime.
@@ -128,6 +147,10 @@ struct DiscoveryStats {
 struct DiscoveryResult {
   std::vector<DiscoveredFact> facts;
   DiscoveryStats stats;
+  /// kNone when the sweep ran to completion; otherwise why it stopped
+  /// early. A stopped run is still a *successful* run — `facts` holds every
+  /// relation that completed before the stop.
+  StoppedReason stopped_reason = StoppedReason::kNone;
 };
 
 /// Mean reciprocal rank of the discovered facts — the paper's quality
@@ -165,6 +188,14 @@ class ThreadPool;
 /// (pool == nullptr). Under a pool, the per-phase stats are summed across
 /// concurrently-processed relations and may exceed total_seconds (wall
 /// clock).
+///
+/// options.cancel makes the sweep stoppable: checkpoints at relation
+/// boundaries and between ranking chunks observe the token/deadline, workers
+/// stop claiming work within one chunk's latency, and the call returns OK
+/// with the completed relations' facts and a non-kNone
+/// DiscoveryResult::stopped_reason. The `discovery.cancel` failpoint site is
+/// evaluated at the same checkpoints, so tests can inject Cancelled /
+/// DeadlineExceeded to drive this path deterministically.
 Result<DiscoveryResult> DiscoverFacts(const Model& model,
                                       const TripleStore& kg,
                                       const DiscoveryOptions& options,

@@ -73,6 +73,17 @@ Result<JobSpec> JobSpec::FromConfig(const ConfigFile& config) {
   spec.discovery.max_candidates = static_cast<size_t>(max_candidates);
   KGFD_ASSIGN_OR_RETURN(spec.discovery.type_filter,
                         config.GetBool("discovery.type_filter", false));
+  KGFD_ASSIGN_OR_RETURN(
+      const int64_t max_cand_mem,
+      config.GetInt("discovery.max_candidate_memory_bytes",
+                    static_cast<int64_t>(
+                        spec.discovery.max_candidate_memory_bytes)));
+  if (max_cand_mem <= 0) {
+    return Status::InvalidArgument(
+        "discovery.max_candidate_memory_bytes must be > 0");
+  }
+  spec.discovery.max_candidate_memory_bytes =
+      static_cast<size_t>(max_cand_mem);
 
   KGFD_ASSIGN_OR_RETURN(const int64_t seed, config.GetInt("seed", 42));
   spec.seed = static_cast<uint64_t>(seed);
@@ -90,6 +101,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
   JobResult result;
 
   // Dataset.
+  KGFD_RETURN_NOT_OK(spec.cancel.Check("job (before dataset phase)"));
   KGFD_FAIL_POINT(kFailPointJobDataset);
   if (!spec.dataset_dir.empty()) {
     KGFD_ASSIGN_OR_RETURN(Dataset loaded,
@@ -119,6 +131,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
                   << result.dataset->train().size() << " train triples";
 
   // Model + training.
+  KGFD_RETURN_NOT_OK(spec.cancel.Check("job (before train phase)"));
   KGFD_FAIL_POINT(kFailPointJobTrain);
   ModelConfig model_config;
   model_config.num_entities = result.dataset->num_entities();
@@ -126,6 +139,7 @@ Result<JobResult> RunJob(const JobSpec& spec) {
   model_config.embedding_dim = spec.embedding_dim;
   TrainerConfig trainer_config = spec.trainer;
   if (spec.metrics != nullptr) trainer_config.metrics = spec.metrics;
+  trainer_config.cancel = spec.cancel;
   KGFD_ASSIGN_OR_RETURN(result.model,
                         TrainModel(spec.model, model_config,
                                    result.dataset->train(),
@@ -133,9 +147,11 @@ Result<JobResult> RunJob(const JobSpec& spec) {
 
   // Evaluation.
   if (spec.run_eval) {
+    KGFD_RETURN_NOT_OK(spec.cancel.Check("job (before eval phase)"));
     KGFD_FAIL_POINT(kFailPointJobEval);
     EvalConfig eval_config;
     eval_config.metrics = spec.metrics;
+    eval_config.cancel = spec.cancel;
     KGFD_ASSIGN_OR_RETURN(
         result.test_metrics,
         EvaluateLinkPrediction(*result.model, *result.dataset,
@@ -144,9 +160,11 @@ Result<JobResult> RunJob(const JobSpec& spec) {
 
   // Discovery.
   if (spec.run_discovery) {
+    KGFD_RETURN_NOT_OK(spec.cancel.Check("job (before discovery phase)"));
     KGFD_FAIL_POINT(kFailPointJobDiscovery);
     DiscoveryOptions discovery_options = spec.discovery;
     if (spec.metrics != nullptr) discovery_options.metrics = spec.metrics;
+    discovery_options.cancel = spec.cancel;
     KGFD_ASSIGN_OR_RETURN(result.discovery,
                           DiscoverFacts(*result.model,
                                         result.dataset->train(),

@@ -37,6 +37,7 @@ namespace kgfd {
 ///   discovery.top_n           = 500
 ///   discovery.max_candidates  = 500
 ///   discovery.type_filter     = false
+///   discovery.max_candidate_memory_bytes = 1073741824
 ///   seed              = 42
 struct JobSpec {
   std::string dataset_preset = "FB15K-237";
@@ -52,6 +53,14 @@ struct JobSpec {
   /// When set, RunJob wires this registry into training, evaluation and
   /// discovery (see src/obs/); not a config-file key — set it in code.
   MetricsRegistry* metrics = nullptr;
+  /// When stoppable, RunJob threads this context into every phase (trainer,
+  /// evaluators, discovery) and checks it between phases. A stop during
+  /// training degrades gracefully (partial model, job continues only if the
+  /// stop was observed *after* the phase boundary — otherwise RunJob
+  /// returns Cancelled/DeadlineExceeded); a stop during eval or discovery
+  /// surfaces that phase's semantics. Not a config-file key — set it in
+  /// code.
+  CancelContext cancel;
 
   /// Parses a config file; unknown keys are an error (typo safety).
   static Result<JobSpec> FromConfig(const ConfigFile& config);

@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
 
@@ -16,45 +19,47 @@ namespace kgfd {
 namespace {
 
 constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'R', 'S', 'U', 'M'};
-constexpr uint32_t kFormatVersion = 1;
+// Version 2 appends a CRC-32 trailer over everything before it, so loads
+// reject truncated or bit-flipped manifests instead of parsing garbage.
+constexpr uint32_t kFormatVersion = 2;
 
-void WriteU64(std::ofstream& out, uint64_t v) {
+void WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteU32(std::ofstream& out, uint32_t v) {
+void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteDouble(std::ofstream& out, double v) {
+void WriteDouble(std::ostream& out, double v) {
   WriteU64(out, std::bit_cast<uint64_t>(v));
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WriteU64(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-Result<uint64_t> ReadU64(std::ifstream& in) {
+Result<uint64_t> ReadU64(std::istream& in) {
   uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!in) return Status::IoError("truncated resume manifest");
   return v;
 }
 
-Result<uint32_t> ReadU32(std::ifstream& in) {
+Result<uint32_t> ReadU32(std::istream& in) {
   uint32_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!in) return Status::IoError("truncated resume manifest");
   return v;
 }
 
-Result<double> ReadDouble(std::ifstream& in) {
+Result<double> ReadDouble(std::istream& in) {
   KGFD_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(in));
   return std::bit_cast<double>(bits);
 }
 
-Result<std::string> ReadString(std::ifstream& in) {
+Result<std::string> ReadString(std::istream& in) {
   KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
   if (n > (1ULL << 20)) {
     return Status::IoError("corrupt resume manifest string");
@@ -159,10 +164,10 @@ Status CheckManifestCompatible(const ResumeManifest& loaded,
 Status SaveResumeManifest(const ResumeManifest& manifest,
                           const std::string& path) {
   KGFD_FAIL_POINT(kFailPointResumeSave);
-  const std::string tmp = path + ".tmp";
+  // Serialize into memory first so the CRC-32 trailer can cover every byte
+  // before it; the file write then becomes payload + trailer in one go.
+  std::ostringstream out(std::ios::binary);
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open for writing: " + tmp);
     out.write(kMagic, sizeof(kMagic));
     WriteU32(out, kFormatVersion);
     WriteString(out, manifest.model_name);
@@ -196,8 +201,18 @@ Status SaveResumeManifest(const ResumeManifest& manifest,
         WriteDouble(out, fact.object_rank);
       }
     }
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  const std::string payload = out.str();
+  const uint32_t crc = Crc32(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::IoError("cannot open for writing: " + tmp);
+    file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    WriteU32(file, crc);
+    file.flush();
+    if (!file) return Status::IoError("write failed: " + tmp);
   }
   // Atomic publish: readers see either the old manifest or the new one,
   // never a torn write.
@@ -209,13 +224,34 @@ Status SaveResumeManifest(const ResumeManifest& manifest,
 
 Result<ResumeManifest> LoadResumeManifest(const std::string& path) {
   KGFD_FAIL_POINT(kFailPointResumeLoad);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return Status::IoError("read failed: " + path);
+  }
+  // Verify before parsing: magic, then the CRC-32 trailer over everything
+  // preceding it. A failed check means truncation or corruption — nothing
+  // past this point ever parses unchecksummed bytes.
+  if (data.size() < sizeof(kMagic) + 2 * sizeof(uint32_t)) {
+    return Status::IoError("truncated resume manifest: " + path);
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::IoError("not a kgfd resume manifest: " + path);
   }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual_crc = Crc32(data.data(), data.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::IoError(
+        "resume manifest checksum mismatch (truncated or corrupted): " +
+        path);
+  }
+  std::istringstream in(data.substr(0, data.size() - sizeof(uint32_t)),
+                        std::ios::binary);
+  in.ignore(sizeof(kMagic));
   KGFD_ASSIGN_OR_RETURN(uint32_t version, ReadU32(in));
   if (version != kFormatVersion) {
     return Status::IoError("unsupported resume manifest version");
@@ -366,11 +402,20 @@ Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
   }
   DiscoveryResult result;
   result.stats = live.stats;  // timing covers the live portion only
+  result.stopped_reason = live.stopped_reason;
   result.stats.num_candidates = 0;
-  result.stats.num_relations_processed = relations.size();
+  result.stats.num_relations_processed = 0;
+  result.stats.num_relations_skipped = 0;
   for (RelationId r : relations) {
     auto it = done.find(r);
     if (it == done.end()) {
+      // On a stopped run, unfinished relations are expected: their facts
+      // are simply absent until a later --resume regenerates them. On a
+      // completed run a hole means the manifest and the sweep disagree.
+      if (result.stopped_reason != StoppedReason::kNone) {
+        ++result.stats.num_relations_skipped;
+        continue;
+      }
       return Status::Internal("resume manifest missing completed relation " +
                               std::to_string(r));
     }
@@ -378,6 +423,7 @@ Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
     result.facts.insert(result.facts.end(), entry.facts.begin(),
                         entry.facts.end());
     result.stats.num_candidates += entry.num_candidates;
+    ++result.stats.num_relations_processed;
   }
   result.stats.num_facts = result.facts.size();
   return result;

@@ -100,6 +100,13 @@ struct ResumeOptions {
 /// manifest and a subsequent call resumes after them. Duplicate entries in
 /// options.relations are rejected: the manifest is keyed by relation id.
 ///
+/// options.cancel (token or deadline) stops the sweep gracefully: every
+/// relation completed before the stop is already persisted in the manifest
+/// (each one is flushed as it finishes), the call returns OK with those
+/// relations' facts and a non-kNone stopped_reason, and a later call with
+/// the same manifest path resumes from the stop point, yielding facts
+/// byte-identical to an uninterrupted run.
+///
 /// Stats caveat: the timing fields cover only the live portion of the run;
 /// counts (candidates, facts, relations) cover manifest-restored relations
 /// too.

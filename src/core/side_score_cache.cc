@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace kgfd {
@@ -73,7 +74,8 @@ template <typename MakeEntry>
 size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
                       const std::vector<SideScoreCache::Key>& keys,
                       uint64_t (*pack)(const SideScoreCache::Key&),
-                      const MakeEntry& make_entry, ThreadPool* pool) {
+                      const MakeEntry& make_entry, ThreadPool* pool,
+                      const CancelContext* cancel) {
   std::vector<const SideScoreCache::Key*> fresh;
   fresh.reserve(keys.size());
   std::unordered_set<uint64_t> batch;  // dedup within this key list too
@@ -84,13 +86,22 @@ size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
     }
   }
   std::vector<SideScoreCache::Entry> entries(fresh.size());
-  ParallelFor(pool, fresh.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) entries[i] = make_entry(*fresh[i]);
-  });
+  ParallelFor(
+      pool, fresh.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) entries[i] = make_entry(*fresh[i]);
+      },
+      cancel);
+  // A cancelled ParallelFor leaves later slots untouched; only insert
+  // entries that were actually scored so lookups for the rest keep missing
+  // (an empty cached entry would read as "no competitors").
+  size_t inserted = 0;
   for (size_t i = 0; i < fresh.size(); ++i) {
+    if (entries[i].scores.empty()) continue;
     map->emplace(pack(*fresh[i]), std::move(entries[i]));
+    ++inserted;
   }
-  return fresh.size();
+  return inserted;
 }
 
 }  // namespace
@@ -98,27 +109,29 @@ size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
 size_t SideScoreCache::PrecomputeObjects(const Model& model,
                                          const TripleStore& kg,
                                          const std::vector<Key>& keys,
-                                         bool filtered, ThreadPool* pool) {
+                                         bool filtered, ThreadPool* pool,
+                                         const CancelContext* cancel) {
   return PrecomputeInto(
       &by_subject_, keys,
       +[](const Key& k) { return PackKey(k.first, k.second); },
       [&](const Key& k) {
         return MakeObjectsEntry(model, kg, k.first, k.second, filtered);
       },
-      pool);
+      pool, cancel);
 }
 
 size_t SideScoreCache::PrecomputeSubjects(const Model& model,
                                           const TripleStore& kg,
                                           const std::vector<Key>& keys,
-                                          bool filtered, ThreadPool* pool) {
+                                          bool filtered, ThreadPool* pool,
+                                          const CancelContext* cancel) {
   return PrecomputeInto(
       &by_object_, keys,
       +[](const Key& k) { return PackKey(k.first, k.second); },
       [&](const Key& k) {
         return MakeSubjectsEntry(model, kg, k.second, k.first, filtered);
       },
-      pool);
+      pool, cancel);
 }
 
 const SideScoreCache::Entry* SideScoreCache::FindObjects(EntityId s,

@@ -12,6 +12,7 @@
 
 namespace kgfd {
 
+class CancelContext;
 class ThreadPool;
 
 /// Caches ScoreObjects / ScoreSubjects passes so every mesh-grid candidate
@@ -49,15 +50,19 @@ class SideScoreCache {
 
   /// Builds the object-side entries for `keys` ((subject, relation) pairs),
   /// skipping keys already cached; the scoring passes run on `pool`
-  /// (nullptr = inline). Returns the number of entries computed.
+  /// (nullptr = inline). Returns the number of entries computed. When
+  /// `cancel` requests a stop, remaining passes are abandoned — entries
+  /// already scored stay cached and correct, later keys simply miss.
   size_t PrecomputeObjects(const Model& model, const TripleStore& kg,
                            const std::vector<Key>& keys, bool filtered,
-                           ThreadPool* pool);
+                           ThreadPool* pool,
+                           const CancelContext* cancel = nullptr);
 
   /// Builds the subject-side entries for `keys` ((object, relation) pairs).
   size_t PrecomputeSubjects(const Model& model, const TripleStore& kg,
                             const std::vector<Key>& keys, bool filtered,
-                            ThreadPool* pool);
+                            ThreadPool* pool,
+                            const CancelContext* cancel = nullptr);
 
   /// Read-only lookups; nullptr when the entry was never computed. Safe to
   /// call concurrently as long as no mutating call runs at the same time.

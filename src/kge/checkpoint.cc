@@ -3,32 +3,38 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 
+#include "util/crc32.h"
 #include "util/failpoint.h"
 
 namespace kgfd {
 namespace {
 
 constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kFormatVersion = 1;
+// Version 2 appends a CRC-32 trailer over everything before it, so loads
+// reject truncated or bit-flipped checkpoints instead of deserializing
+// garbage weights.
+constexpr uint32_t kFormatVersion = 2;
 
-void WriteU64(std::ofstream& out, uint64_t v) {
+void WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WriteU64(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-Result<uint64_t> ReadU64(std::ifstream& in) {
+Result<uint64_t> ReadU64(std::istream& in) {
   uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!in) return Status::IoError("truncated checkpoint");
   return v;
 }
 
-Result<std::string> ReadString(std::ifstream& in) {
+Result<std::string> ReadString(std::istream& in) {
   KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
   if (n > (1ULL << 20)) return Status::IoError("corrupt checkpoint string");
   std::string s(n, '\0');
@@ -42,8 +48,9 @@ Result<std::string> ReadString(std::ifstream& in) {
 Status SaveModel(Model* model, const ModelConfig& config,
                  const std::string& path) {
   KGFD_FAIL_POINT(kFailPointCheckpointSave);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Serialize into memory first so the CRC-32 trailer can cover every byte
+  // before it.
+  std::ostringstream out(std::ios::binary);
   out.write(kMagic, sizeof(kMagic));
   const uint32_t version = kFormatVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -65,19 +72,47 @@ Status SaveModel(Model* model, const ModelConfig& config,
               static_cast<std::streamsize>(p.tensor->size() *
                                            sizeof(float)));
   }
-  if (!out) return Status::IoError("write failed: " + path);
+  const std::string payload = out.str();
+  const uint32_t crc = Crc32(payload);
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!file) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
 Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
   KGFD_FAIL_POINT(kFailPointCheckpointLoad);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return Status::IoError("read failed: " + path);
+  }
+  // Verify before parsing: magic, then the CRC-32 trailer over everything
+  // preceding it. A failed check means truncation or corruption — nothing
+  // past this point ever parses unchecksummed bytes.
+  if (data.size() < sizeof(kMagic) + 2 * sizeof(uint32_t)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::IoError("not a kgfd checkpoint: " + path);
   }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual_crc =
+      Crc32(data.data(), data.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::IoError(
+        "checkpoint checksum mismatch (truncated or corrupted): " + path);
+  }
+  std::istringstream in(data.substr(0, data.size() - sizeof(uint32_t)),
+                        std::ios::binary);
+  in.ignore(sizeof(kMagic));
   uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!in || version != kFormatVersion) {

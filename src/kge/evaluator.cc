@@ -78,27 +78,34 @@ Result<LinkPredictionMetrics> EvaluateLinkPrediction(
   // Fixed slots per triple keep the result independent of scheduling.
   std::vector<double> ranks(split.size() * 2, 0.0);
   const std::vector<Triple>& triples = split.triples();
-  ParallelFor(pool, triples.size(), [&](size_t begin, size_t end) {
-    std::vector<double> scores;
-    std::vector<char> excluded;
-    for (size_t i = begin; i < end; ++i) {
-      const Triple& t = triples[i];
-      // Object side.
-      model.ScoreObjects(t.subject, t.relation, &scores);
-      excluded.assign(scores.size(), 0);
-      if (config.filtered) {
-        MarkKnownObjects(stores, t.subject, t.relation, &excluded);
-      }
-      ranks[2 * i] = RankAgainstScores(scores, t.object, &excluded);
-      // Subject side.
-      model.ScoreSubjects(t.relation, t.object, &scores);
-      excluded.assign(scores.size(), 0);
-      if (config.filtered) {
-        MarkKnownSubjects(stores, t.relation, t.object, &excluded);
-      }
-      ranks[2 * i + 1] = RankAgainstScores(scores, t.subject, &excluded);
-    }
-  });
+  ParallelFor(
+      pool, triples.size(),
+      [&](size_t begin, size_t end) {
+        std::vector<double> scores;
+        std::vector<char> excluded;
+        for (size_t i = begin; i < end; ++i) {
+          // Per-triple cancellation probe; the whole evaluation errors out
+          // below, so abandoning this chunk's remaining slots is safe.
+          if (config.cancel.StopReason() != StoppedReason::kNone) return;
+          const Triple& t = triples[i];
+          // Object side.
+          model.ScoreObjects(t.subject, t.relation, &scores);
+          excluded.assign(scores.size(), 0);
+          if (config.filtered) {
+            MarkKnownObjects(stores, t.subject, t.relation, &excluded);
+          }
+          ranks[2 * i] = RankAgainstScores(scores, t.object, &excluded);
+          // Subject side.
+          model.ScoreSubjects(t.relation, t.object, &scores);
+          excluded.assign(scores.size(), 0);
+          if (config.filtered) {
+            MarkKnownSubjects(stores, t.relation, t.object, &excluded);
+          }
+          ranks[2 * i + 1] = RankAgainstScores(scores, t.subject, &excluded);
+        }
+      },
+      &config.cancel);
+  KGFD_RETURN_NOT_OK(config.cancel.Check("link-prediction evaluation"));
   const double elapsed = span.Stop();
   if (config.metrics != nullptr) {
     config.metrics->GetCounter(kEvalTriplesCounter)
@@ -156,6 +163,7 @@ Result<StratifiedMetrics> EvaluateByPopularity(
   std::vector<double> scores;
   std::vector<char> excluded;
   for (const Triple& t : split.triples()) {
+    KGFD_RETURN_NOT_OK(config.cancel.Check("popularity evaluation"));
     model.ScoreObjects(t.subject, t.relation, &scores);
     excluded.assign(scores.size(), 0);
     if (config.filtered) {

@@ -5,6 +5,7 @@
 
 #include "kg/dataset.h"
 #include "kge/model.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace kgfd {
@@ -45,6 +46,11 @@ struct EvalConfig {
   /// When set, evaluation latency, triples-ranked counters and a scoring
   /// throughput gauge are recorded here (metric names above).
   MetricsRegistry* metrics = nullptr;
+  /// Cooperative stop signal, observed between ranked triples. Unlike
+  /// discovery, a stopped evaluation returns an *error* (Cancelled /
+  /// DeadlineExceeded) rather than partial metrics — metrics over an
+  /// arbitrary prefix of the split would be silently misleading.
+  CancelContext cancel;
 };
 
 class ThreadPool;

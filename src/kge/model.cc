@@ -57,9 +57,7 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
       model = std::make_unique<DistMultModel>(config);
       break;
     case ModelKind::kComplEx:
-      if (config.embedding_dim % 2 != 0) {
-        return Status::InvalidArgument("ComplEx needs an even embedding_dim");
-      }
+      KGFD_RETURN_NOT_OK(ComplExModel::ValidateConfig(config));
       model = std::make_unique<ComplExModel>(config);
       break;
     case ModelKind::kRescal:
@@ -68,22 +66,10 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
     case ModelKind::kHolE:
       model = std::make_unique<HolEModel>(config);
       break;
-    case ModelKind::kConvE: {
-      const size_t h = config.conve_reshape_height;
-      if (h < 2 || config.embedding_dim % h != 0) {
-        return Status::InvalidArgument(
-            "ConvE needs conve_reshape_height >= 2 dividing embedding_dim");
-      }
-      if (config.embedding_dim / h < 3) {
-        return Status::InvalidArgument(
-            "ConvE reshape width must be >= 3 for a 3x3 convolution");
-      }
-      if (config.conve_num_filters == 0) {
-        return Status::InvalidArgument("ConvE needs >= 1 filter");
-      }
+    case ModelKind::kConvE:
+      KGFD_RETURN_NOT_OK(ConvEModel::ValidateConfig(config));
       model = std::make_unique<ConvEModel>(config);
       break;
-    }
   }
   model->InitParameters(rng);
   return model;

@@ -1,15 +1,20 @@
 #include "kge/models/complex.h"
 
-#include <cstdlib>
-
 namespace kgfd {
+
+Status ComplExModel::ValidateConfig(const ModelConfig& config) {
+  if (config.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument(
+        "ComplEx needs an even embedding_dim (got " +
+        std::to_string(config.embedding_dim) +
+        "): rows store real and imaginary halves of dim/2 complex numbers");
+  }
+  return Status::OK();
+}
 
 ComplExModel::ComplExModel(const ModelConfig& config)
     : PairEmbeddingModel(config, config.embedding_dim),
-      half_(config.embedding_dim / 2) {
-  // CreateModel validates evenness; this is a backstop for direct use.
-  if (config.embedding_dim % 2 != 0) std::abort();
-}
+      half_(config.embedding_dim / 2) {}
 
 double ComplExModel::Score(const Triple& t) const {
   const float* s = entities_.Row(t.subject);

@@ -12,6 +12,14 @@ namespace kgfd {
 /// relations that defeat DistMult.
 class ComplExModel : public PairEmbeddingModel {
  public:
+  /// InvalidArgument unless `config` can parameterize a ComplEx model
+  /// (embedding_dim must be even: rows are real halves followed by
+  /// imaginary halves). Must pass before constructing; the constructor
+  /// assumes a validated config. CreateModel and LoadModel call this and
+  /// surface the Status instead of aborting.
+  static Status ValidateConfig(const ModelConfig& config);
+
+  /// Requires ValidateConfig(config).ok().
   explicit ComplExModel(const ModelConfig& config);
 
   ModelKind kind() const override { return ModelKind::kComplEx; }

@@ -1,9 +1,28 @@
 #include "kge/models/conve.h"
 
-#include <cstdlib>
 #include <cstring>
 
 namespace kgfd {
+
+Status ConvEModel::ValidateConfig(const ModelConfig& config) {
+  const size_t h = config.conve_reshape_height;
+  if (h < 2 || config.embedding_dim % h != 0) {
+    return Status::InvalidArgument(
+        "ConvE needs conve_reshape_height >= 2 dividing embedding_dim (got "
+        "height " +
+        std::to_string(h) + ", dim " +
+        std::to_string(config.embedding_dim) + ")");
+  }
+  if (config.embedding_dim / h < 3) {
+    return Status::InvalidArgument(
+        "ConvE reshape width must be >= 3 for a 3x3 convolution (got " +
+        std::to_string(config.embedding_dim / h) + ")");
+  }
+  if (config.conve_num_filters == 0) {
+    return Status::InvalidArgument("ConvE needs >= 1 filter");
+  }
+  return Status::OK();
+}
 
 ConvEModel::ConvEModel(const ModelConfig& config)
     : dim_(config.embedding_dim),
@@ -19,12 +38,7 @@ ConvEModel::ConvEModel(const ModelConfig& config)
       conv_b_(1, num_filters_),
       fc_w_(flat_, dim_),
       fc_b_(1, dim_),
-      ent_bias_(config.num_entities, 1) {
-  // CreateModel validates; backstop for direct construction.
-  if (dim_ % img_h_ != 0 || img_w_ < 3 || img_h_ < 2 || num_filters_ == 0) {
-    std::abort();
-  }
-}
+      ent_bias_(config.num_entities, 1) {}
 
 std::vector<NamedTensor> ConvEModel::Parameters() {
   return {{"entities", &entities_}, {"relations", &relations_},

@@ -19,6 +19,16 @@ namespace kgfd {
 /// directions so each head is trained.
 class ConvEModel : public Model {
  public:
+  /// InvalidArgument unless `config` can parameterize a ConvE model:
+  /// conve_reshape_height >= 2 and dividing embedding_dim, reshape width
+  /// (dim / height) >= 3 for the valid 3x3 convolution, and at least one
+  /// filter. Must pass before constructing — the member initializers
+  /// compute out_w_ = width - 2 and similar, which underflow on an invalid
+  /// config. CreateModel and LoadModel call this and surface the Status
+  /// instead of aborting.
+  static Status ValidateConfig(const ModelConfig& config);
+
+  /// Requires ValidateConfig(config).ok().
   explicit ConvEModel(const ModelConfig& config);
 
   ModelKind kind() const override { return ModelKind::kConvE; }

@@ -71,13 +71,21 @@ Result<std::vector<EpochStats>> Trainer::Train() {
 
   std::vector<EpochStats> stats;
   stats.reserve(config_.epochs);
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  bool stopped = false;
+  for (size_t epoch = 0; epoch < config_.epochs && !stopped; ++epoch) {
     WallTimer timer;
     rng.Shuffle(&order);
     double loss_sum = 0.0;
     size_t loss_count = 0;
     for (size_t begin = 0; begin < order.size();
          begin += config_.batch_size) {
+      // Between-batch cancellation checkpoint: the epoch in flight is
+      // abandoned (its stats are not recorded), but every optimizer step
+      // already applied stays — the model remains usable as-is.
+      if (config_.cancel.StopReason() != StoppedReason::kNone) {
+        stopped = true;
+        break;
+      }
       const size_t end =
           std::min(begin + config_.batch_size, order.size());
       grads.Clear();
@@ -164,6 +172,7 @@ Result<std::vector<EpochStats>> Trainer::Train() {
       }
       optimizer->Apply(&grads);
     }
+    if (stopped) break;
     EpochStats es;
     es.epoch = epoch;
     es.mean_loss =

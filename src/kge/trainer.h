@@ -9,6 +9,7 @@
 #include "kge/model.h"
 #include "kge/negative_sampling.h"
 #include "kge/optimizer.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace kgfd {
@@ -64,6 +65,13 @@ struct TrainerConfig {
   /// When set, per-epoch loss/latency histograms, example counters and an
   /// examples/sec gauge are recorded here (metric names above).
   MetricsRegistry* metrics = nullptr;
+
+  /// Cooperative stop signal, observed between batches. A stopped run is
+  /// graceful degradation: Train() returns OK with the stats of the epochs
+  /// completed so far, and the model keeps the parameters it had after the
+  /// last finished batch (with early stopping active, the best snapshot is
+  /// still restored) — a usable, checkpointable partially-trained model.
+  CancelContext cancel;
 };
 
 struct EpochStats {

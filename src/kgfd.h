@@ -34,6 +34,8 @@
 #include "obs/export.h"        // IWYU pragma: export
 #include "obs/metrics.h"       // IWYU pragma: export
 #include "obs/span.h"          // IWYU pragma: export
+#include "util/cancellation.h" // IWYU pragma: export
+#include "util/crc32.h"        // IWYU pragma: export
 #include "util/failpoint.h"    // IWYU pragma: export
 #include "util/retry.h"        // IWYU pragma: export
 #include "util/status.h"       // IWYU pragma: export

@@ -1,0 +1,113 @@
+#include "util/cancellation.h"
+
+#include <csignal>
+
+namespace kgfd {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StoppedReasonName(StoppedReason reason) {
+  switch (reason) {
+    case StoppedReason::kNone:
+      return "none";
+    case StoppedReason::kCancelled:
+      return "cancelled";
+    case StoppedReason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+Status StoppedStatus(StoppedReason reason, const char* context) {
+  const char* what = context != nullptr ? context : "operation";
+  switch (reason) {
+    case StoppedReason::kNone:
+      return Status::OK();
+    case StoppedReason::kCancelled:
+      return Status::Cancelled(std::string(what) + " cancelled");
+    case StoppedReason::kDeadline:
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its deadline");
+  }
+  return Status::Internal("unknown StoppedReason");
+}
+
+void CancellationToken::RequestCancel() noexcept {
+  // Record the time before publishing the flag so any observer that sees
+  // cancelled==true also sees a valid timestamp. Both stores are
+  // async-signal-safe: lock-free atomics plus a steady-clock read.
+  int64_t expected = 0;
+  request_time_ns_.compare_exchange_strong(expected, NowNanos(),
+                                           std::memory_order_relaxed);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancellationToken::CheckCancelled(const char* context) const {
+  if (!IsCancelled()) return Status::OK();
+  return StoppedStatus(StoppedReason::kCancelled, context);
+}
+
+double CancellationToken::SecondsSinceRequest() const {
+  if (!IsCancelled()) return 0.0;
+  const int64_t at = request_time_ns_.load(std::memory_order_relaxed);
+  if (at == 0) return 0.0;
+  return static_cast<double>(NowNanos() - at) * 1e-9;
+}
+
+namespace {
+
+/// The token the installed signal handler forwards to. A lock-free atomic
+/// pointer so the handler itself stays async-signal-safe.
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+
+extern "C" void KgfdSignalHandler(int /*signum*/) {
+  CancellationToken* token = g_signal_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->RequestCancel();
+}
+
+}  // namespace
+
+void InstallSignalCancellation(CancellationToken* token) {
+  g_signal_token.store(token, std::memory_order_release);
+  if (token != nullptr) {
+    std::signal(SIGINT, &KgfdSignalHandler);
+    std::signal(SIGTERM, &KgfdSignalHandler);
+  } else {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+}
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  d.has_deadline_ = true;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  return d;
+}
+
+bool Deadline::Expired() const {
+  return has_deadline_ && Clock::now() >= at_;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+Status Deadline::CheckExpired(const char* context) const {
+  if (!Expired()) return Status::OK();
+  return StoppedStatus(StoppedReason::kDeadline, context);
+}
+
+}  // namespace kgfd

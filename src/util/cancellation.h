@@ -1,0 +1,150 @@
+#ifndef KGFD_UTIL_CANCELLATION_H_
+#define KGFD_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Cooperative cancellation and deadlines for long-running jobs (discovery
+/// sweeps, training, evaluation). Nothing here preempts anything: library
+/// code polls a CancelContext at cheap checkpoints (per relation, per
+/// ranking chunk, per training batch) and winds down gracefully when a stop
+/// is requested — completed work is kept, manifests are flushed, and the
+/// caller learns why the run stopped.
+
+/// Metric names recorded by code that observes a cancellation (see
+/// src/obs/). `cancel.requested` counts runs that saw a stop request;
+/// `cancel.observed_seconds` is the latency from RequestCancel() to the
+/// first checkpoint that noticed it — the "how fast does ctrl-C take
+/// effect" number.
+inline constexpr char kCancelRequestedCounter[] = "cancel.requested";
+inline constexpr char kCancelObservedSecondsHist[] =
+    "cancel.observed_seconds";
+
+/// Why a run stopped before finishing its full workload.
+enum class StoppedReason {
+  kNone = 0,       ///< ran to completion
+  kCancelled = 1,  ///< CancellationToken::RequestCancel (e.g. SIGINT)
+  kDeadline = 2,   ///< Deadline expired
+};
+
+/// Stable name ("none", "cancelled", "deadline") for logs and reports.
+const char* StoppedReasonName(StoppedReason reason);
+
+/// Maps a reason to the matching error Status (kNone maps to OK). `context`
+/// names the operation in the message; may be null.
+Status StoppedStatus(StoppedReason reason, const char* context);
+
+/// A manually triggered stop signal, shareable across threads. Checking is
+/// one relaxed-ish atomic load; requesting is async-signal-safe (atomics
+/// and clock_gettime only), so a SIGINT handler may call RequestCancel()
+/// directly. A token cannot be un-cancelled — create a fresh one per run.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent; the first call records the request
+  /// time so observers can report signal-to-stop latency.
+  void RequestCancel() noexcept;
+
+  bool IsCancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while not cancelled; Status::Cancelled naming `context` afterwards.
+  Status CheckCancelled(const char* context = nullptr) const;
+
+  /// Seconds elapsed since the first RequestCancel(); 0 if not cancelled.
+  double SecondsSinceRequest() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock nanos of the first RequestCancel (0 = never).
+  std::atomic<int64_t> request_time_ns_{0};
+};
+
+/// Installs a process-wide SIGINT + SIGTERM handler that requests
+/// cancellation on `token` (which must outlive the handler's use; pass
+/// nullptr to detach and restore default disposition). The handler only
+/// flips the token — the interrupted job winds down at its next
+/// cancellation checkpoint, flushing manifests and metrics on the way out.
+void InstallSignalCancellation(CancellationToken* token);
+
+/// A wall-clock budget. Default-constructed deadlines never expire.
+/// Deadlines are plain values: copy them freely into option structs.
+class Deadline {
+ public:
+  /// No deadline: Expired() is always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (steady clock). Non-positive budgets are
+  /// already expired.
+  static Deadline After(double seconds);
+
+  bool has_deadline() const { return has_deadline_; }
+  bool Expired() const;
+
+  /// Seconds until expiry; +inf when unset, <= 0 once expired.
+  double RemainingSeconds() const;
+
+  /// OK while unexpired; Status::DeadlineExceeded naming `context` after.
+  Status CheckExpired(const char* context = nullptr) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// The bundle library code actually polls: an optional external token plus
+/// an optional deadline. Copyable value (the token is borrowed, not owned);
+/// a default-constructed context never stops anything, so existing callers
+/// pay one branch per checkpoint.
+class CancelContext {
+ public:
+  CancelContext() = default;
+  explicit CancelContext(const CancellationToken* token,
+                         Deadline deadline = Deadline())
+      : token_(token), deadline_(deadline) {}
+  explicit CancelContext(Deadline deadline) : deadline_(deadline) {}
+
+  /// True if this context can ever request a stop.
+  bool CanStop() const {
+    return token_ != nullptr || deadline_.has_deadline();
+  }
+
+  /// kNone while the run may continue; the stop reason otherwise. Token
+  /// cancellation wins over deadline expiry when both hold. The deadline
+  /// branch reads the clock — call at checkpoint granularity (per relation,
+  /// chunk or batch), not per element of a tight inner loop.
+  StoppedReason StopReason() const {
+    if (token_ != nullptr && token_->IsCancelled()) {
+      return StoppedReason::kCancelled;
+    }
+    if (deadline_.Expired()) return StoppedReason::kDeadline;
+    return StoppedReason::kNone;
+  }
+
+  /// StopReason() as a Status (OK / Cancelled / DeadlineExceeded).
+  Status Check(const char* context = nullptr) const {
+    return StoppedStatus(StopReason(), context);
+  }
+
+  const CancellationToken* token() const { return token_; }
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  const CancellationToken* token_ = nullptr;
+  Deadline deadline_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_UTIL_CANCELLATION_H_

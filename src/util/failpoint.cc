@@ -28,7 +28,8 @@ Result<StatusCode> StatusCodeFromName(const std::string& name) {
        {StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kIoError, StatusCode::kFailedPrecondition,
-        StatusCode::kInternal, StatusCode::kNotImplemented}) {
+        StatusCode::kInternal, StatusCode::kNotImplemented,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded}) {
     if (name == StatusCodeName(code)) return code;
   }
   return Status::InvalidArgument("unknown status code: " + name);

@@ -32,6 +32,11 @@ inline constexpr char kFailPointDiscoveryRelation[] =
     "core.discovery.relation";
 inline constexpr char kFailPointResumeSave[] = "core.resume.save";
 inline constexpr char kFailPointResumeLoad[] = "core.resume.load";
+/// Evaluated at every cancellation checkpoint inside DiscoverFacts (per
+/// relation and per ranking chunk). A return-mode spec here simulates a
+/// stop request: inject Cancelled or DeadlineExceeded to drive the
+/// graceful-shutdown path deterministically from tests.
+inline constexpr char kFailPointDiscoveryCancel[] = "discovery.cancel";
 /// Delay-only site (task dispatch has no Status channel): return-mode specs
 /// enabled here count hits but never trigger.
 inline constexpr char kFailPointThreadPoolDispatch[] = "threadpool.dispatch";
@@ -43,7 +48,8 @@ inline constexpr const char* kAllFailPointSites[] = {
     kFailPointJobDataset,      kFailPointJobTrain,
     kFailPointJobEval,         kFailPointJobDiscovery,
     kFailPointDiscoveryRelation, kFailPointResumeSave,
-    kFailPointResumeLoad,      kFailPointThreadPoolDispatch,
+    kFailPointResumeLoad,      kFailPointDiscoveryCancel,
+    kFailPointThreadPoolDispatch,
 };
 
 /// One parsed fail-point configuration. The textual grammar (inspired by

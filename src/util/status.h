@@ -22,6 +22,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  /// The operation was cancelled cooperatively (CancellationToken).
+  kCancelled,
+  /// A Deadline expired before the operation finished.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +67,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

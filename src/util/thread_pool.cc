@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "util/cancellation.h"
 #include "util/failpoint.h"
 
 namespace kgfd {
@@ -157,10 +158,13 @@ void ThreadPool::TaskGroup::Wait() {
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t, size_t)>& body) {
+                 const std::function<void(size_t, size_t)>& body,
+                 const CancelContext* cancel) {
   if (n == 0) return;
+  const bool stoppable = cancel != nullptr && cancel->CanStop();
   const size_t workers = pool != nullptr ? pool->num_threads() : 1;
   if (pool == nullptr || workers <= 1 || n < 2) {
+    if (stoppable && cancel->StopReason() != StoppedReason::kNone) return;
     body(0, n);
     return;
   }
@@ -174,9 +178,12 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // shared_ptr: a claiming task may outlive this frame's locals only if the
   // caller abandons Wait via exception; keep the index alive regardless.
   auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto run_chunks = [next, chunk, n, num_chunks, &body] {
+  auto run_chunks = [next, chunk, n, num_chunks, &body, stoppable, cancel] {
     size_t c;
     while ((c = next->fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+      // Checked after the claim so a stop request costs at most one extra
+      // chunk per worker; in-flight bodies always run to their chunk end.
+      if (stoppable && cancel->StopReason() != StoppedReason::kNone) break;
       const size_t begin = c * chunk;
       body(begin, std::min(begin + chunk, n));
     }

@@ -11,6 +11,7 @@
 
 namespace kgfd {
 
+class CancelContext;
 class Counter;
 class Gauge;
 class MetricsRegistry;
@@ -138,8 +139,17 @@ class ThreadPool {
 /// exactly one body(0, n) call, which callers may rely on for the serial
 /// path. Chunk boundaries are otherwise unspecified; bodies must be correct
 /// for any partition of [0, n).
+///
+/// When `cancel` is non-null, workers re-check it before claiming each
+/// chunk and stop claiming once a stop is requested, so even a loop with
+/// many queued chunks winds down within one chunk's latency. Chunks that
+/// already started still finish (bodies are never interrupted mid-range);
+/// the caller decides what to do with partially filled output. On the
+/// serial path the single body call is only skipped when the context is
+/// already stopped on entry.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t, size_t)>& body);
+                 const std::function<void(size_t, size_t)>& body,
+                 const CancelContext* cancel = nullptr);
 
 }  // namespace kgfd
 

@@ -87,6 +87,27 @@ TEST(DiscoverFactsTest, RejectsBadOptions) {
   EXPECT_FALSE(DiscoverFacts(*f.model, f.dataset.train(), o).ok());
 }
 
+TEST(DiscoverFactsTest, CandidateMemoryCapRejectsOversizedSweep) {
+  const Fixture& f = SharedFixture();
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kUniformRandom);
+  // A huge max_candidates would silently demand sample_size^2 mesh-grid
+  // memory; the cap must refuse it up front with an actionable message
+  // instead of attempting the allocation.
+  o.max_candidates = size_t{1} << 40;
+  auto result = DiscoverFacts(*f.model, f.dataset.train(), o);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("max_candidate_memory_bytes"),
+            std::string::npos);
+
+  // Raising the cap (or shrinking the sweep) clears the error.
+  o = SmallOptions(SamplingStrategy::kUniformRandom);
+  o.max_candidate_memory_bytes = 1;  // everything is over a 1-byte cap
+  EXPECT_FALSE(DiscoverFacts(*f.model, f.dataset.train(), o).ok());
+  o.max_candidate_memory_bytes = size_t{1} << 30;
+  EXPECT_TRUE(DiscoverFacts(*f.model, f.dataset.train(), o).ok());
+}
+
 TEST(DiscoverFactsTest, RejectsMismatchedModel) {
   const Fixture& f = SharedFixture();
   TripleStore other(5, 1);

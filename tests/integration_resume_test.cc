@@ -176,6 +176,52 @@ TEST_F(ResumeTest, LoadRejectsGarbageAndTruncation) {
   }
 }
 
+TEST_F(ResumeTest, EverySingleBitFlipInManifestRejected) {
+  ResumeManifest m;
+  m.model_name = "DistMult";
+  m.model_param_hash = 0x1234ABCDu;
+  m.relations = {0, 1, 2};
+  m.done.emplace_back();
+  m.done.back().relation = 1;
+  m.done.back().facts.resize(3);
+  ASSERT_TRUE(SaveResumeManifest(m, manifest_).ok());
+  std::ifstream in(manifest_, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_TRUE(LoadResumeManifest(manifest_).ok());  // pristine loads
+
+  // Fuzz every bit position: the CRC-32 trailer must reject each flip —
+  // a flipped fact rank would otherwise resume into silently wrong output.
+  const std::string flip_path = dir_ + "/flip.manifest";
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      std::ofstream(flip_path, std::ios::binary) << corrupt;
+      EXPECT_FALSE(LoadResumeManifest(flip_path).ok())
+          << "byte=" << i << " bit=" << bit;
+    }
+  }
+}
+
+TEST_F(ResumeTest, ManifestChecksumErrorIsDescriptive) {
+  ResumeManifest m;
+  m.model_name = "TransE";
+  m.relations = {0};
+  ASSERT_TRUE(SaveResumeManifest(m, manifest_).ok());
+  std::ifstream in(manifest_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x55);
+  std::ofstream(manifest_, std::ios::binary) << bytes;
+  auto result = LoadResumeManifest(manifest_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().ToString().find("checksum"), std::string::npos);
+}
+
 TEST_F(ResumeTest, CompatibilityCheckNamesTheMismatch) {
   const Fixture& f = SharedFixture();
   const DiscoveryOptions options = SmallOptions();

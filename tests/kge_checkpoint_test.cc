@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace kgfd {
@@ -111,6 +114,127 @@ TEST(CheckpointErrorTest, TruncatedFileRejected) {
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size / 2);
   EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, EveryTruncationPrefixRejected) {
+  Rng rng(74);
+  ModelConfig config;
+  config.num_entities = 5;
+  config.num_relations = 2;
+  config.embedding_dim = 8;
+  auto model = std::move(CreateModel(ModelKind::kDistMult, config, &rng))
+                   .ValueOrDie("create");
+  const std::string path = ::testing::TempDir() + "/kgfd_prefix.bin";
+  ASSERT_TRUE(SaveModel(model.get(), config, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // No prefix of a valid checkpoint may load: the CRC-32 trailer covers
+  // every payload byte, so a partial write can never parse as a model.
+  for (size_t len = 0; len < bytes.size(); len += 11) {
+    std::ofstream(path, std::ios::binary) << bytes.substr(0, len);
+    EXPECT_FALSE(LoadModel(path).ok()) << "len=" << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, EverySingleBitFlipRejected) {
+  Rng rng(75);
+  ModelConfig config;
+  config.num_entities = 4;
+  config.num_relations = 2;
+  config.embedding_dim = 4;
+  auto model = std::move(CreateModel(ModelKind::kTransE, config, &rng))
+                   .ValueOrDie("create");
+  const std::string path = ::testing::TempDir() + "/kgfd_bitflip.bin";
+  ASSERT_TRUE(SaveModel(model.get(), config, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_TRUE(LoadModel(path).ok());  // pristine copy loads
+
+  // Flip one bit at a time across the whole file (stepping bytes to keep
+  // the test fast on large payloads): the checksum must catch every one —
+  // a bit flip can corrupt weights without breaking the parse, which is
+  // exactly the silent-corruption case the CRC trailer exists for.
+  const size_t byte_step = bytes.size() > 512 ? bytes.size() / 512 : 1;
+  for (size_t i = 0; i < bytes.size(); i += byte_step) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      std::ofstream(path, std::ios::binary) << corrupt;
+      auto result = LoadModel(path);
+      EXPECT_FALSE(result.ok()) << "byte=" << i << " bit=" << bit;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, ChecksumMismatchIsDescriptive) {
+  Rng rng(76);
+  ModelConfig config;
+  config.num_entities = 4;
+  config.num_relations = 2;
+  config.embedding_dim = 4;
+  auto model = std::move(CreateModel(ModelKind::kDistMult, config, &rng))
+                   .ValueOrDie("create");
+  const std::string path = ::testing::TempDir() + "/kgfd_crcmsg.bin";
+  ASSERT_TRUE(SaveModel(model.get(), config, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Corrupt a weight byte in the middle: the magic still matches, only the
+  // checksum knows. The error must say so, not "parse error".
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  std::ofstream(path, std::ios::binary) << bytes;
+  auto result = LoadModel(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().ToString().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, InvalidConfigInsideCheckpointSurfacesStatus) {
+  // A checkpoint whose config is invalid for its model must fail closed
+  // through LoadModel -> ValidateConfig with a clear error, never abort.
+  // Forge one: save a valid ComplEx checkpoint, flip embedding_dim to an
+  // odd value in place, and re-stamp a correct CRC-32 trailer so only the
+  // semantic validation — not the integrity check — can catch it.
+  Rng rng(77);
+  ModelConfig config;
+  config.num_entities = 4;
+  config.num_relations = 2;
+  config.embedding_dim = 6;  // even: valid for ComplEx at save time
+  auto model = std::move(CreateModel(ModelKind::kComplEx, config, &rng))
+                   .ValueOrDie("create");
+  const std::string path = ::testing::TempDir() + "/kgfd_badcfg.bin";
+  ASSERT_TRUE(SaveModel(model.get(), config, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Layout: magic(8) version(4) name(8 + "ComplEx") entities(8)
+  // relations(8) embedding_dim(8) ...
+  const size_t dim_offset = 8 + 4 + 8 + 7 + 8 + 8;
+  uint64_t dim = 0;
+  std::memcpy(&dim, bytes.data() + dim_offset, sizeof(dim));
+  ASSERT_EQ(dim, 6u);  // guards against silent layout drift
+  dim = 7;  // odd: invalid for ComplEx
+  std::memcpy(bytes.data() + dim_offset, &dim, sizeof(dim));
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("even embedding_dim"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

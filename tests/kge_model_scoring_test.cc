@@ -59,6 +59,27 @@ TEST(ModelFactoryTest, RejectsInvalidConfigs) {
   EXPECT_FALSE(CreateModel(ModelKind::kConvE, c, &rng).ok());
 }
 
+TEST(ModelFactoryTest, InvalidConfigIsStatusNotAbort) {
+  // Invalid model configs surface as InvalidArgument with an actionable
+  // message via ValidateConfig — never a process abort — so callers like
+  // LoadModel can fail closed on a corrupt or hostile checkpoint.
+  Rng rng(2);
+  ModelConfig c = SmallConfig(7);  // odd dim
+  auto complex_result = CreateModel(ModelKind::kComplEx, c, &rng);
+  ASSERT_FALSE(complex_result.ok());
+  EXPECT_EQ(complex_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(complex_result.status().ToString().find("even embedding_dim"),
+            std::string::npos);
+
+  c = SmallConfig();
+  c.conve_reshape_height = 1;
+  auto conve_result = CreateModel(ModelKind::kConvE, c, &rng);
+  ASSERT_FALSE(conve_result.ok());
+  EXPECT_EQ(conve_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conve_result.status().ToString().find("conve_reshape_height"),
+            std::string::npos);
+}
+
 TEST(ModelFactoryTest, ReportsDims) {
   auto m = Make(ModelKind::kDistMult);
   EXPECT_EQ(m->num_entities(), 7u);

@@ -347,6 +347,32 @@ TEST_F(FailPointTest, DiscoveryRelationSiteFailsTheRun) {
   EXPECT_GE(fp.TriggerCount(kFailPointDiscoveryRelation), 1u);
 }
 
+TEST_F(FailPointTest, DiscoveryCancelSiteStopsGracefully) {
+  // Unlike discovery.relation (a hard per-relation failure), the
+  // discovery.cancel site simulates a stop *request*: the sweep winds
+  // down at its next checkpoint and returns OK with partial results.
+  FailPoints& fp = FailPoints::Instance();
+  const SeamFixture& f = SharedSeamFixture();
+  DiscoveryOptions options;
+  options.top_n = 20;
+  options.max_candidates = 30;
+  options.seed = 5;
+  ASSERT_TRUE(fp.Enable(kFailPointDiscoveryCancel, "return(Cancelled)").ok());
+  auto cancelled = DiscoverFacts(*f.model, f.dataset.train(), options);
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status().ToString();
+  EXPECT_EQ(cancelled.value().stopped_reason, StoppedReason::kCancelled);
+  EXPECT_TRUE(cancelled.value().facts.empty());
+  EXPECT_GE(fp.TriggerCount(kFailPointDiscoveryCancel), 1u);
+
+  // A DeadlineExceeded spec maps onto the deadline reason.
+  fp.Reset();
+  ASSERT_TRUE(
+      fp.Enable(kFailPointDiscoveryCancel, "return(DeadlineExceeded)").ok());
+  auto timed_out = DiscoverFacts(*f.model, f.dataset.train(), options);
+  ASSERT_TRUE(timed_out.ok()) << timed_out.status().ToString();
+  EXPECT_EQ(timed_out.value().stopped_reason, StoppedReason::kDeadline);
+}
+
 TEST_F(FailPointTest, ResumeSaveAndLoadSitesTrigger) {
   FailPoints& fp = FailPoints::Instance();
   const std::string path = ::testing::TempDir() + "/fp_manifest.bin";

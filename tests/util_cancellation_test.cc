@@ -1,0 +1,220 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace kgfd {
+namespace {
+
+// ------------------------------------------------------------------ token
+
+TEST(CancellationTokenTest, StartsUncancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_TRUE(token.CheckCancelled().ok());
+  EXPECT_EQ(token.SecondsSinceRequest(), 0.0);
+}
+
+TEST(CancellationTokenTest, RequestCancelIsStickyAndIdempotent) {
+  CancellationToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.IsCancelled());
+  token.RequestCancel();  // no-op, must not crash or reset the timestamp
+  EXPECT_TRUE(token.IsCancelled());
+  const Status status = token.CheckCancelled("unit test");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.ToString().find("unit test"), std::string::npos);
+}
+
+TEST(CancellationTokenTest, SecondsSinceRequestGrowsFromFirstRequest) {
+  CancellationToken token;
+  token.RequestCancel();
+  const double first = token.SecondsSinceRequest();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  token.RequestCancel();  // must NOT move the request timestamp forward
+  EXPECT_GE(token.SecondsSinceRequest(), first);
+  EXPECT_GE(token.SecondsSinceRequest(), 0.004);
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  CancellationToken token;
+  std::atomic<bool> observed{false};
+  std::thread watcher([&] {
+    while (!token.IsCancelled()) std::this_thread::yield();
+    observed.store(true);
+  });
+  token.RequestCancel();
+  watcher.join();
+  EXPECT_TRUE(observed.load());
+}
+
+// ----------------------------------------------------------- signal handler
+
+TEST(CancellationTokenTest, InstalledSignalHandlerFlipsToken) {
+  CancellationToken token;
+  InstallSignalCancellation(&token);
+  std::raise(SIGINT);
+  EXPECT_TRUE(token.IsCancelled());
+  // Detach before the token goes out of scope, restoring SIG_DFL so a
+  // later real SIGINT does not touch a dangling pointer.
+  InstallSignalCancellation(nullptr);
+}
+
+TEST(CancellationTokenTest, SigtermAlsoRequestsCancellation) {
+  CancellationToken token;
+  InstallSignalCancellation(&token);
+  std::raise(SIGTERM);
+  EXPECT_TRUE(token.IsCancelled());
+  InstallSignalCancellation(nullptr);
+}
+
+// --------------------------------------------------------------- deadline
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(deadline.CheckExpired().ok());
+  EXPECT_GT(deadline.RemainingSeconds(), 1e12);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(0.0).Expired());
+  EXPECT_TRUE(Deadline::After(-1.0).Expired());
+  const Status status = Deadline::After(0.0).CheckExpired("sweep");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.ToString().find("sweep"), std::string::npos);
+}
+
+TEST(DeadlineTest, FarFutureBudgetIsNotExpired) {
+  const Deadline deadline = Deadline::After(3600.0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 3500.0);
+  EXPECT_LE(deadline.RemainingSeconds(), 3600.0);
+}
+
+TEST(DeadlineTest, ShortBudgetExpires) {
+  const Deadline deadline = Deadline::After(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_LE(deadline.RemainingSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------------- context
+
+TEST(CancelContextTest, DefaultNeverStops) {
+  CancelContext context;
+  EXPECT_FALSE(context.CanStop());
+  EXPECT_EQ(context.StopReason(), StoppedReason::kNone);
+  EXPECT_TRUE(context.Check().ok());
+}
+
+TEST(CancelContextTest, TokenDrivesCancelledReason) {
+  CancellationToken token;
+  const CancelContext context(&token);
+  EXPECT_TRUE(context.CanStop());
+  EXPECT_EQ(context.StopReason(), StoppedReason::kNone);
+  token.RequestCancel();
+  EXPECT_EQ(context.StopReason(), StoppedReason::kCancelled);
+  EXPECT_EQ(context.Check("ctx").code(), StatusCode::kCancelled);
+}
+
+TEST(CancelContextTest, DeadlineDrivesDeadlineReason) {
+  const CancelContext context(Deadline::After(0.0));
+  EXPECT_TRUE(context.CanStop());
+  EXPECT_EQ(context.StopReason(), StoppedReason::kDeadline);
+  EXPECT_EQ(context.Check("ctx").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelContextTest, TokenWinsOverExpiredDeadline) {
+  CancellationToken token;
+  token.RequestCancel();
+  const CancelContext context(&token, Deadline::After(0.0));
+  EXPECT_EQ(context.StopReason(), StoppedReason::kCancelled);
+}
+
+TEST(StoppedReasonTest, NamesAndStatusesAreStable) {
+  EXPECT_STREQ(StoppedReasonName(StoppedReason::kNone), "none");
+  EXPECT_STREQ(StoppedReasonName(StoppedReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StoppedReasonName(StoppedReason::kDeadline), "deadline");
+  EXPECT_TRUE(StoppedStatus(StoppedReason::kNone, "x").ok());
+  EXPECT_EQ(StoppedStatus(StoppedReason::kCancelled, "x").code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(StoppedStatus(StoppedReason::kDeadline, nullptr).code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+// ------------------------------------------------------------- ParallelFor
+
+TEST(ParallelForCancelTest, SerialPathSkipsBodyWhenAlreadyStopped) {
+  CancellationToken token;
+  token.RequestCancel();
+  const CancelContext cancel(&token);
+  size_t calls = 0;
+  ParallelFor(nullptr, 100, [&](size_t, size_t) { ++calls; }, &cancel);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(ParallelForCancelTest, SerialPathRunsWholeRangeWhenNotStopped) {
+  CancellationToken token;
+  const CancelContext cancel(&token);
+  std::vector<char> seen(64, 0);
+  ParallelFor(
+      nullptr, seen.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) seen[i] = 1;
+      },
+      &cancel);
+  for (char c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelForCancelTest, PooledWorkersStopClaimingAfterCancel) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  const CancelContext cancel(&token);
+  // Large n guarantees many chunks per worker; cancelling from inside the
+  // very first chunk must leave most chunks unclaimed.
+  std::atomic<size_t> processed{0};
+  ParallelFor(
+      &pool, 1 << 16,
+      [&](size_t begin, size_t end) {
+        token.RequestCancel();
+        processed.fetch_add(end - begin);
+      },
+      &cancel);
+  // Started chunks finish (no tearing), but the claim loops bail out, so
+  // only a bounded prefix — at most one in-flight chunk per worker — ran.
+  EXPECT_LT(processed.load(), size_t{1} << 16);
+}
+
+TEST(ParallelForCancelTest, PooledRunCompletesWhenNeverCancelled) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  const CancelContext cancel(&token);
+  std::atomic<size_t> processed{0};
+  ParallelFor(
+      &pool, 1000,
+      [&](size_t begin, size_t end) { processed.fetch_add(end - begin); },
+      &cancel);
+  EXPECT_EQ(processed.load(), 1000u);
+}
+
+TEST(ParallelForCancelTest, NullContextBehavesAsBefore) {
+  ThreadPool pool(2);
+  std::atomic<size_t> processed{0};
+  ParallelFor(&pool, 512, [&](size_t begin, size_t end) {
+    processed.fetch_add(end - begin);
+  });
+  EXPECT_EQ(processed.load(), 512u);
+}
+
+}  // namespace
+}  // namespace kgfd

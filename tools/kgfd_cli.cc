@@ -11,6 +11,12 @@
 /// Datasets are LibKGE-style directories (train.txt / valid.txt /
 /// test.txt, tab-separated names). Checkpoints are kgfd binary model
 /// files; discovered facts are written as TSV with a rank column.
+///
+/// Shutdown semantics: every long-running command accepts
+/// --deadline_s SECONDS and installs a SIGINT/SIGTERM handler that
+/// requests cooperative cancellation. A stopped run still flushes its
+/// partial outputs (facts TSV, resume manifest, --metrics_out) and then
+/// exits 130 (cancelled / Ctrl-C) or 124 (deadline exceeded).
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +50,9 @@ void PrintUsage() {
       "            [--type_filter] [--seed N] [--resume MANIFEST]\n"
       "  train/eval/discover/run also accept --metrics_out FILE to dump\n"
       "  the run's metrics registry (counters/gauges/histograms) as JSON\n"
+      "  and --deadline_s SECONDS to stop gracefully after a wall-clock\n"
+      "  budget (exit 124); Ctrl-C / SIGTERM also stop gracefully (exit\n"
+      "  130), flushing partial facts, manifests and metrics first\n"
       "  every command accepts --failpoints 'site=spec;...' (or env\n"
       "  KGFD_FAILPOINTS) to arm fault-injection sites; see TESTING.md\n");
 }
@@ -54,6 +63,46 @@ void MaybeWriteMetrics(const Flags& flags, const MetricsRegistry& registry) {
   if (path.empty()) return;
   WriteMetricsJsonFile(registry, path).AbortIfNotOk("write metrics");
   std::printf("metrics written to %s\n", path.c_str());
+}
+
+/// Process-wide token flipped by the SIGINT/SIGTERM handler (installed
+/// once in main); CancelContexts built by MakeCancelContext borrow it.
+CancellationToken& GlobalCancelToken() {
+  static CancellationToken token;
+  return token;
+}
+
+/// Builds the command's stop context: the signal-driven token plus an
+/// optional --deadline_s wall-clock budget.
+CancelContext MakeCancelContext(const Flags& flags) {
+  const double deadline_s = flags.GetDouble("deadline_s", 0.0);
+  return CancelContext(&GlobalCancelToken(),
+                       deadline_s > 0.0 ? Deadline::After(deadline_s)
+                                        : Deadline());
+}
+
+/// Exit code for a cooperatively stopped run: 130 mirrors the shell's
+/// 128+SIGINT convention, 124 mirrors timeout(1).
+int StopExitCode(StoppedReason reason) {
+  return reason == StoppedReason::kDeadline ? 124 : 130;
+}
+
+/// When `status` is a cooperative-stop status (Cancelled /
+/// DeadlineExceeded), prints why and stores the matching exit code,
+/// letting the caller flush partial outputs before exiting. Any other
+/// error aborts with `what`, and OK returns false.
+bool StoppedEarly(const Status& status, const char* what, int* exit_code) {
+  if (status.code() == StatusCode::kCancelled ||
+      status.code() == StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr, "%s stopped early: %s\n", what,
+                 status.ToString().c_str());
+    *exit_code = StopExitCode(status.code() == StatusCode::kDeadlineExceeded
+                                  ? StoppedReason::kDeadline
+                                  : StoppedReason::kCancelled);
+    return true;
+  }
+  status.AbortIfNotOk(what);
+  return false;
 }
 
 Result<Dataset> LoadData(const Flags& flags) {
@@ -139,16 +188,27 @@ int Train(const Flags& flags) {
 
   MetricsRegistry registry;
   trainer_config.metrics = &registry;
+  const CancelContext cancel = MakeCancelContext(flags);
+  trainer_config.cancel = cancel;
   auto model = TrainModel(kind.value(), model_config,
                           dataset.value().train(), trainer_config);
   model.status().AbortIfNotOk("train");
+  // A cooperative stop still yields a usable model (the trainer keeps the
+  // parameters from the last finished batch), so save it either way.
   SaveModel(model.value().get(), model_config, checkpoint)
       .AbortIfNotOk("save checkpoint");
+  const StoppedReason stopped = cancel.StopReason();
+  if (stopped != StoppedReason::kNone) {
+    std::fprintf(stderr,
+                 "training stopped early (%s); checkpoint holds the "
+                 "partially trained model\n",
+                 StoppedReasonName(stopped));
+  }
   std::printf("trained %s (%zu parameters) -> %s\n",
               model.value()->name().c_str(),
               model.value()->NumParameters(), checkpoint.c_str());
   MaybeWriteMetrics(flags, registry);
-  return 0;
+  return stopped == StoppedReason::kNone ? 0 : StopExitCode(stopped);
 }
 
 int Tune(const Flags& flags) {
@@ -216,12 +276,19 @@ int Eval(const Flags& flags) {
   EvalConfig config;
   config.filtered = !flags.GetBool("raw", false);
   config.metrics = &registry;
+  config.cancel = MakeCancelContext(flags);
   ThreadPool pool;
   pool.AttachMetrics(&registry);
   auto metrics = EvaluateLinkPrediction(*model.value(), dataset.value(),
                                         dataset.value().test(), config,
                                         &pool);
-  metrics.status().AbortIfNotOk("evaluate");
+  int exit_code = 0;
+  if (StoppedEarly(metrics.status(), "evaluation", &exit_code)) {
+    // Partial metrics would be misleading, so evaluation reports nothing —
+    // but the registry (timings, counters so far) is still flushed.
+    MaybeWriteMetrics(flags, registry);
+    return exit_code;
+  }
   Table table({"metric", "value"});
   table.AddRow({"protocol", config.filtered ? "filtered" : "raw"});
   table.AddRow({"MRR", Table::Fmt(metrics.value().mrr, 4)});
@@ -237,7 +304,11 @@ int Eval(const Flags& flags) {
     auto stratified = EvaluateByPopularity(
         *model.value(), dataset.value(), dataset.value().test(), buckets,
         config);
-    stratified.status().AbortIfNotOk("stratified evaluation");
+    if (StoppedEarly(stratified.status(), "stratified evaluation",
+                     &exit_code)) {
+      MaybeWriteMetrics(flags, registry);
+      return exit_code;
+    }
     Table strat({"popularity bucket", "max degree", "MRR", "Hits@10",
                  "ranks"});
     for (size_t b = 0; b < buckets; ++b) {
@@ -271,6 +342,7 @@ int Discover(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("max_candidates", 500));
   options.type_filter = flags.GetBool("type_filter", false);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 123));
+  options.cancel = MakeCancelContext(flags);
 
   MetricsRegistry registry;
   options.metrics = &registry;
@@ -290,6 +362,19 @@ int Discover(const Flags& flags) {
   result.status().AbortIfNotOk("discover");
   if (!manifest.empty()) {
     std::printf("resume manifest: %s\n", manifest.c_str());
+  }
+  const StoppedReason stopped = result.value().stopped_reason;
+  if (stopped != StoppedReason::kNone) {
+    std::fprintf(stderr,
+                 "discovery stopped early (%s): %zu of %zu relations "
+                 "completed before the stop%s\n",
+                 StoppedReasonName(stopped),
+                 result.value().stats.num_relations_processed,
+                 result.value().stats.num_relations_processed +
+                     result.value().stats.num_relations_skipped,
+                 manifest.empty()
+                     ? ""
+                     : "; rerun with the same --resume manifest to finish");
   }
   std::printf("discovered %zu facts from %zu candidates in %.2fs "
               "(MRR=%.4f, %.0f facts/hour, long-tail share %.3f)\n",
@@ -323,7 +408,7 @@ int Discover(const Flags& flags) {
     std::printf("facts written to %s\n", out.c_str());
   }
   MaybeWriteMetrics(flags, registry);
-  return 0;
+  return stopped == StoppedReason::kNone ? 0 : StopExitCode(stopped);
 }
 
 int Run(const Flags& flags) {
@@ -338,8 +423,13 @@ int Run(const Flags& flags) {
   spec.status().AbortIfNotOk("parse job spec");
   MetricsRegistry registry;
   spec.value().metrics = &registry;
+  spec.value().cancel = MakeCancelContext(flags);
   auto result = RunJob(spec.value());
-  result.status().AbortIfNotOk("run job");
+  int exit_code = 0;
+  if (StoppedEarly(result.status(), "job", &exit_code)) {
+    MaybeWriteMetrics(flags, registry);
+    return exit_code;
+  }
 
   std::printf("job complete: %s, %s, %zu parameters\n",
               result.value().dataset_name.c_str(),
@@ -351,14 +441,20 @@ int Run(const Flags& flags) {
                 result.value().test_metrics.hits_at_10,
                 result.value().test_metrics.mean_rank);
   }
+  StoppedReason stopped = StoppedReason::kNone;
   if (spec.value().run_discovery) {
     const DiscoveryResult& d = result.value().discovery;
+    stopped = d.stopped_reason;
+    if (stopped != StoppedReason::kNone) {
+      std::fprintf(stderr, "job discovery phase stopped early (%s)\n",
+                   StoppedReasonName(stopped));
+    }
     std::printf("discovery: %zu facts, MRR=%.4f, %.2fs, %.0f facts/hour\n",
                 d.stats.num_facts, DiscoveryMrr(d.facts),
                 d.stats.total_seconds, d.stats.FactsPerHour());
   }
   MaybeWriteMetrics(flags, registry);
-  return 0;
+  return stopped == StoppedReason::kNone ? 0 : StopExitCode(stopped);
 }
 
 }  // namespace
@@ -376,6 +472,10 @@ int main(int argc, char** argv) {
     kgfd::PrintUsage();
     return 1;
   }
+  // Ctrl-C / SIGTERM request cooperative cancellation: in-flight work
+  // stops at its next checkpoint, partial outputs are flushed, and the
+  // command exits 130 (124 when a --deadline_s budget expired instead).
+  kgfd::InstallSignalCancellation(&kgfd::GlobalCancelToken());
   const std::string failpoints =
       flags.value().GetString("failpoints", "");
   if (!failpoints.empty()) {
