@@ -1,0 +1,198 @@
+/// PR6 perf-trajectory bench: batch-kernel scoring throughput vs the
+/// per-triple Score() loop, per model, on an FB15K-237-sized synthetic
+/// embedding table (no training — throughput does not depend on the
+/// parameter values, only the shapes).
+///
+/// For each of TransE/DistMult/ComplEx it times
+///   per-triple: for every (query, entity) pair, one virtual Score() call
+///   batch:      one ScoreObjectsBatch over the same queries
+/// and reports million scores/second for both plus their ratio. The batch
+/// scores are checked against per-triple within a ULP-scaled tolerance, so
+/// a kernel that got fast by going wrong fails the run (exit 2).
+///
+/// Writes a JSON record (default BENCH_pr6.json) consumed by the CI
+/// perf-gate (tools/perf_gate.py vs bench/baselines/BENCH_pr6.json):
+///   {"bench": "pr6_batch_scoring", "kernel_backend": "avx2", ...,
+///    "models": {"TransE": {"per_triple_mscores_per_s": ..,
+///                          "batch_mscores_per_s": .., "batch_speedup": ..},
+///               ...},
+///    "min_batch_speedup": .., "scores_match": true}
+///
+/// Usage: bench_pr6_batch_scoring [--entities N] [--relations N] [--dim D]
+///   [--queries Q] [--repeats K] [--out PATH]
+
+#include <cfloat>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kge/kernels.h"
+#include "kge/model.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModelResult {
+  const char* name;
+  double per_triple_mscores_per_s;
+  double batch_mscores_per_s;
+  double batch_speedup;
+  bool scores_match;
+};
+
+ModelResult RunModel(ModelKind kind, const char* name, size_t entities,
+                     size_t relations, size_t dim, size_t num_queries,
+                     size_t repeats) {
+  ModelConfig config;
+  config.num_entities = entities;
+  config.num_relations = relations;
+  config.embedding_dim = dim;
+  Rng rng(1234);
+  auto model = std::move(CreateModel(kind, config, &rng)).ValueOrDie(name);
+
+  std::vector<SideQuery> queries(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries[q] = {static_cast<EntityId>((q * 7919u) % entities),
+                  static_cast<RelationId>(q % relations)};
+  }
+  const double pairs = static_cast<double>(num_queries) * entities;
+
+  // Per-triple baseline: the pre-kernel hot path — one Score() per
+  // (query, entity) pair, best of `repeats`.
+  std::vector<double> reference(num_queries * entities);
+  double per_triple_seconds = DBL_MAX;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    const double start = Now();
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (EntityId e = 0; e < entities; ++e) {
+        reference[q * entities + e] =
+            model->Score({queries[q].entity, queries[q].relation, e});
+      }
+    }
+    per_triple_seconds = std::min(per_triple_seconds, Now() - start);
+  }
+
+  // Batch path, same work in one kernel-blocked call.
+  std::vector<std::vector<double>> batch(num_queries);
+  std::vector<std::vector<double>*> outs(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) outs[q] = &batch[q];
+  double batch_seconds = DBL_MAX;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    const double start = Now();
+    model->ScoreObjectsBatch(queries.data(), num_queries, outs.data());
+    batch_seconds = std::min(batch_seconds, Now() - start);
+  }
+
+  bool match = true;
+  for (size_t q = 0; q < num_queries && match; ++q) {
+    for (EntityId e = 0; e < entities; ++e) {
+      const double want = reference[q * entities + e];
+      const double got = batch[q][e];
+      const double scale = std::max({1.0, std::fabs(want), std::fabs(got)});
+      if (std::fabs(got - want) >
+          static_cast<double>(dim + 1) * DBL_EPSILON * scale) {
+        std::fprintf(stderr, "%s mismatch at q=%zu e=%u: %.17g vs %.17g\n",
+                     name, q, e, got, want);
+        match = false;
+        break;
+      }
+    }
+  }
+
+  ModelResult r;
+  r.name = name;
+  r.per_triple_mscores_per_s = pairs / per_triple_seconds / 1e6;
+  r.batch_mscores_per_s = pairs / batch_seconds / 1e6;
+  r.batch_speedup = per_triple_seconds / batch_seconds;
+  r.scores_match = match;
+  std::printf("%-8s per-triple %8.2f Mscores/s   batch %8.2f Mscores/s   "
+              "%.2fx   scores %s\n",
+              name, r.per_triple_mscores_per_s, r.batch_mscores_per_s,
+              r.batch_speedup, match ? "match" : "MISMATCH");
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = std::move(Flags::Parse(argc, argv)).ValueOrDie("flags");
+  // FB15K-237 shape: 14541 entities, 237 relations.
+  const size_t entities = static_cast<size_t>(flags.GetInt("entities", 14541));
+  const size_t relations = static_cast<size_t>(flags.GetInt("relations", 237));
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim", 128));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 64));
+  const size_t repeats = static_cast<size_t>(flags.GetInt("repeats", 3));
+  const std::string out_path = flags.GetString("out", "BENCH_pr6.json");
+
+  std::printf("pr6 batch scoring: %zu entities, dim %zu, %zu queries, "
+              "kernel backend %s\n",
+              entities, dim, queries, kernels::ActiveKernelName());
+
+  const ModelResult results[] = {
+      RunModel(ModelKind::kTransE, "TransE", entities, relations, dim,
+               queries, repeats),
+      RunModel(ModelKind::kDistMult, "DistMult", entities, relations, dim,
+               queries, repeats),
+      RunModel(ModelKind::kComplEx, "ComplEx", entities, relations, dim,
+               queries, repeats),
+  };
+
+  double min_speedup = DBL_MAX;
+  bool all_match = true;
+  for (const ModelResult& r : results) {
+    min_speedup = std::min(min_speedup, r.batch_speedup);
+    all_match = all_match && r.scores_match;
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"pr6_batch_scoring\",\n"
+               "  \"kernel_backend\": \"%s\",\n"
+               "  \"entities\": %zu,\n"
+               "  \"relations\": %zu,\n"
+               "  \"dim\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"models\": {\n",
+               kernels::ActiveKernelName(), entities, relations, dim,
+               queries);
+  for (size_t i = 0; i < 3; ++i) {
+    const ModelResult& r = results[i];
+    std::fprintf(out,
+                 "    \"%s\": {\n"
+                 "      \"per_triple_mscores_per_s\": %.3f,\n"
+                 "      \"batch_mscores_per_s\": %.3f,\n"
+                 "      \"batch_speedup\": %.3f\n"
+                 "    }%s\n",
+                 r.name, r.per_triple_mscores_per_s, r.batch_mscores_per_s,
+                 r.batch_speedup, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out,
+               "  },\n"
+               "  \"min_batch_speedup\": %.3f,\n"
+               "  \"scores_match\": %s\n"
+               "}\n",
+               min_speedup, all_match ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s (min batch speedup %.2fx)\n", out_path.c_str(),
+              min_speedup);
+  return all_match ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace kgfd
+
+int main(int argc, char** argv) { return kgfd::Run(argc, argv); }

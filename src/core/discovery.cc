@@ -10,6 +10,7 @@
 #include "graph/adjacency.h"
 #include "graph/metrics.h"
 #include "kge/evaluator.h"
+#include "kge/kernels.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/alias_sampler.h"
@@ -372,7 +373,12 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
                                                  &subj_entry->excluded);
           }
         },
-        &run_cancel);
+        // Kernel-block granularity: chunks sized in kQueryBlock multiples
+        // keep the per-chunk claim/dispatch overhead amortized over at
+        // least 64 candidates (per-candidate slivers were the PR2
+        // ranking_speedup regression) and line up with the cancel probe's
+        // 64-candidate stride above.
+        &run_cancel, kernels::kQueryBlock);
     // A stop observed any time during ranking may have left rank slots
     // unfilled — abandon the whole relation rather than emit partial facts.
     if (fine_stop()) return;

@@ -1,7 +1,9 @@
 #include "core/side_score_cache.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "kge/kernels.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
 
@@ -67,14 +69,23 @@ const SideScoreCache::Entry& SideScoreCache::SubjectsEntry(
 
 namespace {
 
-/// Shared shape of both Precompute* calls: compute entries for the
-/// not-yet-cached keys into fixed slots on the pool, then insert serially
-/// (the map itself is not thread-safe).
-template <typename MakeEntry>
+/// Shared shape of both Precompute* calls: score the not-yet-cached keys
+/// through the model's batch API into fixed slots on the pool, then insert
+/// serially (the map itself is not thread-safe).
+///
+/// Both cache sides store Key as (entity, relation) with exactly the entity
+/// the batch API wants (subject for the object side, object for the subject
+/// side), so one SideQuery construction serves both; only `fill_excluded`
+/// differs. Scoring walks each ParallelFor chunk in kernels::kQueryBlock
+/// sub-blocks — one kernel invocation per sub-block instead of one virtual
+/// ScoreObjects call per key — with a cancel probe between sub-blocks so a
+/// stop request never waits on more than one block of scoring.
+template <typename BatchScore, typename FillExcluded>
 size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
                       const std::vector<SideScoreCache::Key>& keys,
                       uint64_t (*pack)(const SideScoreCache::Key&),
-                      const MakeEntry& make_entry, ThreadPool* pool,
+                      const BatchScore& batch_score,
+                      const FillExcluded& fill_excluded, ThreadPool* pool,
                       const CancelContext* cancel) {
   std::vector<const SideScoreCache::Key*> fresh;
   fresh.reserve(keys.size());
@@ -85,13 +96,31 @@ size_t PrecomputeInto(std::unordered_map<uint64_t, SideScoreCache::Entry>* map,
       fresh.push_back(&key);
     }
   }
+  const bool stoppable = cancel != nullptr && cancel->CanStop();
   std::vector<SideScoreCache::Entry> entries(fresh.size());
   ParallelFor(
       pool, fresh.size(),
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) entries[i] = make_entry(*fresh[i]);
+        SideQuery queries[kernels::kQueryBlock];
+        std::vector<double>* outs[kernels::kQueryBlock];
+        for (size_t block = begin; block < end;
+             block += kernels::kQueryBlock) {
+          if (stoppable && cancel->StopReason() != StoppedReason::kNone) {
+            return;
+          }
+          const size_t block_end =
+              std::min(block + kernels::kQueryBlock, end);
+          for (size_t i = block; i < block_end; ++i) {
+            queries[i - block] = SideQuery{fresh[i]->first, fresh[i]->second};
+            outs[i - block] = &entries[i].scores;
+          }
+          batch_score(queries, block_end - block, outs);
+          for (size_t i = block; i < block_end; ++i) {
+            fill_excluded(*fresh[i], &entries[i]);
+          }
+        }
       },
-      cancel);
+      cancel, kernels::kQueryBlock);
   // A cancelled ParallelFor leaves later slots untouched; only insert
   // entries that were actually scored so lookups for the rest keep missing
   // (an empty cached entry would read as "no competitors").
@@ -114,8 +143,17 @@ size_t SideScoreCache::PrecomputeObjects(const Model& model,
   return PrecomputeInto(
       &by_subject_, keys,
       +[](const Key& k) { return PackKey(k.first, k.second); },
-      [&](const Key& k) {
-        return MakeObjectsEntry(model, kg, k.first, k.second, filtered);
+      [&](const SideQuery* queries, size_t n,
+          std::vector<double>* const* outs) {
+        model.ScoreObjectsBatch(queries, n, outs);
+      },
+      [&](const Key& k, Entry* entry) {
+        entry->excluded.assign(entry->scores.size(), 0);
+        if (filtered) {
+          for (EntityId o : kg.ObjectsOf(k.first, k.second)) {
+            entry->excluded[o] = 1;
+          }
+        }
       },
       pool, cancel);
 }
@@ -128,8 +166,17 @@ size_t SideScoreCache::PrecomputeSubjects(const Model& model,
   return PrecomputeInto(
       &by_object_, keys,
       +[](const Key& k) { return PackKey(k.first, k.second); },
-      [&](const Key& k) {
-        return MakeSubjectsEntry(model, kg, k.second, k.first, filtered);
+      [&](const SideQuery* queries, size_t n,
+          std::vector<double>* const* outs) {
+        model.ScoreSubjectsBatch(queries, n, outs);
+      },
+      [&](const Key& k, Entry* entry) {
+        entry->excluded.assign(entry->scores.size(), 0);
+        if (filtered) {
+          for (EntityId s : kg.SubjectsOf(k.second, k.first)) {
+            entry->excluded[s] = 1;
+          }
+        }
       },
       pool, cancel);
 }

@@ -24,9 +24,11 @@ class ThreadPool;
 ///  - On-demand: ObjectsEntry / SubjectsEntry compute-and-cache on miss.
 ///    Single-threaded only.
 ///  - Precomputed: PrecomputeObjects / PrecomputeSubjects build the entries
-///    for a key list up front, fanning the per-entry scoring passes out on a
-///    ThreadPool. Afterwards FindObjects / FindSubjects are read-only and
-///    safe to call from many threads concurrently.
+///    for a key list up front, scoring kernels::kQueryBlock keys per call
+///    through the model's batch API (ScoreObjectsBatch / ScoreSubjectsBatch)
+///    and fanning the blocks out on a ThreadPool. Afterwards FindObjects /
+///    FindSubjects are read-only and safe to call from many threads
+///    concurrently.
 class SideScoreCache {
  public:
   struct Entry {

@@ -78,33 +78,59 @@ Result<LinkPredictionMetrics> EvaluateLinkPrediction(
   // Fixed slots per triple keep the result independent of scheduling.
   std::vector<double> ranks(split.size() * 2, 0.0);
   const std::vector<Triple>& triples = split.triples();
+  // Triples per batch-scoring call. Small on purpose: each query needs a
+  // num_entities-sized score vector, so the working set stays a few
+  // hundred KB per thread while still amortizing the kernel's row loads
+  // over several queries.
+  constexpr size_t kEvalBatch = 8;
   ParallelFor(
       pool, triples.size(),
       [&](size_t begin, size_t end) {
-        std::vector<double> scores;
+        // Reused across sub-blocks: the score vectors hold their
+        // num_entities capacity after the first batch call.
+        std::vector<std::vector<double>> scores(kEvalBatch);
         std::vector<char> excluded;
-        for (size_t i = begin; i < end; ++i) {
-          // Per-triple cancellation probe; the whole evaluation errors out
-          // below, so abandoning this chunk's remaining slots is safe.
+        SideQuery queries[kEvalBatch];
+        std::vector<double>* outs[kEvalBatch];
+        for (size_t block = begin; block < end; block += kEvalBatch) {
+          // Per-sub-block cancellation probe; the whole evaluation errors
+          // out below, so abandoning this chunk's remaining slots is safe.
           if (config.cancel.StopReason() != StoppedReason::kNone) return;
-          const Triple& t = triples[i];
+          const size_t n = std::min(kEvalBatch, end - block);
           // Object side.
-          model.ScoreObjects(t.subject, t.relation, &scores);
-          excluded.assign(scores.size(), 0);
-          if (config.filtered) {
-            MarkKnownObjects(stores, t.subject, t.relation, &excluded);
+          for (size_t j = 0; j < n; ++j) {
+            const Triple& t = triples[block + j];
+            queries[j] = SideQuery{t.subject, t.relation};
+            outs[j] = &scores[j];
           }
-          ranks[2 * i] = RankAgainstScores(scores, t.object, &excluded);
+          model.ScoreObjectsBatch(queries, n, outs);
+          for (size_t j = 0; j < n; ++j) {
+            const Triple& t = triples[block + j];
+            excluded.assign(scores[j].size(), 0);
+            if (config.filtered) {
+              MarkKnownObjects(stores, t.subject, t.relation, &excluded);
+            }
+            ranks[2 * (block + j)] =
+                RankAgainstScores(scores[j], t.object, &excluded);
+          }
           // Subject side.
-          model.ScoreSubjects(t.relation, t.object, &scores);
-          excluded.assign(scores.size(), 0);
-          if (config.filtered) {
-            MarkKnownSubjects(stores, t.relation, t.object, &excluded);
+          for (size_t j = 0; j < n; ++j) {
+            const Triple& t = triples[block + j];
+            queries[j] = SideQuery{t.object, t.relation};
           }
-          ranks[2 * i + 1] = RankAgainstScores(scores, t.subject, &excluded);
+          model.ScoreSubjectsBatch(queries, n, outs);
+          for (size_t j = 0; j < n; ++j) {
+            const Triple& t = triples[block + j];
+            excluded.assign(scores[j].size(), 0);
+            if (config.filtered) {
+              MarkKnownSubjects(stores, t.relation, t.object, &excluded);
+            }
+            ranks[2 * (block + j) + 1] =
+                RankAgainstScores(scores[j], t.subject, &excluded);
+          }
         }
       },
-      &config.cancel);
+      &config.cancel, kEvalBatch);
   KGFD_RETURN_NOT_OK(config.cancel.Check("link-prediction evaluation"));
   const double elapsed = span.Stop();
   if (config.metrics != nullptr) {

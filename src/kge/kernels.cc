@@ -1,0 +1,164 @@
+#include "kge/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace kgfd {
+namespace kernels {
+
+namespace {
+
+/// Rows are walked in tiles so that a tile of the entity table stays in
+/// cache while every query of the block scores against it. 256 rows of a
+/// dim-128 table are 128 KiB — comfortably L2-resident.
+constexpr size_t kPortableRowTile = 256;
+
+void PortableL1(const float* table, size_t rows, size_t dim,
+                const double* const* qs, size_t num_queries,
+                double* const* outs) {
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = table + e * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) acc += std::fabs(qv[i] - row[i]);
+        out[e] = -acc;
+      }
+    }
+  }
+}
+
+void PortableL2(const float* table, size_t rows, size_t dim,
+                const double* const* qs, size_t num_queries,
+                double* const* outs) {
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = table + e * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) {
+          const double d = qv[i] - row[i];
+          acc += d * d;
+        }
+        out[e] = -std::sqrt(acc);
+      }
+    }
+  }
+}
+
+void PortableDot(const float* table, size_t rows, size_t dim,
+                 const double* const* qs, size_t num_queries,
+                 double* const* outs) {
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = table + e * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) acc += qv[i] * row[i];
+        out[e] = acc;
+      }
+    }
+  }
+}
+
+void PortablePairedDot(const float* table, size_t rows, size_t half,
+                       const double* const* qs, size_t num_queries,
+                       double* const* outs) {
+  const size_t dim = 2 * half;
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* wr = qs[q];
+      const double* wi = qs[q] + half;
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = table + e * dim;
+        double acc = 0.0;
+        for (size_t k = 0; k < half; ++k) {
+          acc += wr[k] * row[k] + wi[k] * row[half + k];
+        }
+        out[e] = acc;
+      }
+    }
+  }
+}
+
+constexpr KernelOps kPortableOps = {
+    "portable", PortableL1, PortableL2, PortableDot, PortablePairedDot,
+};
+
+std::atomic<const KernelOps*> g_override{nullptr};
+
+/// Env-and-cpuid dispatch, evaluated once. The override pointer is checked
+/// on every ActiveKernels() call so tests can flip backends mid-process.
+const KernelOps* ResolveDispatch() {
+  const char* force_portable = std::getenv("KGFD_FORCE_PORTABLE_KERNELS");
+  if (force_portable != nullptr && force_portable[0] != '\0' &&
+      std::strcmp(force_portable, "0") != 0) {
+    return &kPortableOps;
+  }
+  const char* backend = std::getenv("KGFD_KERNEL_BACKEND");
+  if (backend != nullptr && backend[0] != '\0') {
+    if (std::strcmp(backend, "portable") == 0) return &kPortableOps;
+    if (std::strcmp(backend, "avx2") == 0) {
+      const KernelOps* avx2 = Avx2Kernels();
+      if (avx2 == nullptr) {
+        std::fprintf(stderr,
+                     "KGFD_KERNEL_BACKEND=avx2 but the AVX2 kernels are "
+                     "unavailable (%s)\n",
+                     CpuSupportsAvx2() ? "not compiled into this binary"
+                                       : "cpu lacks AVX2/FMA");
+        std::abort();
+      }
+      return avx2;
+    }
+    std::fprintf(stderr, "unknown KGFD_KERNEL_BACKEND '%s'\n", backend);
+    std::abort();
+  }
+  const KernelOps* avx2 = Avx2Kernels();
+  return avx2 != nullptr ? avx2 : &kPortableOps;
+}
+
+}  // namespace
+
+const KernelOps& PortableKernels() { return kPortableOps; }
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelOps& ActiveKernels() {
+  const KernelOps* override_ops = g_override.load(std::memory_order_acquire);
+  if (override_ops != nullptr) return *override_ops;
+  static const KernelOps* dispatched = ResolveDispatch();
+  return *dispatched;
+}
+
+const char* ActiveKernelName() { return ActiveKernels().name; }
+
+void SetKernelsOverride(const KernelOps* ops) {
+  g_override.store(ops, std::memory_order_release);
+}
+
+}  // namespace kernels
+}  // namespace kgfd

@@ -1,0 +1,88 @@
+#ifndef KGFD_KGE_KERNELS_H_
+#define KGFD_KGE_KERNELS_H_
+
+#include <cstddef>
+
+namespace kgfd {
+namespace kernels {
+
+/// Vectorized batch-scoring kernels over an embedding table's flat
+/// row-major float storage. Every kernel scores a *block of queries*
+/// against every table row in one pass: the table is walked in blocks of
+/// rows (an 8-row tile on the AVX2 path, transposed once and reused by all
+/// queries), so the bytes of a row are loaded from memory once per block
+/// of queries instead of once per query.
+///
+/// Determinism contract: for each (query, row) pair the floating-point
+/// operations and their order are EXACTLY the ones of the scalar
+/// per-triple scoring path (double accumulation in ascending dimension
+/// order, no FMA contraction). The AVX2 path vectorizes across *rows* —
+/// eight independent accumulator chains, one per entity — so its results
+/// are bit-identical to the portable path and to the pre-kernel
+/// ScoreObjects/ScoreSubjects implementations. Discovery goldens and
+/// checkpoint/resume bit-identity therefore hold on every backend.
+///
+/// `qs[q]` is the query's prepared double vector (model-specific: q = s + r
+/// for TransE, w = s ⊙ r for DistMult, [w_re | w_im] for ComplEx);
+/// `outs[q]` is the query's output array of `rows` doubles.
+using ScoreFn = void (*)(const float* table, size_t rows, size_t dim,
+                         const double* const* qs, size_t num_queries,
+                         double* const* outs);
+
+struct KernelOps {
+  const char* name;
+  /// outs[q][e] = -Σ_i |qs[q][i] - table[e][i]|        (TransE, L1)
+  ScoreFn l1_scores;
+  /// outs[q][e] = -sqrt(Σ_i (qs[q][i] - table[e][i])²) (TransE, L2)
+  ScoreFn l2_scores;
+  /// outs[q][e] = Σ_i qs[q][i] * table[e][i]           (DistMult)
+  ScoreFn dot_scores;
+  /// ComplEx: qs[q] holds [w_re | w_im], each `half` wide; rows are
+  /// 2*half floats ([re | im]). Per k the pair w_re[k]*row[k] +
+  /// w_im[k]*row[half+k] is summed before accumulation — the exact
+  /// association of the scalar ComplEx ScoreObjects loop.
+  /// outs[q][e] = Σ_k (qs[q][k]*table[e][k] + qs[q][half+k]*table[e][half+k])
+  void (*paired_dot_scores)(const float* table, size_t rows, size_t half,
+                            const double* const* qs, size_t num_queries,
+                            double* const* outs);
+};
+
+/// Queries per ParallelFor grain / kernel call in the batch-scoring
+/// pipeline (SideScoreCache precompute, link-prediction evaluation). Large
+/// enough to amortize the per-block tile transpose, small enough that a
+/// cooperative-stop probe between blocks stays responsive.
+inline constexpr size_t kQueryBlock = 64;
+
+/// The scalar reference backend. Always available; bit-identical to the
+/// historical per-query ScoreObjects/ScoreSubjects loops.
+const KernelOps& PortableKernels();
+
+/// The AVX2 backend, or nullptr when unavailable — either the binary was
+/// built without AVX2 support (KGFD_ENABLE_AVX2=OFF or non-x86 target) or
+/// this machine's cpuid lacks AVX2/FMA.
+const KernelOps* Avx2Kernels();
+
+/// True when the running CPU reports AVX2 and FMA support.
+bool CpuSupportsAvx2();
+
+/// The dispatched backend, resolved once per process:
+///  1. A SetKernelsOverride() pointer, when set (tests, benchmarks).
+///  2. KGFD_FORCE_PORTABLE_KERNELS=1 (or any value but "0") → portable.
+///  3. KGFD_KERNEL_BACKEND=portable|avx2 → that backend; forcing avx2 on a
+///     machine or build without it aborts with a diagnostic (the CI
+///     dispatch-matrix leg relies on the hard failure).
+///  4. cpuid: AVX2 when supported and compiled in, else portable.
+const KernelOps& ActiveKernels();
+
+/// Name of the backend ActiveKernels() resolves to ("avx2", "portable").
+const char* ActiveKernelName();
+
+/// Overrides ActiveKernels() for tests and benchmarks; nullptr restores
+/// normal dispatch. Not thread-safe against concurrent scoring — switch
+/// backends only between scoring passes.
+void SetKernelsOverride(const KernelOps* ops);
+
+}  // namespace kernels
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_KERNELS_H_

@@ -75,6 +75,20 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
   return model;
 }
 
+void Model::ScoreObjectsBatch(const SideQuery* queries, size_t num_queries,
+                              std::vector<double>* const* outs) const {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScoreObjects(queries[q].entity, queries[q].relation, outs[q]);
+  }
+}
+
+void Model::ScoreSubjectsBatch(const SideQuery* queries, size_t num_queries,
+                               std::vector<double>* const* outs) const {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScoreSubjects(queries[q].relation, queries[q].entity, outs[q]);
+  }
+}
+
 Status ValidateModelShape(const Model& model, size_t num_entities,
                           size_t num_relations) {
   if (model.num_entities() != num_entities) {

@@ -26,6 +26,14 @@ enum class ModelKind {
 const char* ModelKindName(ModelKind kind);
 Result<ModelKind> ModelKindFromName(const std::string& name);
 
+/// One corruption-side scoring query. For object-side scoring `entity` is
+/// the subject (score (entity, relation, o') for all o'); for subject-side
+/// scoring it is the object (score (s', relation, entity) for all s').
+struct SideQuery {
+  EntityId entity = 0;
+  RelationId relation = 0;
+};
+
 /// Abstract knowledge-graph embedding model: a scoring function
 /// f(s, r, o; Θ) with analytic gradients. Higher scores mean "more
 /// plausible". Implementations store all parameters in named Tensors so one
@@ -55,6 +63,22 @@ class Model {
   /// Scores (s', r, o) for every entity s'.
   virtual void ScoreSubjects(RelationId r, EntityId o,
                              std::vector<double>* out) const = 0;
+
+  /// Batch form of ScoreObjects: scores queries[q] = (s, r) against every
+  /// entity, resizing and filling *outs[q] like ScoreObjects would. The
+  /// hot path of candidate ranking, SideScoreCache precompute and
+  /// link-prediction evaluation: TransE/DistMult/ComplEx override this
+  /// with blocked, cache-tiled kernels (see kge/kernels.h) that walk the
+  /// entity table once per *block* of queries instead of once per query.
+  /// Results are bit-identical to per-query ScoreObjects on every kernel
+  /// backend. The base implementation loops ScoreObjects.
+  virtual void ScoreObjectsBatch(const SideQuery* queries, size_t num_queries,
+                                 std::vector<double>* const* outs) const;
+
+  /// Batch form of ScoreSubjects: queries[q] = (o, r) in SideQuery terms.
+  virtual void ScoreSubjectsBatch(const SideQuery* queries,
+                                  size_t num_queries,
+                                  std::vector<double>* const* outs) const;
 
   /// The scalar the trainer differentiates. Equal to Score() for all models
   /// except those with direction-specific heads (ConvE's reciprocal

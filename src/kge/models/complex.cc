@@ -1,5 +1,8 @@
 #include "kge/models/complex.h"
 
+#include "kge/kernels.h"
+#include "kge/models/query_prep.h"
+
 namespace kgfd {
 
 Status ComplExModel::ValidateConfig(const ModelConfig& config) {
@@ -36,51 +39,67 @@ double ComplExModel::Score(const Triple& t) const {
   return acc;
 }
 
+// Both corruption sides factor into one paired-dot kernel pass against a
+// per-query complex vector, stored as [real half | imaginary half]:
+// objects use w = s * r (complex product), subjects use u = conj(r) * o.
+
+void ComplExModel::ScoreObjectsBatch(const SideQuery* queries,
+                                     size_t num_queries,
+                                     std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* sv = entities_.Row(queries[q].entity);
+    const float* rv = relations_.Row(queries[q].relation);
+    double* wr = prep.query(q);
+    double* wi = wr + half_;
+    for (size_t k = 0; k < half_; ++k) {
+      const double sr = sv[k], si = sv[half_ + k];
+      const double rr = rv[k], ri = rv[half_ + k];
+      wr[k] = sr * rr - si * ri;
+      wi[k] = si * rr + sr * ri;
+    }
+  }
+  kernels::ActiveKernels().paired_dot_scores(entities_.data().data(),
+                                             num_entities(), half_,
+                                             prep.qs(), num_queries,
+                                             prep.outs());
+}
+
+void ComplExModel::ScoreSubjectsBatch(
+    const SideQuery* queries, size_t num_queries,
+    std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* rv = relations_.Row(queries[q].relation);
+    const float* ov = entities_.Row(queries[q].entity);
+    double* ur = prep.query(q);
+    double* ui = ur + half_;
+    // u = conj(r) * o: u_r[k] = rr*or + ri*oi, u_i[k] = rr*oi - ri*or.
+    for (size_t k = 0; k < half_; ++k) {
+      const double rr = rv[k], ri = rv[half_ + k];
+      const double orr = ov[k], oi = ov[half_ + k];
+      ur[k] = rr * orr + ri * oi;
+      ui[k] = rr * oi - ri * orr;
+    }
+  }
+  kernels::ActiveKernels().paired_dot_scores(entities_.data().data(),
+                                             num_entities(), half_,
+                                             prep.qs(), num_queries,
+                                             prep.outs());
+}
+
 void ComplExModel::ScoreObjects(EntityId s, RelationId r,
                                 std::vector<double>* out) const {
-  const float* sv = entities_.Row(s);
-  const float* rv = relations_.Row(r);
-  // score(o) = <w_r, o_r> + <w_i, o_i> with w = s * r (complex product).
-  std::vector<double> wr(half_), wi(half_);
-  for (size_t k = 0; k < half_; ++k) {
-    const double sr = sv[k], si = sv[half_ + k];
-    const double rr = rv[k], ri = rv[half_ + k];
-    wr[k] = sr * rr - si * ri;
-    wi[k] = si * rr + sr * ri;
-  }
-  out->resize(num_entities());
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const float* ov = entities_.Row(e);
-    double acc = 0.0;
-    for (size_t k = 0; k < half_; ++k) {
-      acc += wr[k] * ov[k] + wi[k] * ov[half_ + k];
-    }
-    (*out)[e] = acc;
-  }
+  const SideQuery query{s, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreObjectsBatch(&query, 1, outs);
 }
 
 void ComplExModel::ScoreSubjects(RelationId r, EntityId o,
                                  std::vector<double>* out) const {
-  const float* rv = relations_.Row(r);
-  const float* ov = entities_.Row(o);
-  // score(s) = <u_r, s_r> + <u_i, s_i> with u = conj(r) * o... spelled out:
-  //   u_r[k] = rr*or + ri*oi,  u_i[k] = rr*oi - ri*or.
-  std::vector<double> ur(half_), ui(half_);
-  for (size_t k = 0; k < half_; ++k) {
-    const double rr = rv[k], ri = rv[half_ + k];
-    const double orr = ov[k], oi = ov[half_ + k];
-    ur[k] = rr * orr + ri * oi;
-    ui[k] = rr * oi - ri * orr;
-  }
-  out->resize(num_entities());
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const float* sv = entities_.Row(e);
-    double acc = 0.0;
-    for (size_t k = 0; k < half_; ++k) {
-      acc += ur[k] * sv[k] + ui[k] * sv[half_ + k];
-    }
-    (*out)[e] = acc;
-  }
+  const SideQuery query{o, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreSubjectsBatch(&query, 1, outs);
 }
 
 void ComplExModel::AccumulateScoreGradient(const Triple& t, double dscore,

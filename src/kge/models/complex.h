@@ -28,6 +28,10 @@ class ComplExModel : public PairEmbeddingModel {
                     std::vector<double>* out) const override;
   void ScoreSubjects(RelationId r, EntityId o,
                      std::vector<double>* out) const override;
+  void ScoreObjectsBatch(const SideQuery* queries, size_t num_queries,
+                         std::vector<double>* const* outs) const override;
+  void ScoreSubjectsBatch(const SideQuery* queries, size_t num_queries,
+                          std::vector<double>* const* outs) const override;
   void AccumulateScoreGradient(const Triple& t, double dscore,
                                GradientBatch* grads) override;
 

@@ -1,23 +1,9 @@
 #include "kge/models/distmult.h"
 
+#include "kge/kernels.h"
+#include "kge/models/query_prep.h"
+
 namespace kgfd {
-namespace {
-
-/// Scores every entity row against the fixed per-(s,r) factor vector w:
-/// score(e) = sum_i w_i * E[e][i]. Shared by both corruption sides because
-/// DistMult is bilinear and symmetric.
-void DotAllRows(const Tensor& entities, const std::vector<double>& w,
-                std::vector<double>* out) {
-  out->resize(entities.rows());
-  for (size_t e = 0; e < entities.rows(); ++e) {
-    const float* ev = entities.Row(e);
-    double acc = 0.0;
-    for (size_t i = 0; i < w.size(); ++i) acc += w[i] * ev[i];
-    (*out)[e] = acc;
-  }
-}
-
-}  // namespace
 
 double DistMultModel::Score(const Triple& t) const {
   const float* s = entities_.Row(t.subject);
@@ -30,26 +16,56 @@ double DistMultModel::Score(const Triple& t) const {
   return acc;
 }
 
+// DistMult is bilinear and symmetric, so both corruption sides are one dot
+// kernel against a per-query factor vector: w = s ⊙ r for objects,
+// w = r ⊙ o for subjects.
+
+void DistMultModel::ScoreObjectsBatch(const SideQuery* queries,
+                                      size_t num_queries,
+                                      std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* sv = entities_.Row(queries[q].entity);
+    const float* rv = relations_.Row(queries[q].relation);
+    double* dst = prep.query(q);
+    for (size_t i = 0; i < dim_; ++i) {
+      dst[i] = static_cast<double>(sv[i]) * rv[i];
+    }
+  }
+  kernels::ActiveKernels().dot_scores(entities_.data().data(),
+                                      num_entities(), dim_, prep.qs(),
+                                      num_queries, prep.outs());
+}
+
+void DistMultModel::ScoreSubjectsBatch(
+    const SideQuery* queries, size_t num_queries,
+    std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* rv = relations_.Row(queries[q].relation);
+    const float* ov = entities_.Row(queries[q].entity);
+    double* dst = prep.query(q);
+    for (size_t i = 0; i < dim_; ++i) {
+      dst[i] = static_cast<double>(rv[i]) * ov[i];
+    }
+  }
+  kernels::ActiveKernels().dot_scores(entities_.data().data(),
+                                      num_entities(), dim_, prep.qs(),
+                                      num_queries, prep.outs());
+}
+
 void DistMultModel::ScoreObjects(EntityId s, RelationId r,
                                  std::vector<double>* out) const {
-  const float* sv = entities_.Row(s);
-  const float* rv = relations_.Row(r);
-  std::vector<double> w(dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    w[i] = static_cast<double>(sv[i]) * rv[i];
-  }
-  DotAllRows(entities_, w, out);
+  const SideQuery query{s, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreObjectsBatch(&query, 1, outs);
 }
 
 void DistMultModel::ScoreSubjects(RelationId r, EntityId o,
                                   std::vector<double>* out) const {
-  const float* rv = relations_.Row(r);
-  const float* ov = entities_.Row(o);
-  std::vector<double> w(dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    w[i] = static_cast<double>(rv[i]) * ov[i];
-  }
-  DotAllRows(entities_, w, out);
+  const SideQuery query{o, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreSubjectsBatch(&query, 1, outs);
 }
 
 void DistMultModel::AccumulateScoreGradient(const Triple& t, double dscore,

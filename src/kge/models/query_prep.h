@@ -1,0 +1,43 @@
+#ifndef KGFD_KGE_MODELS_QUERY_PREP_H_
+#define KGFD_KGE_MODELS_QUERY_PREP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kgfd {
+
+/// Scratch for one batch-kernel call: a flat buffer of per-query prepared
+/// double vectors (width doubles each) plus the pointer tables the kernels
+/// take. Resizes every output vector to `rows` up front so outs() points at
+/// stable storage.
+class QueryPrep {
+ public:
+  QueryPrep(size_t num_queries, size_t width, size_t rows,
+            std::vector<double>* const* outs)
+      : width_(width),
+        buf_(num_queries * width),
+        qs_(num_queries),
+        outs_(num_queries) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      qs_[q] = buf_.data() + q * width_;
+      outs[q]->resize(rows);
+      outs_[q] = outs[q]->data();
+    }
+  }
+
+  /// The query's prepared vector, to be filled by the model.
+  double* query(size_t q) { return buf_.data() + q * width_; }
+
+  const double* const* qs() const { return qs_.data(); }
+  double* const* outs() const { return outs_.data(); }
+
+ private:
+  size_t width_;
+  std::vector<double> buf_;
+  std::vector<const double*> qs_;
+  std::vector<double*> outs_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_KGE_MODELS_QUERY_PREP_H_

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "kge/kernels.h"
+#include "kge/models/query_prep.h"
+
 namespace kgfd {
 
 TransEModel::TransEModel(const ModelConfig& config)
@@ -26,51 +29,59 @@ double TransEModel::Score(const Triple& t) const {
   return -std::sqrt(acc);
 }
 
-void TransEModel::ScoreObjects(EntityId s, RelationId r,
-                               std::vector<double>* out) const {
-  out->resize(num_entities());
-  std::vector<double> q(dim_);
-  const float* sv = entities_.Row(s);
-  const float* rv = relations_.Row(r);
-  for (size_t i = 0; i < dim_; ++i) q[i] = static_cast<double>(sv[i]) + rv[i];
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const float* ov = entities_.Row(e);
-    double acc = 0.0;
-    if (norm_ == 1) {
-      for (size_t i = 0; i < dim_; ++i) acc += std::fabs(q[i] - ov[i]);
-      (*out)[e] = -acc;
-    } else {
-      for (size_t i = 0; i < dim_; ++i) {
-        const double d = q[i] - ov[i];
-        acc += d * d;
-      }
-      (*out)[e] = -std::sqrt(acc);
+// Both corruption sides reduce to a distance-to-one-target kernel: objects
+// rank against q = s + r (score -||q - o'||), subjects against q = o - r
+// (score -||s' - q||, and ||s' - q|| == ||q - s'|| exactly in IEEE
+// arithmetic, so one kernel family serves both sides bit-identically).
+
+void TransEModel::ScoreObjectsBatch(const SideQuery* queries,
+                                    size_t num_queries,
+                                    std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* sv = entities_.Row(queries[q].entity);
+    const float* rv = relations_.Row(queries[q].relation);
+    double* dst = prep.query(q);
+    for (size_t i = 0; i < dim_; ++i) {
+      dst[i] = static_cast<double>(sv[i]) + rv[i];
     }
   }
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
+      entities_.data().data(), num_entities(), dim_, prep.qs(), num_queries,
+      prep.outs());
+}
+
+void TransEModel::ScoreSubjectsBatch(const SideQuery* queries,
+                                     size_t num_queries,
+                                     std::vector<double>* const* outs) const {
+  QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* rv = relations_.Row(queries[q].relation);
+    const float* ov = entities_.Row(queries[q].entity);
+    double* dst = prep.query(q);
+    for (size_t i = 0; i < dim_; ++i) {
+      dst[i] = static_cast<double>(ov[i]) - rv[i];
+    }
+  }
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
+      entities_.data().data(), num_entities(), dim_, prep.qs(), num_queries,
+      prep.outs());
+}
+
+void TransEModel::ScoreObjects(EntityId s, RelationId r,
+                               std::vector<double>* out) const {
+  const SideQuery query{s, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreObjectsBatch(&query, 1, outs);
 }
 
 void TransEModel::ScoreSubjects(RelationId r, EntityId o,
                                 std::vector<double>* out) const {
-  out->resize(num_entities());
-  // -||s + r - o|| = -||s - (o - r)||: one target vector for all subjects.
-  std::vector<double> q(dim_);
-  const float* rv = relations_.Row(r);
-  const float* ov = entities_.Row(o);
-  for (size_t i = 0; i < dim_; ++i) q[i] = static_cast<double>(ov[i]) - rv[i];
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const float* sv = entities_.Row(e);
-    double acc = 0.0;
-    if (norm_ == 1) {
-      for (size_t i = 0; i < dim_; ++i) acc += std::fabs(sv[i] - q[i]);
-      (*out)[e] = -acc;
-    } else {
-      for (size_t i = 0; i < dim_; ++i) {
-        const double d = sv[i] - q[i];
-        acc += d * d;
-      }
-      (*out)[e] = -std::sqrt(acc);
-    }
-  }
+  const SideQuery query{o, r};
+  std::vector<double>* const outs[] = {out};
+  ScoreSubjectsBatch(&query, 1, outs);
 }
 
 void TransEModel::AccumulateScoreGradient(const Triple& t, double dscore,

@@ -159,21 +159,26 @@ void ThreadPool::TaskGroup::Wait() {
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& body,
-                 const CancelContext* cancel) {
+                 const CancelContext* cancel, size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
   const bool stoppable = cancel != nullptr && cancel->CanStop();
   const size_t workers = pool != nullptr ? pool->num_threads() : 1;
-  if (pool == nullptr || workers <= 1 || n < 2) {
+  if (pool == nullptr || workers <= 1 || n < 2 || n <= grain) {
     if (stoppable && cancel->StopReason() != StoppedReason::kNone) return;
     body(0, n);
     return;
   }
   // Dynamic chunking: enough chunks per worker that a skewed chunk cannot
   // serialize the loop, claimed off a shared index so idle threads keep
-  // pulling work until the range is exhausted.
+  // pulling work until the range is exhausted. Chunk sizes are rounded up
+  // to a multiple of `grain` so per-chunk fixed costs (a batch kernel
+  // invocation, a cache-line's worth of output) amortize over at least one
+  // full sub-block — handing a kernel-based body a 3-candidate sliver costs
+  // nearly as much as a full block and was the PR2 regression.
   const size_t target_chunks = 8 * workers;
-  const size_t chunk = std::max<size_t>(1, (n + target_chunks - 1) /
-                                               target_chunks);
+  size_t chunk = std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+  chunk = (chunk + grain - 1) / grain * grain;
   const size_t num_chunks = (n + chunk - 1) / chunk;
   // shared_ptr: a claiming task may outlive this frame's locals only if the
   // caller abandons Wait via exception; keep the index alive regardless.

@@ -147,9 +147,15 @@ class ThreadPool {
 /// the caller decides what to do with partially filled output. On the
 /// serial path the single body call is only skipped when the context is
 /// already stopped on entry.
+///
+/// `grain` rounds every chunk size up to a multiple of itself (the final
+/// chunk may be a remainder), so bodies that process indices in fixed-size
+/// sub-blocks — batch scoring kernels working in kernels::kQueryBlock
+/// groups — never receive a sliver smaller than one block except at the end
+/// of the range. grain == 1 (the default) is plain dynamic chunking.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& body,
-                 const CancelContext* cancel = nullptr);
+                 const CancelContext* cancel = nullptr, size_t grain = 1);
 
 }  // namespace kgfd
 

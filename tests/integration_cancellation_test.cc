@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstring>
@@ -31,7 +32,10 @@ class CancellationTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FailPoints::Instance().Reset();
-    dir_ = ::testing::TempDir() + "/kgfd_cancel_test";
+    // Process-unique: ctest runs each TEST as its own process in parallel,
+    // and a shared directory would let one test's remove_all race another.
+    dir_ = ::testing::TempDir() + "/kgfd_cancel_test_" +
+           std::to_string(::getpid());
     std::filesystem::create_directories(dir_);
     manifest_ = dir_ + "/resume.manifest";
     std::filesystem::remove(manifest_);

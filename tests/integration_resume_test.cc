@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <filesystem>
@@ -24,7 +25,10 @@ class ResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FailPoints::Instance().Reset();
-    dir_ = ::testing::TempDir() + "/kgfd_resume_test";
+    // Process-unique: ctest runs each TEST as its own process in parallel,
+    // and a shared directory would let one test's remove_all race another.
+    dir_ = ::testing::TempDir() + "/kgfd_resume_test_" +
+           std::to_string(::getpid());
     std::filesystem::create_directories(dir_);
     manifest_ = dir_ + "/resume.manifest";
   }

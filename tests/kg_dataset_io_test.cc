@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -13,7 +14,10 @@ namespace {
 class DatasetIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/kgfd_io_test";
+    // Process-unique: ctest runs each TEST as its own process in parallel,
+    // and a shared directory would let one test's remove_all race another.
+    dir_ = ::testing::TempDir() + "/kgfd_io_test_" +
+           std::to_string(::getpid());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke-runs EVERY bench binary with a tiny workload so benchmark bit-rot
+# (a bench that no longer builds, crashes on startup, or trips an assert)
+# fails CI instead of festering. Timing numbers from these runs are
+# meaningless by design; the perf-gate job produces the real ones.
+#
+# Usage: tools/bench_smoke.sh [BENCH_DIR]   (default: build/bench)
+set -u
+
+BENCH_DIR="${1:-build/bench}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
+  echo "bench_smoke: no bench binaries in $BENCH_DIR" >&2
+  exit 1
+fi
+
+failures=0
+total=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    bench_micro_*)
+      # google-benchmark targets: registered benchmarks at minimal
+      # min_time. Suffixed form ("0.01s") for benchmark >= 1.8, bare
+      # double for older releases.
+      if "$bin" --benchmark_list_tests --benchmark_min_time=0.01s \
+          >/dev/null 2>&1; then
+        args=(--benchmark_min_time=0.01s)
+      else
+        args=(--benchmark_min_time=0.01)
+      fi
+      ;;
+    bench_pr2_parallel_ranking)
+      args=(--threads 2 --entities 300 --max_candidates 400 --dim 8
+            --epochs 1 --out "$SCRATCH/pr2.json")
+      ;;
+    bench_pr6_batch_scoring)
+      args=(--entities 500 --relations 7 --dim 16 --queries 8 --repeats 1
+            --out "$SCRATCH/pr6.json")
+      ;;
+    *)
+      # Paper-figure/table harnesses share the bench_common flag set.
+      # --scale DIVIDES the paper's dataset sizes, so bigger is smaller.
+      args=(--scale 200 --dim 8 --epochs 1 --top_n 20 --max_candidates 30)
+      ;;
+  esac
+  total=$((total + 1))
+  printf '== %s %s\n' "$name" "${args[*]}"
+  status=0
+  "$bin" "${args[@]}" >"$SCRATCH/$name.log" 2>&1 || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAILED: $name (exit $status)" >&2
+    tail -n 30 "$SCRATCH/$name.log" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo "bench_smoke: $((total - failures))/$total benches ran clean"
+exit "$((failures > 0 ? 1 : 0))"

@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json perf-trajectory records.
+
+Compares the current run's BENCH_pr6.json (batch-kernel scoring throughput)
+and BENCH_pr2.json (parallel ranking speedup) against the committed
+baselines in bench/baselines/, and fails (exit 1) on:
+
+  * a >``--tolerance`` (default 20%) drop in batch scoring throughput for
+    any model, or in parallel-ranking candidate throughput;
+  * ``batch_speedup`` below ``--min-batch-speedup`` (default 5.0) for any
+    model — the machine-independent contract of the batch kernels;
+  * ``ranking_speedup`` below ``--min-ranking-speedup`` (default 1.0);
+  * ``scores_match`` / ``facts_identical`` false — a kernel that got fast
+    by going wrong is a correctness bug, not a perf win.
+
+Absolute-throughput comparisons are hardware-sensitive, so they are only
+enforced when the run is comparable to the baseline: same
+``kernel_backend`` for pr6, same ``hardware_concurrency`` for pr2. The
+ranking-speedup floor is skipped (with a warning) when the host has fewer
+cores than the bench's thread count — an oversubscribed machine cannot
+measure parallel speedup. Ratio checks are never skipped.
+
+Usage (CI):
+  python3 tools/perf_gate.py \
+    --pr6 BENCH_pr6.json --pr6-baseline bench/baselines/BENCH_pr6.json \
+    --pr2 BENCH_pr2.json --pr2-baseline bench/baselines/BENCH_pr2.json \
+    --summary perf_trend.md
+
+Self-check (run by ctest as perf_gate_selftest):
+  python3 tools/perf_gate.py --self-test
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+class Gate:
+    def __init__(self, tolerance, min_batch_speedup, min_ranking_speedup):
+        self.tolerance = tolerance
+        self.min_batch_speedup = min_batch_speedup
+        self.min_ranking_speedup = min_ranking_speedup
+        self.rows = []  # (check, baseline, current, delta, verdict)
+        self.failures = []
+        self.warnings = []
+
+    def _record(self, check, baseline, current, delta, ok, skipped=False):
+        verdict = "SKIP" if skipped else ("ok" if ok else "FAIL")
+        self.rows.append((check, baseline, current, delta, verdict))
+        if not skipped and not ok:
+            self.failures.append(check)
+
+    def check_flag(self, name, value):
+        self._record(name, "true", str(value).lower(), "-", bool(value))
+
+    def check_floor(self, name, value, floor, skipped=False):
+        self._record(name, f">= {floor:g}", f"{value:.3f}", "-",
+                     value >= floor, skipped=skipped)
+
+    def check_throughput(self, name, baseline, current, comparable):
+        delta = (current - baseline) / baseline if baseline > 0 else 0.0
+        ok = current >= baseline * (1.0 - self.tolerance)
+        self._record(name, f"{baseline:.2f}", f"{current:.2f}",
+                     f"{delta:+.1%}", ok, skipped=not comparable)
+
+    def gate_pr6(self, current, baseline):
+        self.check_flag("pr6.scores_match", current.get("scores_match"))
+        comparable = current.get("kernel_backend") == baseline.get(
+            "kernel_backend")
+        if not comparable:
+            self.warnings.append(
+                "pr6: kernel_backend differs from baseline "
+                f"({current.get('kernel_backend')} vs "
+                f"{baseline.get('kernel_backend')}); absolute throughput "
+                "not compared")
+        for model, stats in current.get("models", {}).items():
+            self.check_floor(f"pr6.{model}.batch_speedup",
+                             stats["batch_speedup"], self.min_batch_speedup)
+            base_stats = baseline.get("models", {}).get(model)
+            if base_stats is None:
+                self.failures.append(f"pr6.{model}: missing from baseline")
+                continue
+            self.check_throughput(f"pr6.{model}.batch_mscores_per_s",
+                                  base_stats["batch_mscores_per_s"],
+                                  stats["batch_mscores_per_s"], comparable)
+
+    def gate_pr2(self, current, baseline):
+        self.check_flag("pr2.facts_identical", current.get("facts_identical"))
+        cores = current.get("hardware_concurrency", 0)
+        threads = current.get("threads", 0)
+        undersized = cores < threads
+        if undersized:
+            self.warnings.append(
+                f"pr2: host has {cores} cores for a {threads}-thread bench; "
+                "ranking_speedup floor not enforced")
+        self.check_floor("pr2.ranking_speedup", current["ranking_speedup"],
+                         self.min_ranking_speedup, skipped=undersized)
+        comparable = (not undersized and
+                      cores == baseline.get("hardware_concurrency"))
+        base_tput = (baseline["num_candidates"] /
+                     baseline["parallel_ranking_seconds"])
+        cur_tput = (current["num_candidates"] /
+                    current["parallel_ranking_seconds"])
+        self.check_throughput("pr2.candidates_per_s", base_tput, cur_tput,
+                              comparable)
+
+    def summary_markdown(self):
+        lines = ["# Perf trend", "",
+                 "| check | baseline / floor | current | delta | verdict |",
+                 "|---|---|---|---|---|"]
+        for check, baseline, current, delta, verdict in self.rows:
+            lines.append(
+                f"| {check} | {baseline} | {current} | {delta} | {verdict} |")
+        if self.warnings:
+            lines.append("")
+            lines.append("Warnings:")
+            lines.extend(f"- {w}" for w in self.warnings)
+        lines.append("")
+        lines.append("**" + ("FAIL" if self.failures else "PASS") + "**")
+        return "\n".join(lines) + "\n"
+
+    def report(self):
+        for check, baseline, current, delta, verdict in self.rows:
+            print(f"  {verdict:4s}  {check}: baseline {baseline}, "
+                  f"current {current} ({delta})")
+        for w in self.warnings:
+            print(f"  warn  {w}")
+        if self.failures:
+            print(f"perf gate: FAIL ({len(self.failures)} check(s)):")
+            for f in self.failures:
+                print(f"  - {f}")
+            print("If this regression is intended (or the baseline is from "
+                  "different hardware), regenerate bench/baselines/ from a "
+                  "green run's artifacts — see README.")
+        else:
+            print("perf gate: PASS")
+        return 1 if self.failures else 0
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def self_test():
+    pr6 = {
+        "kernel_backend": "avx2",
+        "scores_match": True,
+        "models": {
+            "TransE": {"batch_mscores_per_s": 50.0, "batch_speedup": 7.0},
+            "DistMult": {"batch_mscores_per_s": 70.0, "batch_speedup": 9.0},
+        },
+    }
+    pr2 = {
+        "facts_identical": True,
+        "threads": 4,
+        "hardware_concurrency": 4,
+        "num_candidates": 6000,
+        "parallel_ranking_seconds": 0.05,
+        "ranking_speedup": 2.0,
+    }
+
+    def run(cur6, base6, cur2, base2):
+        g = Gate(tolerance=0.20, min_batch_speedup=5.0,
+                 min_ranking_speedup=1.0)
+        g.gate_pr6(cur6, base6)
+        g.gate_pr2(cur2, base2)
+        return g
+
+    # Identical current and baseline passes.
+    assert not run(pr6, pr6, pr2, pr2).failures, "equal run must pass"
+
+    # A 30% batch-throughput drop fails.
+    slow = copy.deepcopy(pr6)
+    slow["models"]["TransE"]["batch_mscores_per_s"] = 35.0
+    g = run(slow, pr6, pr2, pr2)
+    assert any("batch_mscores_per_s" in f for f in g.failures), g.failures
+
+    # A 10% drop is inside tolerance.
+    mild = copy.deepcopy(pr6)
+    mild["models"]["TransE"]["batch_mscores_per_s"] = 45.0
+    assert not run(mild, pr6, pr2, pr2).failures
+
+    # Batch speedup below the 5x floor fails even with a matching baseline.
+    weak = copy.deepcopy(pr6)
+    weak["models"]["TransE"]["batch_speedup"] = 3.0
+    g = run(weak, weak, pr2, pr2)
+    assert any("batch_speedup" in f for f in g.failures), g.failures
+
+    # Ranking speedup < 1.0 fails on an adequately-sized host...
+    serial_loss = copy.deepcopy(pr2)
+    serial_loss["ranking_speedup"] = 0.9
+    g = run(pr6, pr6, serial_loss, pr2)
+    assert any("ranking_speedup" in f for f in g.failures), g.failures
+
+    # ...but is only a warning when the host is oversubscribed.
+    tiny_host = copy.deepcopy(serial_loss)
+    tiny_host["hardware_concurrency"] = 1
+    g = run(pr6, pr6, tiny_host, pr2)
+    assert not g.failures, g.failures
+    assert any("cores" in w for w in g.warnings), g.warnings
+
+    # Wrong results are a hard failure regardless of speed.
+    wrong = copy.deepcopy(pr6)
+    wrong["scores_match"] = False
+    assert run(wrong, pr6, pr2, pr2).failures
+
+    # Backend mismatch skips absolute comparison but keeps ratio floors.
+    other = copy.deepcopy(pr6)
+    other["kernel_backend"] = "portable"
+    other["models"]["TransE"]["batch_mscores_per_s"] = 10.0
+    g = run(other, pr6, pr2, pr2)
+    assert not g.failures, g.failures
+
+    # Markdown summary renders every check row.
+    g = run(pr6, pr6, pr2, pr2)
+    md = g.summary_markdown()
+    assert "pr6.TransE.batch_speedup" in md and "PASS" in md
+
+    print("perf_gate self-test: all checks behave as specified")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr6")
+    parser.add_argument("--pr6-baseline")
+    parser.add_argument("--pr2")
+    parser.add_argument("--pr2-baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--min-batch-speedup", type=float, default=5.0)
+    parser.add_argument("--min-ranking-speedup", type=float, default=1.0)
+    parser.add_argument("--summary", help="write a markdown trend summary")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    gate = Gate(args.tolerance, args.min_batch_speedup,
+                args.min_ranking_speedup)
+    if args.pr6:
+        gate.gate_pr6(load(args.pr6), load(args.pr6_baseline))
+    if args.pr2:
+        gate.gate_pr2(load(args.pr2), load(args.pr2_baseline))
+    if not args.pr6 and not args.pr2:
+        parser.error("nothing to gate: pass --pr6 and/or --pr2")
+    if args.summary:
+        with open(args.summary, "w") as f:
+            f.write(gate.summary_markdown())
+    return gate.report()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
