@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "core/discovery_cache.h"
 #include "core/side_score_cache.h"
 #include "core/type_filter.h"
 #include "graph/adjacency.h"
@@ -57,6 +58,13 @@ double LongTailShare(const std::vector<DiscoveredFact>& facts,
 
 namespace {
 
+/// Algorithm 1 line 4: mesh-grid side length.
+size_t MeshGridSampleSize(size_t max_candidates) {
+  return static_cast<size_t>(
+             std::sqrt(static_cast<double>(max_candidates))) +
+         10;
+}
+
 double Aggregate(RankAggregation agg, double subject_rank,
                  double object_rank) {
   switch (agg) {
@@ -72,57 +80,58 @@ double Aggregate(RankAggregation agg, double subject_rank,
 
 }  // namespace
 
-Result<DiscoveryResult> DiscoverFacts(const Model& model,
-                                      const TripleStore& kg,
-                                      const DiscoveryOptions& options,
-                                      ThreadPool* pool) {
+Status ValidateDiscoveryOptions(const DiscoveryOptions& options,
+                                const TripleStore& kg) {
   if (options.max_candidates == 0 || options.top_n == 0) {
     return Status::InvalidArgument("top_n and max_candidates must be > 0");
   }
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be > 0");
   }
-  KGFD_RETURN_NOT_OK(
-      ValidateModelShape(model, kg.num_entities(), kg.num_relations()));
   for (RelationId r : options.relations) {
     if (r >= kg.num_relations()) {
       return Status::OutOfRange("relation id out of range");
     }
   }
 
-  // Algorithm 1 line 3: default to every relation present in the KG.
-  std::vector<RelationId> relations = options.relations;
-  if (relations.empty()) relations = kg.UsedRelations();
-
-  // Line 4: mesh-grid side length.
-  const size_t sample_size =
-      static_cast<size_t>(
-          std::sqrt(static_cast<double>(options.max_candidates))) +
-      10;
-
   // Guard the mesh-grid against absurd max_candidates before anything is
   // allocated: estimate the per-relation transient footprint (sample
   // vectors, candidate list, dedup hash set, rank slots) in double
   // arithmetic so the estimate itself cannot overflow size_t.
-  {
-    // ~48 bytes/candidate of unordered_set node + bucket overhead on top of
-    // the 8-byte packed key is a deliberate overestimate.
-    const double estimated_bytes =
-        2.0 * static_cast<double>(sample_size) * sizeof(EntityId) +
-        static_cast<double>(options.max_candidates) *
-            (sizeof(Triple) + 2 * sizeof(double) + 56.0);
-    if (estimated_bytes >
-        static_cast<double>(options.max_candidate_memory_bytes)) {
-      return Status::InvalidArgument(
-          "max_candidates=" + std::to_string(options.max_candidates) +
-          " needs ~" +
-          std::to_string(static_cast<uint64_t>(estimated_bytes)) +
-          " bytes of per-relation candidate state, over the "
-          "max_candidate_memory_bytes cap of " +
-          std::to_string(options.max_candidate_memory_bytes) +
-          "; lower max_candidates or raise the cap");
-    }
+  //
+  // ~48 bytes/candidate of unordered_set node + bucket overhead on top of
+  // the 8-byte packed key is a deliberate overestimate.
+  const size_t sample_size = MeshGridSampleSize(options.max_candidates);
+  const double estimated_bytes =
+      2.0 * static_cast<double>(sample_size) * sizeof(EntityId) +
+      static_cast<double>(options.max_candidates) *
+          (sizeof(Triple) + 2 * sizeof(double) + 56.0);
+  if (estimated_bytes >
+      static_cast<double>(options.max_candidate_memory_bytes)) {
+    return Status::InvalidArgument(
+        "max_candidates=" + std::to_string(options.max_candidates) +
+        " needs ~" + std::to_string(static_cast<uint64_t>(estimated_bytes)) +
+        " bytes of per-relation candidate state, over the "
+        "max_candidate_memory_bytes cap of " +
+        std::to_string(options.max_candidate_memory_bytes) +
+        "; lower max_candidates or raise the cap");
   }
+  return Status::OK();
+}
+
+Result<DiscoveryResult> DiscoverFacts(const Model& model,
+                                      const TripleStore& kg,
+                                      const DiscoveryOptions& options,
+                                      ThreadPool* pool) {
+  KGFD_RETURN_NOT_OK(ValidateDiscoveryOptions(options, kg));
+  KGFD_RETURN_NOT_OK(
+      ValidateModelShape(model, kg.num_entities(), kg.num_relations()));
+
+  // Algorithm 1 line 3: default to every relation present in the KG.
+  std::vector<RelationId> relations = options.relations;
+  if (relations.empty()) relations = kg.UsedRelations();
+
+  const size_t sample_size = MeshGridSampleSize(options.max_candidates);
 
   WallTimer total_timer;
   MetricsRegistry* const metrics = options.metrics;
@@ -196,12 +205,32 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     return false;
   };
 
-  // Optional weight-caching ablation: hoist line 7 out of the loop.
+  // Optional weight-caching ablation: hoist line 7 out of the loop. A
+  // shared DiscoveryCache hoists as well — it already guarantees one
+  // computation per strategy across runs, so the recompute-per-relation
+  // semantics of cache_weights=false would only repeat a cache lookup.
+  const bool hoist_weights =
+      options.cache_weights || options.shared_cache != nullptr;
   StrategyWeights hoisted_weights;
   AliasSampler hoisted_subject_sampler;
   AliasSampler hoisted_object_sampler;
+  // Keeps the cache entry alive for the whole sweep when the pointers below
+  // alias into it.
+  std::shared_ptr<const DiscoveryCache::WeightsEntry> shared_weights;
+  const StrategyWeights* hoisted_weights_ptr = &hoisted_weights;
+  const AliasSampler* hoisted_subject_ptr = &hoisted_subject_sampler;
+  const AliasSampler* hoisted_object_ptr = &hoisted_object_sampler;
   double hoisted_weight_seconds = 0.0;
-  if (options.cache_weights) {
+  if (options.shared_cache != nullptr) {
+    ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
+    KGFD_ASSIGN_OR_RETURN(
+        shared_weights,
+        options.shared_cache->GetOrComputeWeights(options.strategy, kg));
+    hoisted_weights_ptr = &shared_weights->weights;
+    hoisted_subject_ptr = &shared_weights->subject_sampler;
+    hoisted_object_ptr = &shared_weights->object_sampler;
+    hoisted_weight_seconds = weight_span.Stop();
+  } else if (options.cache_weights) {
     ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
     KGFD_ASSIGN_OR_RETURN(hoisted_weights,
                           ComputeStrategyWeights(options.strategy, kg));
@@ -252,13 +281,13 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     // Line 7: compute_weights(strategy) — inside the loop, as published
     // (unless the caching ablation hoisted it above). Timed as its own
     // phase, disjoint from generation.
-    const StrategyWeights* weights = &hoisted_weights;
-    const AliasSampler* subject_sampler = &hoisted_subject_sampler;
-    const AliasSampler* object_sampler = &hoisted_object_sampler;
+    const StrategyWeights* weights = hoisted_weights_ptr;
+    const AliasSampler* subject_sampler = hoisted_subject_ptr;
+    const AliasSampler* object_sampler = hoisted_object_ptr;
     StrategyWeights local_weights;
     AliasSampler local_subject_sampler;
     AliasSampler local_object_sampler;
-    if (!options.cache_weights) {
+    if (!hoist_weights) {
       ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
       auto weights_or = ComputeStrategyWeights(options.strategy, kg);
       if (!weights_or.ok()) {
@@ -311,6 +340,13 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
         }
       }
     }
+    // Defensive clamp: the break conditions above already stop at
+    // max_candidates, but the downstream rank-slot allocation sizes off this
+    // list, so enforce the invariant here too rather than trust loop
+    // structure at a distance.
+    if (local_facts.size() > options.max_candidates) {
+      local_facts.resize(options.max_candidates);
+    }
     out.num_candidates = local_facts.size();
     out.generation_seconds = generation_span.Stop();
 
@@ -340,13 +376,40 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
         }
       }
     }
+    // With a shared DiscoveryCache, seed the run-local cache with the
+    // entries previous runs already scored and only precompute the misses;
+    // freshly-scored entries are published back afterwards. Entries are
+    // deterministic in (model, KG), so a warm-cache run ranks against
+    // exactly the scores a cold run would compute.
     SideScoreCache score_cache;
-    score_cache.PrecomputeObjects(model, kg, subject_keys,
+    DiscoveryCache* const shared = options.shared_cache;
+    std::vector<SideScoreCache::Key> fresh_subject_keys;
+    std::vector<SideScoreCache::Key> fresh_object_keys;
+    const std::vector<SideScoreCache::Key>* precompute_subject_keys =
+        &subject_keys;
+    const std::vector<SideScoreCache::Key>* precompute_object_keys =
+        &object_keys;
+    if (shared != nullptr) {
+      shared->FetchObjects(subject_keys, options.filtered_ranking,
+                           &score_cache, &fresh_subject_keys);
+      shared->FetchSubjects(object_keys, options.filtered_ranking,
+                            &score_cache, &fresh_object_keys);
+      precompute_subject_keys = &fresh_subject_keys;
+      precompute_object_keys = &fresh_object_keys;
+    }
+    score_cache.PrecomputeObjects(model, kg, *precompute_subject_keys,
                                   options.filtered_ranking, pool,
                                   &run_cancel);
-    score_cache.PrecomputeSubjects(model, kg, object_keys,
+    score_cache.PrecomputeSubjects(model, kg, *precompute_object_keys,
                                    options.filtered_ranking, pool,
                                    &run_cancel);
+    if (shared != nullptr) {
+      // Publish skips keys a cancelled precompute never scored.
+      shared->PublishObjects(fresh_subject_keys, options.filtered_ranking,
+                             score_cache);
+      shared->PublishSubjects(fresh_object_keys, options.filtered_ranking,
+                              score_cache);
+    }
     // Pre-ranking checkpoint; also covers a stop during precompute, whose
     // partially-built cache must never be dereferenced below.
     if (checkpoint_stop()) return;

@@ -14,6 +14,7 @@
 
 namespace kgfd {
 
+class DiscoveryCache;
 class MetricsRegistry;
 
 /// Metric names DiscoverFacts populates when DiscoveryOptions::metrics is
@@ -86,6 +87,16 @@ struct DiscoveryOptions {
   /// mesh-grid would overflow or allocate absurdly; exceeding it fails fast
   /// with InvalidArgument before anything is allocated.
   size_t max_candidate_memory_bytes = size_t{1} << 30;  // 1 GiB
+  /// Cross-run cache of strategy weights and side-score entries (see
+  /// core/discovery_cache.h). Must belong to the same (model, KG) pair as
+  /// this run — the owner keys caches by model/KG fingerprint. Because every
+  /// cached artifact is a deterministic function of (model, KG), a run with
+  /// a warm cache produces bit-identical facts to a cold one. When set, the
+  /// weights phase always serves from the cache (one computation per
+  /// strategy), so cache_weights=false loses its recompute-per-relation
+  /// semantics; the faithful-timing ablation should not pass a shared
+  /// cache. Not a config-file key; set it in code.
+  DiscoveryCache* shared_cache = nullptr;
   /// Invoked once per relation immediately after its facts are final,
   /// from whichever thread processed the relation — the callback must be
   /// thread-safe when a pool is used. Completion order is unspecified under
@@ -167,6 +178,16 @@ double LongTailShare(const std::vector<DiscoveredFact>& facts,
                      const TripleStore& kg, double quantile = 0.5);
 
 class ThreadPool;
+
+/// Validates the hyperparameters of `options` against `kg`: top_n /
+/// max_candidates / max_iterations must be positive, every explicit relation
+/// id must exist in the KG, and the mesh-grid transient-memory estimate must
+/// fit under max_candidate_memory_bytes. DiscoverFacts runs this first;
+/// entry points that may skip the sweep entirely (DiscoverFactsResumable
+/// with a fully-done manifest, the job server at admission time) call it
+/// directly so invalid options never read as success.
+Status ValidateDiscoveryOptions(const DiscoveryOptions& options,
+                                const TripleStore& kg);
 
 /// The Discover Facts algorithm (paper Algorithm 1). For each relation:
 /// compute strategy weights, sample sqrt(max_candidates)+10 subjects and

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 #include "util/string_util.h"
 
@@ -43,17 +44,28 @@ std::string NameOf(const Vocabulary& vocab, uint32_t id) {
 
 }  // namespace
 
+std::string FormatFactsTsv(const std::vector<DiscoveredFact>& facts,
+                           const Vocabulary& entities,
+                           const Vocabulary& relations) {
+  // Default ostream double formatting, deliberately: it matches what every
+  // historical writer used, so goldens stay byte-stable.
+  std::ostringstream out;
+  for (const DiscoveredFact& f : facts) {
+    out << NameOf(entities, f.triple.subject) << '\t'
+        << NameOf(relations, f.triple.relation) << '\t'
+        << NameOf(entities, f.triple.object) << '\t' << f.rank << '\n';
+  }
+  return std::move(out).str();
+}
+
 Status WriteFactsTsv(const std::string& path,
                      const std::vector<DiscoveredFact>& facts,
                      const Vocabulary& entities,
                      const Vocabulary& relations) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  for (const DiscoveredFact& f : facts) {
-    out << NameOf(entities, f.triple.subject) << '\t'
-        << NameOf(relations, f.triple.relation) << '\t'
-        << NameOf(entities, f.triple.object) << '\t' << f.rank << '\n';
-  }
+  const std::string tsv = FormatFactsTsv(facts, entities, relations);
+  out.write(tsv.data(), static_cast<std::streamsize>(tsv.size()));
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

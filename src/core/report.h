@@ -26,9 +26,16 @@ struct RelationDiscoverySummary {
 std::vector<RelationDiscoverySummary> SummarizeByRelation(
     const std::vector<DiscoveredFact>& facts);
 
-/// Writes discovered facts as `subject<TAB>relation<TAB>object<TAB>rank`
-/// with names resolved through the vocabularies (ids without names print
-/// as decimals).
+/// Renders discovered facts as `subject<TAB>relation<TAB>object<TAB>rank`
+/// lines with names resolved through the vocabularies (ids without names
+/// print as decimals). The single source of the facts-TSV byte format:
+/// WriteFactsTsv, the CLI and the HTTP server all emit exactly this string,
+/// which is what makes their outputs byte-comparable.
+std::string FormatFactsTsv(const std::vector<DiscoveredFact>& facts,
+                           const Vocabulary& entities,
+                           const Vocabulary& relations);
+
+/// Writes FormatFactsTsv output to `path`.
 Status WriteFactsTsv(const std::string& path,
                      const std::vector<DiscoveredFact>& facts,
                      const Vocabulary& entities,

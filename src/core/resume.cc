@@ -318,6 +318,10 @@ Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
   if (resume.manifest_path.empty()) {
     return Status::InvalidArgument("ResumeOptions::manifest_path is empty");
   }
+  // Validate up front even though DiscoverFacts validates again: a manifest
+  // with every relation already done skips the live sweep below, and invalid
+  // options must not read as a successful no-op resume.
+  KGFD_RETURN_NOT_OK(ValidateDiscoveryOptions(options, kg));
   std::vector<RelationId> relations = options.relations;
   if (relations.empty()) relations = kg.UsedRelations();
   {

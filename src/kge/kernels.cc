@@ -160,5 +160,25 @@ void SetKernelsOverride(const KernelOps* ops) {
   g_override.store(ops, std::memory_order_release);
 }
 
+Status ValidateKernelBackendEnv() {
+  const char* backend = std::getenv("KGFD_KERNEL_BACKEND");
+  if (backend == nullptr || backend[0] == '\0') return Status::OK();
+  if (std::strcmp(backend, "portable") == 0) return Status::OK();
+  if (std::strcmp(backend, "avx2") == 0) {
+    if (Avx2Kernels() == nullptr) {
+      return Status::InvalidArgument(
+          std::string("KGFD_KERNEL_BACKEND=avx2 but the AVX2 kernels are "
+                      "unavailable (") +
+          (CpuSupportsAvx2() ? "not compiled into this binary"
+                             : "cpu lacks AVX2/FMA") +
+          ")");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      std::string("unknown KGFD_KERNEL_BACKEND '") + backend +
+      "' (expected 'portable' or 'avx2')");
+}
+
 }  // namespace kernels
 }  // namespace kgfd

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "util/status.h"
+
 namespace kgfd {
 namespace kernels {
 
@@ -81,6 +83,13 @@ const char* ActiveKernelName();
 /// normal dispatch. Not thread-safe against concurrent scoring — switch
 /// backends only between scoring passes.
 void SetKernelsOverride(const KernelOps* ops);
+
+/// Validates the kernel-dispatch environment without resolving dispatch:
+/// InvalidArgument when KGFD_KERNEL_BACKEND names an unknown backend, or
+/// names avx2 on a build/CPU that cannot provide it. Binaries call this at
+/// startup so a typo'd backend is a clean error at launch instead of an
+/// abort mid-scoring the first time a kernel is needed.
+Status ValidateKernelBackendEnv();
 
 }  // namespace kernels
 }  // namespace kgfd

@@ -3,10 +3,11 @@
 
 /// Umbrella header for the kgfd public API: knowledge-graph storage,
 /// synthetic benchmark datasets, graph analytics, knowledge-graph embedding
-/// models with training/evaluation, and the fact-discovery algorithm with
-/// its six sampling strategies.
+/// models with training/evaluation, the fact-discovery algorithm with its
+/// six sampling strategies, and the discovery-as-a-service HTTP server.
 
 #include "core/discovery.h"           // IWYU pragma: export
+#include "core/discovery_cache.h"     // IWYU pragma: export
 #include "core/embedding_analysis.h"  // IWYU pragma: export
 #include "core/experiment.h"          // IWYU pragma: export
 #include "core/job.h"                 // IWYU pragma: export
@@ -29,8 +30,14 @@
 #include "kge/checkpoint.h"    // IWYU pragma: export
 #include "kge/evaluator.h"     // IWYU pragma: export
 #include "kge/grid_search.h"   // IWYU pragma: export
+#include "kge/kernels.h"       // IWYU pragma: export
 #include "kge/model.h"         // IWYU pragma: export
 #include "kge/trainer.h"       // IWYU pragma: export
+#include "server/discovery_service.h"  // IWYU pragma: export
+#include "server/http.h"               // IWYU pragma: export
+#include "server/http_client.h"        // IWYU pragma: export
+#include "server/http_server.h"        // IWYU pragma: export
+#include "server/job_manager.h"        // IWYU pragma: export
 #include "obs/export.h"        // IWYU pragma: export
 #include "obs/metrics.h"       // IWYU pragma: export
 #include "obs/span.h"          // IWYU pragma: export

@@ -1,0 +1,133 @@
+#include "server/discovery_service.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/cancellation.h"
+#include "util/string_util.h"
+
+namespace kgfd {
+namespace {
+
+HttpResponse StatusResponse(const Status& status) {
+  return TextResponse(HttpStatusFromStatus(status), status.message());
+}
+
+HttpResponse MethodNotAllowed(const std::string& allow) {
+  HttpResponse response = TextResponse(405, "method not allowed");
+  response.headers["allow"] = allow;
+  return response;
+}
+
+}  // namespace
+
+std::string FormatJobStatusText(const JobStatus& status) {
+  std::ostringstream out;
+  out << "id = " << status.id << "\n";
+  out << "state = " << JobStateName(status.state) << "\n";
+  out << "relations_total = " << status.relations_total << "\n";
+  out << "relations_done = " << status.relations_done << "\n";
+  out << "num_facts = " << status.num_facts << "\n";
+  out << "stopped_reason = " << StoppedReasonName(status.stopped_reason)
+      << "\n";
+  out << "runtime_seconds = " << status.runtime_seconds << "\n";
+  if (!status.error.empty()) {
+    // The error may span lines; keep the body one key per line.
+    std::string flat = status.error;
+    for (char& c : flat) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    out << "error = " << flat << "\n";
+  }
+  return out.str();
+}
+
+HttpResponse DiscoveryService::Handle(const HttpRequest& request) const {
+  // Strip any query string: the API has no parameters today, and a target
+  // like /jobs/j1?x=y should still resolve the path.
+  std::string path = request.target;
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (path == "/healthz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    if (jobs_ != nullptr && jobs_->draining()) {
+      return TextResponse(503, "draining");
+    }
+    return TextResponse(200, "ok\n");
+  }
+
+  if (path == "/metrics") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    if (metrics_ == nullptr) return TextResponse(200, "");
+    return TextResponse(200, MetricsToText(metrics_->Snapshot()));
+  }
+
+  if (path == "/jobs") {
+    if (request.method == "POST") {
+      const auto submitted = jobs_->Submit(request.body);
+      if (!submitted.ok()) {
+        const Status& status = submitted.status();
+        if (status.code() == StatusCode::kFailedPrecondition) {
+          // Admission errors get their load-shedding codes instead of the
+          // generic 409: full queue -> 429 (retry later), draining -> 503.
+          const bool draining =
+              status.message().find("draining") != std::string::npos;
+          return TextResponse(draining ? 503 : 429, status.message());
+        }
+        return StatusResponse(status);
+      }
+      return TextResponse(200, submitted.value() + "\n");
+    }
+    if (request.method == "GET") {
+      std::ostringstream out;
+      for (const JobStatus& status : jobs_->ListJobs()) {
+        out << status.id << " " << JobStateName(status.state) << " "
+            << status.relations_done << "/" << status.relations_total << " "
+            << status.num_facts << "\n";
+      }
+      return TextResponse(200, out.str());
+    }
+    return MethodNotAllowed("GET, POST");
+  }
+
+  if (StartsWith(path, "/jobs/")) {
+    std::string id = path.substr(6);
+    const bool facts = [&] {
+      const size_t slash = id.find('/');
+      if (slash == std::string::npos) return false;
+      const bool is_facts = id.substr(slash) == "/facts";
+      id.resize(slash);
+      return is_facts;
+    }();
+    if (id.empty()) return TextResponse(404, "not found");
+    if (facts) {
+      if (request.method != "GET") return MethodNotAllowed("GET");
+      const auto tsv = jobs_->FactsTsv(id);
+      if (!tsv.ok()) return StatusResponse(tsv.status());
+      HttpResponse response;
+      response.body = tsv.value();
+      response.headers["content-type"] = "text/tab-separated-values";
+      return response;
+    }
+    if (path.find('/', 6) != std::string::npos) {
+      return TextResponse(404, "not found");  // /jobs/<id>/<junk>
+    }
+    if (request.method == "GET") {
+      const auto status = jobs_->GetStatus(id);
+      if (!status.ok()) return StatusResponse(status.status());
+      return TextResponse(200, FormatJobStatusText(status.value()));
+    }
+    if (request.method == "DELETE") {
+      const Status cancelled = jobs_->Cancel(id);
+      if (!cancelled.ok()) return StatusResponse(cancelled);
+      return TextResponse(200, "cancelling " + id + "\n");
+    }
+    return MethodNotAllowed("GET, DELETE");
+  }
+
+  return TextResponse(404, "not found");
+}
+
+}  // namespace kgfd

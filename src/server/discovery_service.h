@@ -1,0 +1,50 @@
+#ifndef KGFD_SERVER_DISCOVERY_SERVICE_H_
+#define KGFD_SERVER_DISCOVERY_SERVICE_H_
+
+#include <string>
+
+#include "server/http.h"
+#include "server/job_manager.h"
+
+namespace kgfd {
+
+class MetricsRegistry;
+
+/// Renders one job status as flat `key = value` text (the repo's config
+/// grammar, so a status body can be fed back to ConfigFile::Parse in
+/// tests). Exposed for unit testing.
+std::string FormatJobStatusText(const JobStatus& status);
+
+/// The HTTP application: routes requests onto a JobManager + metrics
+/// registry. Stateless apart from the borrowed pointers, safe for
+/// concurrent connections (JobManager and MetricsRegistry are both
+/// thread-safe).
+///
+/// Routes:
+///   GET    /healthz          -> 200 "ok" (503 "draining" during shutdown)
+///   GET    /metrics          -> text export of the registry snapshot
+///   POST   /jobs             -> submit; body is a job config
+///                               (server/job_manager.h). 200 + job id,
+///                               400 bad body, 429 queue full, 503 draining
+///   GET    /jobs             -> one status line per job, submission order
+///   GET    /jobs/<id>        -> `key = value` status text; 404 unknown id
+///   GET    /jobs/<id>/facts  -> facts TSV (byte-identical to
+///                               `kgfd_cli discover --out`); 409 until the
+///                               job is terminal
+///   DELETE /jobs/<id>        -> cooperative cancel; 200 always once known
+/// Unknown paths are 404, known paths with the wrong verb are 405.
+class DiscoveryService {
+ public:
+  DiscoveryService(JobManager* jobs, MetricsRegistry* metrics)
+      : jobs_(jobs), metrics_(metrics) {}
+
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  JobManager* jobs_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_SERVER_DISCOVERY_SERVICE_H_

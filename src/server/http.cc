@@ -1,0 +1,225 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace kgfd {
+namespace {
+
+std::string LowerCase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Splits `head` (request/status line + header fields, CRLF-separated,
+/// without the trailing blank line) into its first line and a lowercased
+/// header map. Tolerates bare-LF line endings for hand-written test input.
+Status ParseHeaderFields(const std::string& head, std::string* first_line,
+                         std::map<std::string, std::string>* headers) {
+  const std::vector<std::string> lines = Split(head, '\n');
+  if (lines.empty()) return Status::InvalidArgument("empty HTTP head");
+  auto strip_cr = [](std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  *first_line = strip_cr(lines[0]);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string line = strip_cr(lines[i]);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed HTTP header line: " + line);
+    }
+    (*headers)[LowerCase(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  return Status::OK();
+}
+
+/// Frames `text` into head (before the blank line) and body, body length
+/// checked against Content-Length.
+Status SplitHeadAndBody(const std::string& text, std::string* head,
+                        std::string* body,
+                        std::map<std::string, std::string>* headers,
+                        std::string* first_line) {
+  const size_t head_end = HttpHeaderEnd(text);
+  if (head_end == std::string::npos) {
+    return Status::InvalidArgument("HTTP message head not terminated");
+  }
+  *head = text.substr(0, head_end);
+  KGFD_RETURN_NOT_OK(ParseHeaderFields(*head, first_line, headers));
+  KGFD_ASSIGN_OR_RETURN(const uint64_t content_length,
+                        HttpContentLength(*headers));
+  if (text.size() - head_end < content_length) {
+    return Status::InvalidArgument("HTTP body shorter than Content-Length");
+  }
+  *body = text.substr(head_end, content_length);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* HttpReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+size_t HttpHeaderEnd(const std::string& buffer) {
+  const size_t crlf = buffer.find("\r\n\r\n");
+  if (crlf != std::string::npos) return crlf + 4;
+  // Bare-LF tolerance for hand-authored test requests.
+  const size_t lf = buffer.find("\n\n");
+  if (lf != std::string::npos) return lf + 2;
+  return std::string::npos;
+}
+
+Result<uint64_t> HttpContentLength(
+    const std::map<std::string, std::string>& headers) {
+  const auto it = headers.find("content-length");
+  if (it == headers.end()) return uint64_t{0};
+  const std::string& value = it->second;
+  if (value.empty() ||
+      !std::all_of(value.begin(), value.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    return Status::InvalidArgument("bad Content-Length: " + value);
+  }
+  // 19 digits always fits in uint64_t; longer is absurd for this server.
+  if (value.size() > 19) {
+    return Status::InvalidArgument("Content-Length too large: " + value);
+  }
+  return static_cast<uint64_t>(std::stoull(value));
+}
+
+namespace {
+
+/// Validates and splits a request-line into the request's method / target /
+/// version fields.
+Status ParseRequestLine(const std::string& first_line, HttpRequest* request) {
+  // request-line: METHOD SP target SP version
+  const std::vector<std::string> parts = Split(first_line, ' ');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("malformed request line: " + first_line);
+  }
+  request->method = parts[0];
+  request->target = parts[1];
+  request->version = parts[2];
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    return Status::InvalidArgument("malformed request line: " + first_line);
+  }
+  if (!StartsWith(request->version, "HTTP/1.")) {
+    return Status::InvalidArgument("unsupported HTTP version: " +
+                                   request->version);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseHttpRequest(const std::string& text) {
+  HttpRequest request;
+  std::string head;
+  std::string first_line;
+  KGFD_RETURN_NOT_OK(SplitHeadAndBody(text, &head, &request.body,
+                                      &request.headers, &first_line));
+  KGFD_RETURN_NOT_OK(ParseRequestLine(first_line, &request));
+  return request;
+}
+
+Result<HttpRequest> ParseHttpRequestHead(const std::string& head) {
+  HttpRequest request;
+  std::string first_line;
+  // Strip the blank-line terminator if present; ParseHeaderFields skips
+  // empty lines anyway, this just keeps the contract symmetric.
+  KGFD_RETURN_NOT_OK(ParseHeaderFields(head, &first_line, &request.headers));
+  KGFD_RETURN_NOT_OK(ParseRequestLine(first_line, &request));
+  return request;
+}
+
+Result<HttpResponse> ParseHttpResponse(const std::string& text) {
+  HttpResponse response;
+  std::string head;
+  std::string first_line;
+  KGFD_RETURN_NOT_OK(SplitHeadAndBody(text, &head, &response.body,
+                                      &response.headers, &first_line));
+  // status-line: version SP code SP reason
+  const std::vector<std::string> parts = Split(first_line, ' ');
+  if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/1.")) {
+    return Status::InvalidArgument("malformed status line: " + first_line);
+  }
+  const std::string& code = parts[1];
+  if (code.size() != 3 ||
+      !std::all_of(code.begin(), code.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    return Status::InvalidArgument("malformed status code: " + code);
+  }
+  response.status_code = std::stoi(code);
+  return response;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                    HttpReasonPhrase(response.status_code) + "\r\n";
+  if (response.headers.find("content-type") == response.headers.end()) {
+    out += "Content-Type: text/plain; charset=utf-8\r\n";
+  }
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeHttpRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += request.body;
+  return out;
+}
+
+int HttpStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default: return 500;
+  }
+}
+
+HttpResponse TextResponse(int status_code, std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.body = std::move(body);
+  if (status_code >= 400 && !response.body.empty() &&
+      response.body.back() != '\n') {
+    response.body += '\n';
+  }
+  return response;
+}
+
+}  // namespace kgfd

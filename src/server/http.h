@@ -1,0 +1,81 @@
+#ifndef KGFD_SERVER_HTTP_H_
+#define KGFD_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Minimal HTTP/1.1 message layer for the discovery job server: just enough
+/// of RFC 9112 for `curl` and the test client — request-line + headers +
+/// Content-Length body, `Connection: close` semantics, no chunked encoding,
+/// no keep-alive. Shared by the server (parse request / serialize response)
+/// and the blocking test client (the inverse).
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // origin-form, e.g. "/jobs/j1/facts" (query kept)
+  std::string version;  // "HTTP/1.1"
+  /// Field names lowercased (HTTP headers are case-insensitive).
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  /// Extra headers; Content-Length and Connection are added by the
+  /// serializer, Content-Type defaults to text/plain when absent.
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes this server emits
+/// ("Unknown" otherwise).
+const char* HttpReasonPhrase(int status_code);
+
+/// Parses a full request (head + body). The text must contain the complete
+/// message: callers first frame it with HttpHeaderEnd / Content-Length.
+Result<HttpRequest> ParseHttpRequest(const std::string& text);
+
+/// Parses just the request line + header fields — `head` ends at (and may
+/// include) the blank line, with no body. Used by the server while the
+/// body is still in flight, to learn Content-Length before the message is
+/// complete; the returned request's body is empty.
+Result<HttpRequest> ParseHttpRequestHead(const std::string& head);
+
+/// Parses a full response, for the client side.
+Result<HttpResponse> ParseHttpResponse(const std::string& text);
+
+/// Serializes a response with Content-Length and `Connection: close` (this
+/// server is strictly one-request-per-connection).
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// Serializes a request with Content-Length and `Connection: close`.
+std::string SerializeHttpRequest(const HttpRequest& request);
+
+/// Byte offset one past the `\r\n\r\n` head terminator, or npos if the head
+/// is still incomplete. Used to frame messages read incrementally from a
+/// socket.
+size_t HttpHeaderEnd(const std::string& buffer);
+
+/// Content-Length of a parsed header map (0 when absent; InvalidArgument
+/// when present but not a plain non-negative integer).
+Result<uint64_t> HttpContentLength(
+    const std::map<std::string, std::string>& headers);
+
+/// Maps a Status onto the HTTP status code the job API uses: OK→200,
+/// InvalidArgument→400, NotFound→404, FailedPrecondition→409,
+/// DeadlineExceeded→504, everything else→500. (429 queue-full is mapped
+/// explicitly at the submit endpoint, not here.)
+int HttpStatusFromStatus(const Status& status);
+
+/// Convenience text/plain response; non-2xx bodies get a trailing newline
+/// so curl output stays readable.
+HttpResponse TextResponse(int status_code, std::string body);
+
+}  // namespace kgfd
+
+#endif  // KGFD_SERVER_HTTP_H_

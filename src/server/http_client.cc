@@ -1,0 +1,87 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace kgfd {
+
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (timeout_s > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_s - std::floor(timeout_s)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect(" + host + ":" + std::to_string(port) +
+                           ") failed: " + err);
+  }
+
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  request.headers["host"] = host + ":" + std::to_string(port);
+  const std::string wire = SerializeHttpRequest(request);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("send failed: " + err);
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Connection: close framing — the response is everything until EOF.
+  std::string response_text;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("recv failed: " + err);
+    }
+    response_text.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(response_text);
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& target, double timeout_s) {
+  return HttpFetch(host, port, "GET", target, "", timeout_s);
+}
+
+}  // namespace kgfd

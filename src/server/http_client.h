@@ -1,0 +1,29 @@
+#ifndef KGFD_SERVER_HTTP_CLIENT_H_
+#define KGFD_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/http.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Minimal blocking HTTP/1.1 client for tests and tools: opens a TCP
+/// connection, sends one request (Connection: close), reads to EOF and
+/// parses the response. No TLS, no redirects, no keep-alive — exactly the
+/// server's dialect.
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "",
+                               double timeout_s = 30.0);
+
+/// GET shorthand.
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& target,
+                             double timeout_s = 30.0);
+
+}  // namespace kgfd
+
+#endif  // KGFD_SERVER_HTTP_CLIENT_H_

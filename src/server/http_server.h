@@ -1,0 +1,96 @@
+#ifndef KGFD_SERVER_HTTP_SERVER_H_
+#define KGFD_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/http.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+class ThreadPool;
+
+/// Metric names recorded when HttpServer::Options::metrics is set.
+inline constexpr char kServerRequestsCounter[] = "server.requests";
+inline constexpr char kServerRequestErrorsCounter[] =
+    "server.requests.errors";
+inline constexpr char kServerRequestSecondsHist[] =
+    "server.request.seconds";
+
+class MetricsRegistry;
+
+/// Thread-per-connection HTTP/1.1 server: a dedicated accept thread hands
+/// each connection off to a worker task on the provided ThreadPool, which
+/// reads one request, invokes the handler, writes the response and closes
+/// (`Connection: close` — the job API is poll-based, keep-alive buys
+/// nothing). Binds to loopback-or-given address; port 0 picks an ephemeral
+/// port, readable via port() after Start() (how the integration tests avoid
+/// collisions).
+///
+/// Shutdown is graceful by construction: Stop() closes the listening socket
+/// (no new connections), then blocks until every in-flight connection task
+/// has finished, so a handler is never torn mid-response.
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
+    /// Requests with a larger body are rejected with 413 before buffering.
+    size_t max_body_bytes = 8u << 20;
+    /// Per-socket receive timeout; a client that stops sending mid-request
+    /// cannot hold a worker (and block drain) longer than this.
+    double receive_timeout_s = 10.0;
+    /// Connection tasks run here. Required, borrowed.
+    ThreadPool* pool = nullptr;
+    /// Optional request count/error/latency metrics (names above).
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// The application: one full request in, one response out. Must be
+  /// thread-safe (connections are concurrent).
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  /// Calls Stop() if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails (IoError) if the
+  /// address cannot be bound.
+  Status Start();
+
+  /// The bound port (resolves ephemeral port 0); valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, then waits for all in-flight connection tasks.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex mu_;
+  std::condition_variable idle_;
+  size_t active_connections_ = 0;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_SERVER_HTTP_SERVER_H_

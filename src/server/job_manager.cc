@@ -1,0 +1,478 @@
+#include "server/job_manager.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/job.h"
+#include "core/report.h"
+#include "core/resume.h"
+#include "core/strategy.h"
+#include "kg/io.h"
+#include "kge/checkpoint.h"
+#include "obs/metrics.h"
+#include "util/config_file.h"
+#include "util/timer.h"
+
+namespace kgfd {
+namespace {
+
+/// Mixes one value into a running fingerprint (golden-ratio mix, same
+/// shape as boost::hash_combine). Used to extend the model-parameter hash
+/// with the graph shape so two models over different KGs never share a
+/// DiscoveryCache.
+void MixFingerprint(uint64_t* fp, uint64_t v) {
+  *fp ^= v + 0x9E3779B97F4A7C15ULL + (*fp << 6) + (*fp >> 2);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("JobManager work_dir must be set");
+  }
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir(" + path +
+                           ") failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Reads a strictly positive size from the config (GetInt yields int64, so
+/// negatives must be rejected before the size_t cast silently wraps).
+Result<size_t> GetPositiveSize(const ConfigFile& config,
+                               const std::string& key,
+                               size_t default_value) {
+  KGFD_ASSIGN_OR_RETURN(
+      const int64_t raw,
+      config.GetInt(key, static_cast<int64_t>(default_value)));
+  if (raw <= 0) {
+    return Status::InvalidArgument(key + " must be positive, got " +
+                                   std::to_string(raw));
+  }
+  return static_cast<size_t>(raw);
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDeadline:
+      return "deadline";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Result<JobRequest> JobRequest::Parse(const std::string& config_text) {
+  KGFD_ASSIGN_OR_RETURN(const ConfigFile config,
+                        ConfigFile::Parse(config_text));
+  JobRequest request;
+  request.config_text = config_text;
+
+  const std::string kind = config.GetString("job.kind", "discover");
+  KGFD_ASSIGN_OR_RETURN(request.deadline_s,
+                        config.GetDouble("deadline_s", 0.0));
+  if (request.deadline_s < 0) {
+    return Status::InvalidArgument("deadline_s must be >= 0, got " +
+                                   std::to_string(request.deadline_s));
+  }
+
+  if (kind == "run") {
+    request.kind = Kind::kRun;
+    // Validate the full pipeline spec now so a bad submission fails at
+    // POST time, not minutes later inside the runner. The spec itself is
+    // re-parsed from config_text at execution (JobSpec is not copyable
+    // here: it carries borrowed metrics/cancel wiring).
+    KGFD_ASSIGN_OR_RETURN(const JobSpec spec, JobSpec::FromConfig(config));
+    (void)spec;
+    return request;
+  }
+  if (kind != "discover") {
+    return Status::InvalidArgument(
+        "job.kind must be 'discover' or 'run', got '" + kind + "'");
+  }
+
+  request.kind = Kind::kDiscover;
+  request.data_dir = config.GetString("data.dir", "");
+  if (request.data_dir.empty()) {
+    return Status::InvalidArgument("discover job requires data.dir");
+  }
+  request.checkpoint = config.GetString("model.checkpoint", "");
+  if (request.checkpoint.empty()) {
+    return Status::InvalidArgument("discover job requires model.checkpoint");
+  }
+
+  const std::string strategy_name = config.GetString(
+      "discovery.strategy",
+      SamplingStrategyName(request.discovery.strategy));
+  KGFD_ASSIGN_OR_RETURN(request.discovery.strategy,
+                        SamplingStrategyFromName(strategy_name));
+  KGFD_ASSIGN_OR_RETURN(
+      request.discovery.top_n,
+      GetPositiveSize(config, "discovery.top_n", request.discovery.top_n));
+  KGFD_ASSIGN_OR_RETURN(request.discovery.max_candidates,
+                        GetPositiveSize(config, "discovery.max_candidates",
+                                        request.discovery.max_candidates));
+  KGFD_ASSIGN_OR_RETURN(request.discovery.max_iterations,
+                        GetPositiveSize(config, "discovery.max_iterations",
+                                        request.discovery.max_iterations));
+  KGFD_ASSIGN_OR_RETURN(request.discovery.type_filter,
+                        config.GetBool("discovery.type_filter",
+                                       request.discovery.type_filter));
+  KGFD_ASSIGN_OR_RETURN(request.discovery.filtered_ranking,
+                        config.GetBool("discovery.filtered_ranking",
+                                       request.discovery.filtered_ranking));
+  KGFD_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      config.GetInt("discovery.seed",
+                    static_cast<int64_t>(request.discovery.seed)));
+  request.discovery.seed = static_cast<uint64_t>(seed);
+
+  const std::vector<std::string> unknown = config.UnconsumedKeys();
+  if (!unknown.empty()) {
+    std::string joined;
+    for (const std::string& key : unknown) {
+      if (!joined.empty()) joined += ", ";
+      joined += key;
+    }
+    return Status::InvalidArgument("unknown job config keys: " + joined);
+  }
+  return request;
+}
+
+Status EnsureJobWorkDir(const std::string& path) {
+  return EnsureDirectory(path);
+}
+
+JobManager::JobManager(Options options) : options_(std::move(options)) {
+  // Best-effort: the server binary calls EnsureJobWorkDir first for a clean
+  // startup error; this covers direct (test) construction.
+  (void)EnsureDirectory(options_.work_dir).ok();
+  if (options_.metrics != nullptr) {
+    // Pre-register the job counters so /metrics exports the full series
+    // from boot instead of materializing them on first use.
+    options_.metrics->GetCounter(kServerJobsSubmittedCounter);
+    options_.metrics->GetCounter(kServerJobsCompletedCounter);
+    options_.metrics->GetCounter(kServerJobsRejectedCounter);
+    options_.metrics->GetCounter(kServerModelCacheHitsCounter);
+    options_.metrics->GetCounter(kServerModelCacheMissesCounter);
+  }
+  runner_ = std::thread([this] { RunnerLoop(); });
+}
+
+JobManager::~JobManager() { Shutdown(); }
+
+Result<std::string> JobManager::Submit(const std::string& config_text) {
+  Counter* rejected =
+      options_.metrics != nullptr
+          ? options_.metrics->GetCounter(kServerJobsRejectedCounter)
+          : nullptr;
+  KGFD_ASSIGN_OR_RETURN(JobRequest request, JobRequest::Parse(config_text));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_.load(std::memory_order_acquire)) {
+    if (rejected != nullptr) rejected->Increment();
+    return Status::FailedPrecondition("server is draining");
+  }
+  if (queue_.size() >= options_.max_queued) {
+    if (rejected != nullptr) rejected->Increment();
+    return Status::FailedPrecondition("job queue full");
+  }
+  auto job = std::make_unique<Job>();
+  job->id = "j" + std::to_string(next_id_++);
+  job->request = std::move(request);
+  Job* raw = job.get();
+  jobs_.emplace(raw->id, std::move(job));
+  job_order_.push_back(raw);
+  queue_.push_back(raw);
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter(kServerJobsSubmittedCounter)->Increment();
+  }
+  work_available_.notify_one();
+  return raw->id;
+}
+
+JobStatus JobManager::SnapshotLocked(const Job& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.state = job.state;
+  status.error = job.error;
+  status.relations_total = job.relations_total;
+  status.relations_done = job.relations_done.load(std::memory_order_relaxed);
+  status.num_facts = job.num_facts;
+  status.stopped_reason = job.stopped_reason;
+  status.runtime_seconds = job.runtime_seconds;
+  return status;
+}
+
+Result<JobStatus> JobManager::GetStatus(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no such job: " + id);
+  }
+  return SnapshotLocked(*it->second);
+}
+
+Result<std::string> JobManager::FactsTsv(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no such job: " + id);
+  }
+  const Job& job = *it->second;
+  if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+    return Status::FailedPrecondition(
+        "job " + id + " is " + JobStateName(job.state) +
+        "; facts are available once it is terminal");
+  }
+  return job.facts_tsv;
+}
+
+Status JobManager::Cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no such job: " + id);
+  }
+  Job* job = it->second.get();
+  if (job->state == JobState::kQueued) {
+    for (auto queued = queue_.begin(); queued != queue_.end(); ++queued) {
+      if (*queued == job) {
+        queue_.erase(queued);
+        break;
+      }
+    }
+    job->state = JobState::kCancelled;
+    job->stopped_reason = StoppedReason::kCancelled;
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter(kServerJobsCompletedCounter)->Increment();
+    }
+    return Status::OK();
+  }
+  if (job->state == JobState::kRunning) {
+    job->token.RequestCancel();
+    return Status::OK();
+  }
+  return Status::OK();  // already terminal — cancellation is idempotent
+}
+
+std::vector<JobStatus> JobManager::ListJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> jobs;
+  jobs.reserve(job_order_.size());
+  for (const Job* job : job_order_) {
+    jobs.push_back(SnapshotLocked(*job));
+  }
+  return jobs;
+}
+
+void JobManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.exchange(true, std::memory_order_acq_rel)) {
+      // Second caller: fall through to the join below (idempotent).
+    } else {
+      // Queued jobs never run; the in-flight one is cancelled
+      // cooperatively so it flushes its manifest before the runner exits.
+      for (Job* job : queue_) {
+        job->state = JobState::kCancelled;
+        job->stopped_reason = StoppedReason::kCancelled;
+        job->error = "server shutdown before the job ran";
+      }
+      queue_.clear();
+      for (Job* job : job_order_) {
+        if (job->state == JobState::kRunning) job->token.RequestCancel();
+      }
+    }
+    work_available_.notify_all();
+  }
+  if (runner_.joinable()) runner_.join();
+}
+
+void JobManager::RunnerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // draining and nothing left
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+    }
+    RunOne(job);
+  }
+}
+
+void JobManager::RunOne(Job* job) {
+  WallTimer timer;
+  const Status status = job->request.kind == JobRequest::Kind::kDiscover
+                            ? RunDiscoverJob(job)
+                            : RunPipelineJob(job);
+  std::lock_guard<std::mutex> lock(mu_);
+  job->runtime_seconds = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kCancelled) {
+      job->state = JobState::kCancelled;
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      job->state = JobState::kDeadline;
+    } else {
+      job->state = JobState::kFailed;
+    }
+    job->error = status.ToString();
+  } else {
+    // An OK run may still have stopped early (graceful degradation):
+    // partial facts were captured by the Run*Job body, the state records
+    // why the sweep ended.
+    switch (job->stopped_reason) {
+      case StoppedReason::kCancelled:
+        job->state = JobState::kCancelled;
+        break;
+      case StoppedReason::kDeadline:
+        job->state = JobState::kDeadline;
+        break;
+      case StoppedReason::kNone:
+        job->state = JobState::kDone;
+        break;
+    }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter(kServerJobsCompletedCounter)->Increment();
+  }
+}
+
+Result<std::shared_ptr<JobManager::LoadedModel>> JobManager::GetOrLoadModel(
+    const std::string& data_dir, const std::string& checkpoint) {
+  const std::string key = data_dir + "\n" + checkpoint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = model_cache_.find(key);
+    if (it != model_cache_.end()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter(kServerModelCacheHitsCounter)
+            ->Increment();
+      }
+      return it->second;
+    }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter(kServerModelCacheMissesCounter)->Increment();
+  }
+  KGFD_ASSIGN_OR_RETURN(Dataset dataset, LoadDatasetDir(data_dir, data_dir));
+  KGFD_ASSIGN_OR_RETURN(std::unique_ptr<Model> model, LoadModel(checkpoint));
+
+  auto loaded = std::make_shared<LoadedModel>();
+  loaded->dataset = std::make_shared<Dataset>(std::move(dataset));
+  loaded->model = std::shared_ptr<Model>(std::move(model));
+
+  // DiscoveryCache identity: the model parameters plus the graph shape —
+  // the same fingerprint core/resume.h manifests pin. Two checkpoint files
+  // with identical parameters share a cache; a retrained model gets a
+  // fresh one.
+  uint64_t fp = HashModelParameters(loaded->model.get());
+  const TripleStore& kg = loaded->dataset->train();
+  MixFingerprint(&fp, kg.num_entities());
+  MixFingerprint(&fp, kg.num_relations());
+  MixFingerprint(&fp, kg.size());
+  loaded->fingerprint = fp;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cache = caches_[fp];
+  if (cache == nullptr) {
+    cache = std::make_shared<DiscoveryCache>(options_.metrics);
+  }
+  loaded->cache = cache;
+  model_cache_.emplace(key, loaded);
+  return loaded;
+}
+
+Status JobManager::RunDiscoverJob(Job* job) {
+  KGFD_ASSIGN_OR_RETURN(
+      const std::shared_ptr<LoadedModel> loaded,
+      GetOrLoadModel(job->request.data_dir, job->request.checkpoint));
+  const TripleStore& kg = loaded->dataset->train();
+
+  DiscoveryOptions options = job->request.discovery;
+  options.metrics = options_.metrics;
+  options.shared_cache = loaded->cache.get();
+  options.cancel = CancelContext(
+      &job->token, job->request.deadline_s > 0
+                       ? Deadline::After(job->request.deadline_s)
+                       : Deadline());
+  options.on_relation_complete = [job](RelationCompletion&&) {
+    job->relations_done.fetch_add(1, std::memory_order_relaxed);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->relations_total = options.relations.empty()
+                               ? kg.UsedRelations().size()
+                               : options.relations.size();
+  }
+
+  ResumeOptions resume;
+  resume.manifest_path = options_.work_dir + "/" + job->id + ".manifest";
+  KGFD_ASSIGN_OR_RETURN(
+      const DiscoveryResult result,
+      DiscoverFactsResumable(*loaded->model, kg, options, resume,
+                             options_.pool));
+
+  std::string tsv =
+      FormatFactsTsv(result.facts, loaded->dataset->entity_vocab(),
+                     loaded->dataset->relation_vocab());
+  std::lock_guard<std::mutex> lock(mu_);
+  job->num_facts = result.facts.size();
+  job->facts_tsv = std::move(tsv);
+  job->stopped_reason = result.stopped_reason;
+  return Status::OK();
+}
+
+Status JobManager::RunPipelineJob(Job* job) {
+  KGFD_ASSIGN_OR_RETURN(const ConfigFile config,
+                        ConfigFile::Parse(job->request.config_text));
+  // Consume the server-level keys again so JobSpec's unknown-key check
+  // (typo safety) does not trip over them.
+  (void)config.GetString("job.kind", "discover");
+  KGFD_RETURN_NOT_OK(config.GetDouble("deadline_s", 0.0).status());
+  KGFD_ASSIGN_OR_RETURN(JobSpec spec, JobSpec::FromConfig(config));
+  spec.metrics = options_.metrics;
+  spec.cancel = CancelContext(
+      &job->token, job->request.deadline_s > 0
+                       ? Deadline::After(job->request.deadline_s)
+                       : Deadline());
+  spec.discovery.on_relation_complete = [job](RelationCompletion&&) {
+    job->relations_done.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  KGFD_ASSIGN_OR_RETURN(const JobResult result, RunJob(spec));
+  std::string tsv;
+  size_t num_facts = 0;
+  StoppedReason stopped = StoppedReason::kNone;
+  if (spec.run_discovery && result.dataset != nullptr) {
+    tsv = FormatFactsTsv(result.discovery.facts,
+                         result.dataset->entity_vocab(),
+                         result.dataset->relation_vocab());
+    num_facts = result.discovery.facts.size();
+    stopped = result.discovery.stopped_reason;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  job->num_facts = num_facts;
+  job->facts_tsv = std::move(tsv);
+  job->stopped_reason = stopped;
+  return Status::OK();
+}
+
+}  // namespace kgfd

@@ -1,0 +1,234 @@
+#ifndef KGFD_SERVER_JOB_MANAGER_H_
+#define KGFD_SERVER_JOB_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/discovery.h"
+#include "core/discovery_cache.h"
+#include "kg/dataset.h"
+#include "kge/model.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+class MetricsRegistry;
+class ThreadPool;
+
+/// Metric names recorded when JobManager::Options::metrics is set.
+inline constexpr char kServerJobsSubmittedCounter[] = "server.jobs.submitted";
+inline constexpr char kServerJobsCompletedCounter[] = "server.jobs.completed";
+inline constexpr char kServerJobsRejectedCounter[] = "server.jobs.rejected";
+inline constexpr char kServerModelCacheHitsCounter[] =
+    "server.model_cache.hits";
+inline constexpr char kServerModelCacheMissesCounter[] =
+    "server.model_cache.misses";
+
+/// Lifecycle of one submitted job.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,       ///< ran to completion
+  kCancelled,  ///< stopped by DELETE /jobs/<id> or server drain
+  kDeadline,   ///< stopped by its deadline_s budget
+  kFailed,     ///< terminated with an error (see JobStatus::error)
+};
+
+const char* JobStateName(JobState state);
+
+/// Creates the manifest work directory if missing (one level; parent must
+/// exist). The server binary calls this before constructing a JobManager so
+/// an unusable --work_dir is a clean startup error.
+Status EnsureJobWorkDir(const std::string& path);
+
+/// A parsed job submission. The body of POST /jobs is the repo's flat
+/// `key = value` config format (util/config_file.h). Two kinds:
+///
+///  * `job.kind = discover` (default) — run discovery against an existing
+///    dataset directory and model checkpoint; this is the service's hot
+///    path and what the cross-request caches accelerate. Keys:
+///      data.dir                  = <dataset directory>      (required)
+///      model.checkpoint          = <model checkpoint file>  (required)
+///      discovery.strategy        = ENTITY_FREQUENCY
+///      discovery.top_n           = 500
+///      discovery.max_candidates  = 500
+///      discovery.max_iterations  = 5
+///      discovery.type_filter     = false
+///      discovery.filtered_ranking= true
+///      discovery.seed            = 123
+///      deadline_s                = 0        # 0 = no deadline
+///    Defaults deliberately match `kgfd_cli discover`, so the same inputs
+///    produce byte-identical facts through either front end.
+///
+///  * `job.kind = run` — a full declarative pipeline (core/job.h JobSpec:
+///    dataset/train/eval/discovery keys), executed via RunJob. `deadline_s`
+///    is also accepted.
+struct JobRequest {
+  enum class Kind { kDiscover, kRun };
+  Kind kind = Kind::kDiscover;
+  // -- discover ------------------------------------------------------------
+  std::string data_dir;
+  std::string checkpoint;
+  DiscoveryOptions discovery;
+  // -- common --------------------------------------------------------------
+  double deadline_s = 0.0;
+  /// Original body; `run` jobs re-parse it into a JobSpec at execution.
+  std::string config_text;
+
+  /// Parses and fully validates a submission body (unknown keys rejected).
+  static Result<JobRequest> Parse(const std::string& config_text);
+};
+
+/// Point-in-time public view of a job.
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string error;
+  size_t relations_total = 0;  ///< 0 until the job starts
+  size_t relations_done = 0;
+  size_t num_facts = 0;
+  StoppedReason stopped_reason = StoppedReason::kNone;
+  double runtime_seconds = 0.0;
+};
+
+/// Bounded FIFO job queue with a single runner thread — the serving-side
+/// "discovery as a service" engine.
+///
+/// Jobs run one at a time (each job parallelizes internally across the
+/// compute pool, so serial admission maximizes per-job throughput instead
+/// of thrashing the pool); the bounded queue is the admission control: a
+/// Submit beyond Options::max_queued fails with FailedPrecondition, which
+/// the HTTP layer maps to 429.
+///
+/// Cross-request amortization, the point of the tentpole:
+///  * datasets + model checkpoints are cached by (data.dir, checkpoint)
+///    path pair (server.model_cache.* counters), so repeat jobs skip disk;
+///  * each distinct model/KG *fingerprint* (HashModelParameters + graph
+///    shape, the same identity core/resume.h manifests pin) owns one
+///    DiscoveryCache holding strategy weights and side-score entries, so a
+///    second job over the same model reuses prior scoring work
+///    (discovery.shared_* counters). Fingerprint keying means two
+///    checkpoint files with identical parameters share a cache, and a
+///    retrained model can never be served another model's scores.
+///
+/// Every discover job runs through DiscoverFactsResumable with a per-job
+/// manifest under Options::work_dir: GET /jobs/<id> progress comes from the
+/// same per-relation completion stream the manifest persists, and a drain
+/// or cancellation mid-job leaves a valid manifest on disk (the PR4
+/// invariant) that a resubmitted job resumes bit-identically.
+///
+/// Shutdown() drains gracefully: no new admissions (503 at the HTTP
+/// layer), queued jobs become kCancelled, the in-flight job is cancelled
+/// cooperatively and flushes its manifest before the runner exits.
+class JobManager {
+ public:
+  struct Options {
+    /// Directory for per-job resume manifests (created if missing).
+    std::string work_dir;
+    /// Admission cap on not-yet-running jobs.
+    size_t max_queued = 16;
+    /// Compute pool threaded into discovery. Borrowed; may be null
+    /// (serial).
+    ThreadPool* pool = nullptr;
+    /// Server-global registry: job counters here, and discovery/cache
+    /// metrics of every job accumulate into it (how the integration tests
+    /// observe cross-request cache hits via GET /metrics). Borrowed; may
+    /// be null.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit JobManager(Options options);
+  /// Shuts down (graceful drain) if still running.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Parses, validates and enqueues a job. Returns the job id.
+  /// FailedPrecondition "job queue full" when the queue is at capacity and
+  /// "server is draining" after Shutdown() began; InvalidArgument for a bad
+  /// body.
+  Result<std::string> Submit(const std::string& config_text);
+
+  Result<JobStatus> GetStatus(const std::string& id) const;
+
+  /// TSV facts of a terminal job (FormatFactsTsv bytes — identical to
+  /// `kgfd_cli discover --out`). A cancelled job returns the partial facts
+  /// of its completed relations. FailedPrecondition while queued/running.
+  Result<std::string> FactsTsv(const std::string& id) const;
+
+  /// Requests cooperative cancellation: a queued job terminates without
+  /// running, a running one stops at its next checkpoint (manifest intact).
+  /// OK also when the job is already terminal (idempotent).
+  Status Cancel(const std::string& id);
+
+  /// Graceful drain; blocks until the runner thread exited. Idempotent.
+  void Shutdown();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Jobs in submission order (for GET /jobs).
+  std::vector<JobStatus> ListJobs() const;
+
+ private:
+  struct Job {
+    std::string id;
+    JobRequest request;
+    CancellationToken token;
+    JobState state = JobState::kQueued;  // guarded by mu_
+    std::string error;                   // guarded by mu_
+    size_t relations_total = 0;          // guarded by mu_
+    std::atomic<size_t> relations_done{0};
+    size_t num_facts = 0;          // guarded by mu_
+    std::string facts_tsv;         // guarded by mu_, set once terminal
+    StoppedReason stopped_reason = StoppedReason::kNone;  // guarded by mu_
+    double runtime_seconds = 0.0;  // guarded by mu_
+  };
+
+  /// Dataset + model loaded once and shared across jobs, plus the
+  /// fingerprint-keyed DiscoveryCache for that (model, KG).
+  struct LoadedModel {
+    std::shared_ptr<Dataset> dataset;
+    std::shared_ptr<Model> model;
+    uint64_t fingerprint = 0;
+    std::shared_ptr<DiscoveryCache> cache;
+  };
+
+  void RunnerLoop();
+  void RunOne(Job* job);
+  Status RunDiscoverJob(Job* job);
+  Status RunPipelineJob(Job* job);
+  Result<std::shared_ptr<LoadedModel>> GetOrLoadModel(
+      const std::string& data_dir, const std::string& checkpoint);
+  JobStatus SnapshotLocked(const Job& job) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Job*> queue_;  // non-owning; jobs_ owns
+  std::unordered_map<std::string, std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> job_order_;
+  uint64_t next_id_ = 1;
+  std::atomic<bool> draining_{false};
+  bool runner_exited_ = false;
+  std::thread runner_;
+
+  /// (data.dir \n checkpoint) -> loaded artifacts; fingerprint ->
+  /// DiscoveryCache. Both only touched from the runner thread and
+  /// Shutdown-after-join, guarded by mu_ for safety anyway.
+  std::unordered_map<std::string, std::shared_ptr<LoadedModel>> model_cache_;
+  std::unordered_map<uint64_t, std::shared_ptr<DiscoveryCache>> caches_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_SERVER_JOB_MANAGER_H_

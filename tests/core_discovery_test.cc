@@ -87,6 +87,39 @@ TEST(DiscoverFactsTest, RejectsBadOptions) {
   EXPECT_FALSE(DiscoverFacts(*f.model, f.dataset.train(), o).ok());
 }
 
+TEST(DiscoverFactsTest, ValidateDiscoveryOptionsMatchesDiscoverFacts) {
+  // The standalone validator (used by the resumable and serving entry
+  // points) must agree with DiscoverFacts on what is rejectable.
+  const Fixture& f = SharedFixture();
+  DiscoveryOptions o = SmallOptions(SamplingStrategy::kUniformRandom);
+  EXPECT_TRUE(ValidateDiscoveryOptions(o, f.dataset.train()).ok());
+  o.max_candidates = 0;
+  EXPECT_EQ(ValidateDiscoveryOptions(o, f.dataset.train()).code(),
+            StatusCode::kInvalidArgument);
+  o = SmallOptions(SamplingStrategy::kUniformRandom);
+  o.relations = {99};
+  EXPECT_EQ(ValidateDiscoveryOptions(o, f.dataset.train()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DiscoverFactsTest, TinyMaxCandidatesNeverOvershootsBudget) {
+  // Regression: sample_size = sqrt(max_candidates) + 10 makes the
+  // mesh-grid much larger than tiny budgets (max_candidates = 1 generates
+  // up to 11x11 pairs); the per-relation candidate set must still honor
+  // the cap exactly.
+  const Fixture& f = SharedFixture();
+  for (const size_t budget : {size_t{1}, size_t{2}, size_t{5}}) {
+    DiscoveryOptions o = SmallOptions(SamplingStrategy::kUniformRandom);
+    o.max_candidates = budget;
+    o.top_n = 1000;  // rank filter wide open: the cap must do the limiting
+    const auto result = DiscoverFacts(*f.model, f.dataset.train(), o);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const size_t num_relations = f.dataset.train().UsedRelations().size();
+    EXPECT_LE(result.value().facts.size(), budget * num_relations);
+    EXPECT_LE(result.value().stats.num_candidates, budget * num_relations);
+  }
+}
+
 TEST(DiscoverFactsTest, CandidateMemoryCapRejectsOversizedSweep) {
   const Fixture& f = SharedFixture();
   DiscoveryOptions o = SmallOptions(SamplingStrategy::kUniformRandom);

@@ -348,6 +348,21 @@ TEST_F(ResumeTest, FinishedJobRerunIsANoOpWithSameFacts) {
   EXPECT_EQ(fp.HitCount(kFailPointDiscoveryRelation), 0u);
 }
 
+TEST_F(ResumeTest, InvalidOptionsRejectedEvenWithNoLiveWork) {
+  // Regression: options are validated before the manifest short-circuit.
+  // A fully-done manifest used to let invalid options (which DiscoverFacts
+  // itself would reject) read as a successful no-op resume.
+  DiscoveryOptions options = SmallOptions();
+  options.max_candidates = 0;
+  ResumeOptions resume;
+  resume.manifest_path = manifest_;
+  const Fixture& f = SharedFixture();
+  const auto result =
+      DiscoverFactsResumable(*f.model, f.dataset.train(), options, resume);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(ResumeTest, ResumeUnderThreadPoolMatchesSerialReference) {
   const Fixture& f = SharedFixture();
   const DiscoveryOptions options = SmallOptions();

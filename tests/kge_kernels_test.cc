@@ -3,6 +3,7 @@
 #include <cfloat>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -255,6 +256,71 @@ TEST_F(KernelsTest, DispatchReportsBackends) {
   // An override redirects ActiveKernels() until cleared.
   SetKernelsOverride(&PortableKernels());
   EXPECT_EQ(&kernels::ActiveKernels(), &PortableKernels());
+}
+
+/// RAII env-var override; ResolveDispatch caches its decision but
+/// ValidateKernelBackendEnv re-reads the environment on every call, which
+/// is what lets binaries check it cleanly at startup.
+class ScopedBackendEnv {
+ public:
+  explicit ScopedBackendEnv(const char* value) {
+    const char* old = std::getenv("KGFD_KERNEL_BACKEND");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("KGFD_KERNEL_BACKEND", value, 1);
+    } else {
+      ::unsetenv("KGFD_KERNEL_BACKEND");
+    }
+  }
+  ~ScopedBackendEnv() {
+    if (had_old_) {
+      ::setenv("KGFD_KERNEL_BACKEND", old_.c_str(), 1);
+    } else {
+      ::unsetenv("KGFD_KERNEL_BACKEND");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(KernelBackendEnvTest, UnsetAndKnownBackendsValidate) {
+  {
+    ScopedBackendEnv env(nullptr);
+    EXPECT_TRUE(kernels::ValidateKernelBackendEnv().ok());
+  }
+  {
+    ScopedBackendEnv env("");
+    EXPECT_TRUE(kernels::ValidateKernelBackendEnv().ok());
+  }
+  {
+    ScopedBackendEnv env("portable");
+    EXPECT_TRUE(kernels::ValidateKernelBackendEnv().ok());
+  }
+}
+
+TEST(KernelBackendEnvTest, UnknownBackendIsACleanError) {
+  // Regression: a typo'd KGFD_KERNEL_BACKEND used to only surface as a
+  // std::abort the first time dispatch resolved, deep inside scoring.
+  ScopedBackendEnv env("sse9");
+  const Status status = kernels::ValidateKernelBackendEnv();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("sse9"), std::string::npos);
+  EXPECT_NE(status.message().find("portable"), std::string::npos)
+      << "error should name the valid choices: " << status.message();
+}
+
+TEST(KernelBackendEnvTest, Avx2MatchesAvailability) {
+  ScopedBackendEnv env("avx2");
+  const Status status = kernels::ValidateKernelBackendEnv();
+  if (kernels::Avx2Kernels() != nullptr) {
+    EXPECT_TRUE(status.ok());
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("avx2"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -55,7 +55,30 @@ for bin in "$BENCH_DIR"/bench_*; do
     echo "FAILED: $name (exit $status)" >&2
     tail -n 30 "$SCRATCH/$name.log" >&2
     failures=$((failures + 1))
+    continue
   fi
+  # A bench that "succeeds" while producing nothing is a silent gap in
+  # coverage, not a pass: demand non-empty stdout, and for benches with a
+  # JSON record, a parseable non-empty object (the perf gate reads these —
+  # an empty file here would vacuously pass downstream checks).
+  if [ ! -s "$SCRATCH/$name.log" ]; then
+    echo "FAILED: $name (exit 0 but produced no output)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  for json in "$SCRATCH"/pr2.json "$SCRATCH"/pr6.json; do
+    case "${args[*]}" in *"$json"*) ;; *) continue ;; esac
+    if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    record = json.load(f)
+if not isinstance(record, dict) or not record:
+    sys.exit(f"{sys.argv[1]}: empty or non-object JSON record")
+' "$json"; then
+      echo "FAILED: $name (unusable JSON record $json)" >&2
+      failures=$((failures + 1))
+    fi
+  done
 done
 
 echo "bench_smoke: $((total - failures))/$total benches ran clean"

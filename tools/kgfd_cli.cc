@@ -388,23 +388,11 @@ int Discover(const Flags& flags) {
 
   const std::string out = flags.GetString("out", "");
   if (!out.empty()) {
-    std::ofstream file(out);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", out.c_str());
-      return 1;
-    }
-    const Vocabulary& entities = dataset.value().entity_vocab();
-    const Vocabulary& relations = dataset.value().relation_vocab();
-    auto name = [](const Vocabulary& vocab, uint32_t id) {
-      auto n = vocab.Name(id);
-      return n.ok() ? std::move(n).value() : std::to_string(id);
-    };
-    for (const DiscoveredFact& fact : result.value().facts) {
-      file << name(entities, fact.triple.subject) << '\t'
-           << name(relations, fact.triple.relation) << '\t'
-           << name(entities, fact.triple.object) << '\t' << fact.rank
-           << '\n';
-    }
+    // WriteFactsTsv is the single source of the facts byte format — the
+    // HTTP server's GET /jobs/<id>/facts emits the identical bytes.
+    WriteFactsTsv(out, result.value().facts, dataset.value().entity_vocab(),
+                  dataset.value().relation_vocab())
+        .AbortIfNotOk("write facts");
     std::printf("facts written to %s\n", out.c_str());
   }
   MaybeWriteMetrics(flags, registry);
@@ -476,6 +464,13 @@ int main(int argc, char** argv) {
   // stops at its next checkpoint, partial outputs are flushed, and the
   // command exits 130 (124 when a --deadline_s budget expired instead).
   kgfd::InstallSignalCancellation(&kgfd::GlobalCancelToken());
+  // A typo'd kernel backend should be a clean startup error, not an abort
+  // mid-scoring the first time a kernel dispatches.
+  const kgfd::Status backend = kgfd::kernels::ValidateKernelBackendEnv();
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.ToString().c_str());
+    return 1;
+  }
   const std::string failpoints =
       flags.value().GetString("failpoints", "");
   if (!failpoints.empty()) {

@@ -64,6 +64,14 @@ class Gate:
         self._record(name, f"{baseline:.2f}", f"{current:.2f}",
                      f"{delta:+.1%}", ok, skipped=not comparable)
 
+    def require(self, record, keys, label):
+        """Missing fields fail the gate instead of raising KeyError mid-run
+        or (worse) silently skipping the checks that needed them."""
+        missing = [k for k in keys if k not in record]
+        for k in missing:
+            self.failures.append(f"{label}: record is missing '{k}'")
+        return not missing
+
     def gate_pr6(self, current, baseline):
         self.check_flag("pr6.scores_match", current.get("scores_match"))
         comparable = current.get("kernel_backend") == baseline.get(
@@ -74,7 +82,18 @@ class Gate:
                 f"({current.get('kernel_backend')} vs "
                 f"{baseline.get('kernel_backend')}); absolute throughput "
                 "not compared")
-        for model, stats in current.get("models", {}).items():
+        models = current.get("models", {})
+        if not models:
+            # An empty record would otherwise sail through the loop below —
+            # a truncated bench run must fail loudly, not vacuously pass.
+            self.failures.append(
+                "pr6: no models in record (empty/truncated bench output?)")
+            return
+        for model, stats in models.items():
+            if not self.require(stats,
+                                ["batch_speedup", "batch_mscores_per_s"],
+                                f"pr6.{model}"):
+                continue
             self.check_floor(f"pr6.{model}.batch_speedup",
                              stats["batch_speedup"], self.min_batch_speedup)
             base_stats = baseline.get("models", {}).get(model)
@@ -87,6 +106,11 @@ class Gate:
 
     def gate_pr2(self, current, baseline):
         self.check_flag("pr2.facts_identical", current.get("facts_identical"))
+        required = ["ranking_speedup", "num_candidates",
+                    "parallel_ranking_seconds"]
+        if not (self.require(current, required, "pr2") and
+                self.require(baseline, required, "pr2 baseline")):
+            return
         cores = current.get("hardware_concurrency", 0)
         threads = current.get("threads", 0)
         undersized = cores < threads
@@ -139,8 +163,20 @@ class Gate:
 
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    """Loads a bench record, turning unusable input into a clean failure
+    (an empty or truncated file must never read as 'nothing to check')."""
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except OSError as e:
+        sys.exit(f"perf gate: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf gate: {path} is not valid JSON ({e}); "
+                 "was the bench run truncated?")
+    if not isinstance(record, dict) or not record:
+        sys.exit(f"perf gate: {path} holds no bench record "
+                 "(empty or non-object JSON)")
+    return record
 
 
 def self_test():
@@ -212,6 +248,41 @@ def self_test():
     other["models"]["TransE"]["batch_mscores_per_s"] = 10.0
     g = run(other, pr6, pr2, pr2)
     assert not g.failures, g.failures
+
+    # An empty models map is a hard failure, never a vacuous pass.
+    hollow = copy.deepcopy(pr6)
+    hollow["models"] = {}
+    g = run(hollow, pr6, pr2, pr2)
+    assert any("no models" in f for f in g.failures), g.failures
+
+    # Missing per-model fields fail with a named key, not a KeyError.
+    gutted = copy.deepcopy(pr6)
+    del gutted["models"]["TransE"]["batch_speedup"]
+    g = run(gutted, pr6, pr2, pr2)
+    assert any("batch_speedup" in f and "missing" in f
+               for f in g.failures), g.failures
+
+    # Missing pr2 fields likewise fail cleanly.
+    stripped = copy.deepcopy(pr2)
+    del stripped["ranking_speedup"]
+    g = run(pr6, pr6, stripped, pr2)
+    assert any("ranking_speedup" in f and "missing" in f
+               for f in g.failures), g.failures
+
+    # load() refuses empty and malformed files with a clean exit message.
+    import tempfile, os
+    for content in ("", "{not json", "[]", "{}"):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(content)
+            path = f.name
+        try:
+            load(path)
+            raise AssertionError(f"load() accepted {content!r}")
+        except SystemExit as e:
+            assert "perf gate:" in str(e.code), e.code
+        finally:
+            os.unlink(path)
 
     # Markdown summary renders every check row.
     g = run(pr6, pr6, pr2, pr2)
