@@ -1,0 +1,216 @@
+/// PR8 perf-trajectory bench: storage-backend economics on an
+/// FB15K-237-sized checkpoint (no training — load cost and scoring
+/// throughput depend on shapes, not parameter values).
+///
+/// Measures three things the storage layer promises:
+///   cold start   LoadModel wall time, ram vs mmap. The ram path reads,
+///                CRC-checks and copies the whole file; the mmap path
+///                maps it and validates O(header) bytes. The ratio is the
+///                mmap backend's reason to exist.
+///   ranking      ScoreObjectsBatch throughput, float vs int8 entity
+///                storage (DistMult, the pure-dot kernel). int8 moves 4x
+///                fewer bytes per sweep and must not rank slower than
+///                float.
+///   correctness  float scores under mmap must be bit-identical to ram —
+///                a backend that changes results is disqualified.
+///
+/// Writes a JSON record (default BENCH_pr8.json) consumed by the CI
+/// perf-gate (tools/perf_gate.py vs bench/baselines/BENCH_pr8.json):
+///   {"bench": "pr8_storage", "kernel_backend": "avx2", ...,
+///    "cold_start": {"ram_seconds": .., "mmap_seconds": ..,
+///                   "cold_start_speedup": ..},
+///    "ranking": {"float_mscores_per_s": .., "int8_mscores_per_s": ..,
+///                "int8_ranking_ratio": ..},
+///    "mmap_scores_identical": true}
+///
+/// Usage: bench_pr8_storage [--entities N] [--relations N] [--dim D]
+///   [--queries Q] [--repeats K] [--out PATH]
+
+#include <cfloat>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kge/checkpoint.h"
+#include "kge/kernels.h"
+#include "kge/model.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double TimeLoad(const std::string& path, EmbeddingBackend backend,
+                size_t repeats) {
+  double best = DBL_MAX;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    CheckpointLoadOptions options;
+    options.backend = backend;
+    const double start = Now();
+    auto model = LoadModel(path, options);
+    const double elapsed = Now() - start;
+    if (!model.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   model.status().ToString().c_str());
+      std::exit(1);
+    }
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+/// Best-of-repeats ScoreObjectsBatch throughput in Mscores/s, leaving the
+/// last run's scores in `out` for cross-variant comparison.
+double RankingThroughput(Model* model, const std::vector<SideQuery>& queries,
+                         size_t repeats,
+                         std::vector<std::vector<double>>* out) {
+  out->assign(queries.size(), {});
+  std::vector<std::vector<double>*> ptrs(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) ptrs[q] = &(*out)[q];
+  double best = DBL_MAX;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    const double start = Now();
+    model->ScoreObjectsBatch(queries.data(), queries.size(), ptrs.data());
+    best = std::min(best, Now() - start);
+  }
+  const double pairs =
+      static_cast<double>(queries.size()) * model->num_entities();
+  return pairs / best / 1e6;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = std::move(Flags::Parse(argc, argv)).ValueOrDie("flags");
+  // FB15K-237 shape: 14541 entities, 237 relations. Doubled entity count
+  // so the checkpoint is decisively larger than the header (~15 MiB).
+  const size_t entities = static_cast<size_t>(flags.GetInt("entities", 30000));
+  const size_t relations = static_cast<size_t>(flags.GetInt("relations", 237));
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim", 128));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 64));
+  const size_t repeats = static_cast<size_t>(flags.GetInt("repeats", 5));
+  const std::string out_path = flags.GetString("out", "BENCH_pr8.json");
+
+  ModelConfig config;
+  config.num_entities = entities;
+  config.num_relations = relations;
+  config.embedding_dim = dim;
+  Rng rng(1234);
+  auto model =
+      std::move(CreateModel(ModelKind::kDistMult, config, &rng))
+          .ValueOrDie("model");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kgfd_bench_pr8").string();
+  std::filesystem::create_directories(dir);
+  const std::string float_path = dir + "/float.bin";
+  const std::string int8_path = dir + "/int8.bin";
+  SaveModel(model.get(), config, float_path).AbortIfNotOk("save float");
+  SaveQuantizedModel(model.get(), config, EmbeddingDtype::kInt8, int8_path)
+      .AbortIfNotOk("save int8");
+  const double file_mib =
+      static_cast<double>(std::filesystem::file_size(float_path)) /
+      (1024.0 * 1024.0);
+
+  std::printf("pr8 storage: %zu entities, dim %zu, %.1f MiB checkpoint, "
+              "kernel backend %s\n",
+              entities, dim, file_mib, kernels::ActiveKernelName());
+
+  // Cold start. Both paths run against a warm OS page cache, which is the
+  // conservative comparison: real cold I/O would widen the gap, since the
+  // ram path must fault in every byte before it even starts copying.
+  const double ram_seconds =
+      TimeLoad(float_path, EmbeddingBackend::kRam, repeats);
+  const double mmap_seconds =
+      TimeLoad(float_path, EmbeddingBackend::kMmap, repeats);
+  const double cold_start_speedup = ram_seconds / mmap_seconds;
+  std::printf("cold start   ram %8.3f ms   mmap %8.3f ms   %.1fx\n",
+              ram_seconds * 1e3, mmap_seconds * 1e3, cold_start_speedup);
+
+  // Ranking throughput, float vs int8, plus ram-vs-mmap bit-identity.
+  std::vector<SideQuery> side_queries(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    side_queries[q] = {static_cast<EntityId>((q * 7919u) % entities),
+                       static_cast<RelationId>(q % relations)};
+  }
+  auto load = [](const std::string& path, EmbeddingBackend backend) {
+    CheckpointLoadOptions options;
+    options.backend = backend;
+    return std::move(LoadModel(path, options)).ValueOrDie("load");
+  };
+  auto float_ram = load(float_path, EmbeddingBackend::kRam);
+  auto float_mmap = load(float_path, EmbeddingBackend::kMmap);
+  auto int8_ram = load(int8_path, EmbeddingBackend::kRam);
+
+  std::vector<std::vector<double>> ram_scores, mmap_scores, int8_scores;
+  const double float_mscores = RankingThroughput(
+      float_ram.get(), side_queries, repeats, &ram_scores);
+  RankingThroughput(float_mmap.get(), side_queries, 1, &mmap_scores);
+  const double int8_mscores = RankingThroughput(
+      int8_ram.get(), side_queries, repeats, &int8_scores);
+  const double int8_ratio = int8_mscores / float_mscores;
+
+  bool identical = true;
+  for (size_t q = 0; q < queries && identical; ++q) {
+    for (size_t e = 0; e < entities; ++e) {
+      if (ram_scores[q][e] != mmap_scores[q][e]) {
+        std::fprintf(stderr, "ram/mmap divergence at q=%zu e=%zu\n", q, e);
+        identical = false;
+        break;
+      }
+    }
+  }
+  std::printf("ranking      float %8.2f Mscores/s   int8 %8.2f Mscores/s   "
+              "%.2fx   mmap scores %s\n",
+              float_mscores, int8_mscores, int8_ratio,
+              identical ? "identical" : "DIVERGED");
+
+  std::filesystem::remove_all(dir);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"pr8_storage\",\n"
+               "  \"kernel_backend\": \"%s\",\n"
+               "  \"entities\": %zu,\n"
+               "  \"relations\": %zu,\n"
+               "  \"dim\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"checkpoint_mib\": %.1f,\n"
+               "  \"cold_start\": {\n"
+               "    \"ram_seconds\": %.6f,\n"
+               "    \"mmap_seconds\": %.6f,\n"
+               "    \"cold_start_speedup\": %.3f\n"
+               "  },\n"
+               "  \"ranking\": {\n"
+               "    \"float_mscores_per_s\": %.3f,\n"
+               "    \"int8_mscores_per_s\": %.3f,\n"
+               "    \"int8_ranking_ratio\": %.3f\n"
+               "  },\n"
+               "  \"mmap_scores_identical\": %s\n"
+               "}\n",
+               kernels::ActiveKernelName(), entities, relations, dim,
+               queries, file_mib, ram_seconds, mmap_seconds,
+               cold_start_speedup, float_mscores, int8_mscores, int8_ratio,
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s (cold start %.1fx, int8 ratio %.2fx)\n",
+              out_path.c_str(), cold_start_speedup, int8_ratio);
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace kgfd
+
+int main(int argc, char** argv) { return kgfd::Run(argc, argv); }

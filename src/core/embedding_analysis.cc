@@ -10,6 +10,12 @@ namespace {
 /// The entity table of a model: by convention every model names it
 /// "entities" (ConvE shares input/output embeddings the same way).
 Result<const Tensor*> EntityTable(const Model& model) {
+  if (model.quantized_entities() != nullptr) {
+    return Status::InvalidArgument(
+        "embedding analysis needs float entity embeddings; this model was "
+        "loaded from a quantized checkpoint (re-run against the original "
+        "float checkpoint)");
+  }
   // Parameters() is non-const by design (the optimizer mutates through
   // it); analysis only reads.
   auto& mutable_model = const_cast<Model&>(model);

@@ -91,8 +91,13 @@ uint64_t HashModelParameters(Model* model) {
     const uint64_t cols = p.tensor->cols();
     mix_bytes(&rows, sizeof(rows));
     mix_bytes(&cols, sizeof(cols));
-    mix_bytes(p.tensor->data().data(), p.tensor->size() * sizeof(float));
+    mix_bytes(p.tensor->flat(), p.tensor->size() * sizeof(float));
   }
+  // Quantized entity tables live outside Parameters(); mix their
+  // fingerprint so float and quantized loads of one checkpoint never share
+  // a resume/cache identity.
+  const uint64_t storage = model->StorageFingerprint();
+  if (storage != 0) mix_bytes(&storage, sizeof(storage));
   return h;
 }
 

@@ -4,8 +4,8 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
-#include <sstream>
 
+#include "kge/models/pair_embedding_model.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 
@@ -13,78 +13,465 @@ namespace kgfd {
 namespace {
 
 constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'C', 'K', 'P', 'T'};
-// Version 2 appends a CRC-32 trailer over everything before it, so loads
-// reject truncated or bit-flipped checkpoints instead of deserializing
-// garbage weights.
-constexpr uint32_t kFormatVersion = 2;
+// Version 2: one in-memory blob with a CRC-32 trailer. Version 3 keeps the
+// trailer but splits the file into a CRC-guarded header (with a tensor
+// directory) and aligned payload sections, so loads can verify and map the
+// header without touching payload bytes: the entity table starts on a
+// 4096-byte page boundary and every section on a 64-byte boundary, which
+// lets the mmap backend attach tensors zero-copy.
+constexpr uint32_t kFormatV2 = 2;
+constexpr uint32_t kFormatV3 = 3;
+// magic + u32 version + u64 header size.
+constexpr size_t kFixedHead = sizeof(kMagic) + sizeof(uint32_t) +
+                              sizeof(uint64_t);
+constexpr uint64_t kSectionAlign = 64;
+constexpr uint64_t kPageAlign = 4096;
+constexpr uint64_t kMaxTensorSections = 256;
 
-void WriteU64(std::ostream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteString(std::ostream& out, const std::string& s) {
-  WriteU64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-Result<uint64_t> ReadU64(std::istream& in) {
-  uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) return Status::IoError("truncated checkpoint");
-  return v;
+void AppendString(std::string* out, const std::string& s) {
+  AppendU64(out, s.size());
+  out->append(s);
 }
 
-Result<std::string> ReadString(std::istream& in) {
-  KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
-  if (n > (1ULL << 20)) return Status::IoError("corrupt checkpoint string");
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  if (!in) return Status::IoError("truncated checkpoint");
-  return s;
-}
+/// Bounds-checked little-endian reader over a byte range. Both load paths
+/// parse through this, so a malformed length can only ever produce an
+/// IoError — never a read past the mapped or buffered range.
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
 
-}  // namespace
-
-Status SaveModel(Model* model, const ModelConfig& config,
-                 const std::string& path) {
-  KGFD_FAIL_POINT(kFailPointCheckpointSave);
-  // Serialize into memory first so the CRC-32 trailer can cover every byte
-  // before it.
-  std::ostringstream out(std::ios::binary);
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kFormatVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  WriteString(out, model->name());
-  WriteU64(out, config.num_entities);
-  WriteU64(out, config.num_relations);
-  WriteU64(out, config.embedding_dim);
-  WriteU64(out, static_cast<uint64_t>(config.transe_norm));
-  WriteU64(out, config.conve_num_filters);
-  WriteU64(out, config.conve_reshape_height);
-
-  const std::vector<NamedTensor> params = model->Parameters();
-  WriteU64(out, params.size());
-  for (const NamedTensor& p : params) {
-    WriteString(out, p.name);
-    WriteU64(out, p.tensor->rows());
-    WriteU64(out, p.tensor->cols());
-    out.write(reinterpret_cast<const char*>(p.tensor->data().data()),
-              static_cast<std::streamsize>(p.tensor->size() *
-                                           sizeof(float)));
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    KGFD_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+    return v;
   }
-  const std::string payload = out.str();
-  const uint32_t crc = Crc32(payload);
 
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::IoError("cannot open for writing: " + path);
-  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  if (!file) return Status::IoError("write failed: " + path);
+  Result<uint32_t> ReadU32() {
+    uint32_t v = 0;
+    KGFD_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    KGFD_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (n > (1ULL << 20)) return Status::IoError("corrupt checkpoint string");
+    if (n > size_ - pos_) return Status::IoError("truncated checkpoint");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Status ReadBytes(void* dst, size_t n) {
+    if (n > size_ - pos_) return Status::IoError("truncated checkpoint");
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// One tensor the v3 writer serializes: float payload, or quantized codes
+/// plus per-row scale/zero-point parameters.
+struct SectionSpec {
+  std::string name;
+  EmbeddingDtype dtype = EmbeddingDtype::kFloat32;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  const void* payload = nullptr;
+  const float* scales = nullptr;
+  const float* zero_points = nullptr;
+};
+
+Status WriteV3(const std::string& model_name, const ModelConfig& config,
+               const std::vector<SectionSpec>& sections,
+               const std::string& path) {
+  // Header blob size depends only on names and counts, so offsets can be
+  // assigned before serializing: blob = model name + 6 config u64 + count
+  // u64 + per section (name + 7 u64 + 2 crc32).
+  uint64_t blob_size = 8 + model_name.size() + 7 * 8;
+  for (const SectionSpec& s : sections) {
+    blob_size += 8 + s.name.size() + 7 * 8 + 2 * 4;
+  }
+  const uint64_t payload_start =
+      AlignUp(kFixedHead + blob_size + sizeof(uint32_t), kPageAlign);
+
+  // The entity table's payload goes first so it lands exactly on the page
+  // boundary; every other section keeps 64-byte alignment.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (sections[i].name == "entities") order.push_back(i);
+  }
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (sections[i].name != "entities") order.push_back(i);
+  }
+
+  std::vector<uint64_t> payload_offset(sections.size(), 0);
+  std::vector<uint64_t> payload_size(sections.size(), 0);
+  std::vector<uint64_t> quant_offset(sections.size(), 0);
+  std::vector<uint64_t> quant_size(sections.size(), 0);
+  uint64_t cursor = payload_start;
+  for (size_t i : order) {
+    const SectionSpec& s = sections[i];
+    cursor = AlignUp(cursor, kSectionAlign);
+    payload_offset[i] = cursor;
+    payload_size[i] = s.rows * s.cols * EmbeddingDtypeBytes(s.dtype);
+    cursor += payload_size[i];
+  }
+  for (size_t i : order) {
+    const SectionSpec& s = sections[i];
+    if (s.dtype == EmbeddingDtype::kFloat32) continue;
+    cursor = AlignUp(cursor, kSectionAlign);
+    quant_offset[i] = cursor;
+    quant_size[i] = 2 * s.rows * sizeof(float);
+    cursor += quant_size[i];
+  }
+
+  std::string file;
+  file.reserve(cursor + sizeof(uint32_t));
+  file.append(kMagic, sizeof(kMagic));
+  AppendU32(&file, kFormatV3);
+  AppendU64(&file, blob_size);
+  AppendString(&file, model_name);
+  AppendU64(&file, config.num_entities);
+  AppendU64(&file, config.num_relations);
+  AppendU64(&file, config.embedding_dim);
+  AppendU64(&file, static_cast<uint64_t>(config.transe_norm));
+  AppendU64(&file, config.conve_num_filters);
+  AppendU64(&file, config.conve_reshape_height);
+  AppendU64(&file, sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const SectionSpec& s = sections[i];
+    AppendString(&file, s.name);
+    AppendU64(&file, static_cast<uint64_t>(s.dtype));
+    AppendU64(&file, s.rows);
+    AppendU64(&file, s.cols);
+    AppendU64(&file, payload_offset[i]);
+    AppendU64(&file, payload_size[i]);
+    AppendU64(&file, quant_offset[i]);
+    AppendU64(&file, quant_size[i]);
+    AppendU32(&file, Crc32(s.payload, payload_size[i]));
+    uint32_t quant_crc = 0;
+    if (s.dtype != EmbeddingDtype::kFloat32) {
+      quant_crc = Crc32Update(0, s.scales, s.rows * sizeof(float));
+      quant_crc = Crc32Update(quant_crc, s.zero_points,
+                              s.rows * sizeof(float));
+    }
+    AppendU32(&file, quant_crc);
+  }
+  if (file.size() != kFixedHead + blob_size) {
+    return Status::Internal("checkpoint header size miscomputed");
+  }
+  AppendU32(&file, Crc32(file));
+
+  for (size_t i : order) {
+    const SectionSpec& s = sections[i];
+    file.resize(payload_offset[i], '\0');
+    file.append(static_cast<const char*>(s.payload), payload_size[i]);
+  }
+  for (size_t i : order) {
+    const SectionSpec& s = sections[i];
+    if (s.dtype == EmbeddingDtype::kFloat32) continue;
+    file.resize(quant_offset[i], '\0');
+    file.append(reinterpret_cast<const char*>(s.scales),
+                s.rows * sizeof(float));
+    file.append(reinterpret_cast<const char*>(s.zero_points),
+                s.rows * sizeof(float));
+  }
+  AppendU32(&file, Crc32(file));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
-Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
-  KGFD_FAIL_POINT(kFailPointCheckpointLoad);
+bool SupportsQuantizedEntities(ModelKind kind) {
+  return kind == ModelKind::kTransE || kind == ModelKind::kDistMult ||
+         kind == ModelKind::kComplEx;
+}
+
+/// Parses the v3 fixed head + header blob (magic already checked) and
+/// verifies the header CRC. Payload bytes are not touched.
+Result<CheckpointInfo> ParseV3Header(const unsigned char* data,
+                                     size_t file_size) {
+  // Magic and version were checked by the caller (file_size >= kFixedHead
+  // + 4 included).
+  uint64_t blob_size = 0;
+  std::memcpy(&blob_size, data + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(blob_size));
+  if (blob_size > file_size ||
+      kFixedHead + blob_size + sizeof(uint32_t) > file_size) {
+    return Status::IoError("truncated checkpoint header");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data + kFixedHead + blob_size, sizeof(stored_crc));
+  if (stored_crc != Crc32(data, kFixedHead + blob_size)) {
+    return Status::IoError(
+        "checkpoint header checksum mismatch (truncated or corrupted)");
+  }
+
+  CheckpointInfo info;
+  info.version = kFormatV3;
+  info.header_size = blob_size;
+  ByteReader in(data + kFixedHead, blob_size);
+  KGFD_ASSIGN_OR_RETURN(info.model_name, in.ReadString());
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_entities, in.ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, in.ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t embedding_dim, in.ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t transe_norm, in.ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_filters, in.ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_height, in.ReadU64());
+  info.config.num_entities = num_entities;
+  info.config.num_relations = num_relations;
+  info.config.embedding_dim = embedding_dim;
+  info.config.transe_norm = static_cast<int>(transe_norm);
+  info.config.conve_num_filters = conve_filters;
+  info.config.conve_reshape_height = conve_height;
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_tensors, in.ReadU64());
+  if (num_tensors > kMaxTensorSections) {
+    return Status::IoError("corrupt checkpoint header (tensor count)");
+  }
+  info.tensors.resize(num_tensors);
+  for (CheckpointTensorInfo& t : info.tensors) {
+    KGFD_ASSIGN_OR_RETURN(t.name, in.ReadString());
+    t.fields_offset = kFixedHead + in.pos();
+    KGFD_ASSIGN_OR_RETURN(uint64_t dtype_raw, in.ReadU64());
+    if (dtype_raw > static_cast<uint64_t>(EmbeddingDtype::kInt16)) {
+      return Status::IoError("unknown tensor dtype in checkpoint");
+    }
+    t.dtype = static_cast<EmbeddingDtype>(dtype_raw);
+    KGFD_ASSIGN_OR_RETURN(t.rows, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(t.cols, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(t.payload_offset, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(t.payload_size, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(t.quant_offset, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(t.quant_size, in.ReadU64());
+    KGFD_RETURN_NOT_OK(in.ReadU32().status());  // payload crc
+    KGFD_RETURN_NOT_OK(in.ReadU32().status());  // quant crc
+  }
+  if (!in.AtEnd()) {
+    return Status::IoError("corrupt checkpoint header (trailing bytes)");
+  }
+  return info;
+}
+
+/// Reads the per-section CRCs back out of the (already parsed) header blob.
+void SectionCrcs(const unsigned char* data, const CheckpointTensorInfo& t,
+                 uint32_t* payload_crc, uint32_t* quant_crc) {
+  // The two CRCs trail the seven u64 fields of the entry.
+  const unsigned char* p = data + t.fields_offset + 7 * 8;
+  std::memcpy(payload_crc, p, sizeof(uint32_t));
+  std::memcpy(quant_crc, p + sizeof(uint32_t), sizeof(uint32_t));
+}
+
+/// The SIGBUS guard of the mmap path: every section's offset, size and
+/// alignment is checked against the actual file length (as mapped) before
+/// any payload byte is dereferenced. Descriptive IoErrors, never UB.
+Status ValidateV3Directory(const CheckpointInfo& info, size_t file_size) {
+  const uint64_t payload_end = file_size - sizeof(uint32_t);  // trailer CRC
+  for (const CheckpointTensorInfo& t : info.tensors) {
+    if (t.rows == 0 || t.cols == 0) {
+      return Status::IoError("zero-row tensor section '" + t.name +
+                             "' in checkpoint");
+    }
+    const uint64_t elem = EmbeddingDtypeBytes(t.dtype);
+    if (t.cols > UINT64_MAX / t.rows || t.rows * t.cols > UINT64_MAX / elem) {
+      return Status::IoError("tensor section '" + t.name +
+                             "' size overflows");
+    }
+    if (t.payload_size != t.rows * t.cols * elem) {
+      return Status::IoError("tensor section '" + t.name +
+                             "' size mismatch");
+    }
+    if (t.payload_offset % kSectionAlign != 0) {
+      return Status::IoError("misaligned tensor section '" + t.name + "'");
+    }
+    if (t.name == "entities" && t.payload_offset % kPageAlign != 0) {
+      return Status::IoError(
+          "entity section is not page-aligned (corrupt checkpoint header)");
+    }
+    if (t.payload_offset > payload_end ||
+        t.payload_size > payload_end - t.payload_offset) {
+      return Status::IoError(
+          "tensor section '" + t.name +
+          "' out of bounds (truncated or corrupted checkpoint)");
+    }
+    if (t.dtype == EmbeddingDtype::kFloat32) {
+      if (t.quant_size != 0) {
+        return Status::IoError("float tensor section '" + t.name +
+                               "' carries quantization parameters");
+      }
+    } else {
+      if (t.quant_size != 2 * t.rows * sizeof(float)) {
+        return Status::IoError("quantization parameter block of '" + t.name +
+                               "' has the wrong size");
+      }
+      if (t.quant_offset % kSectionAlign != 0) {
+        return Status::IoError("misaligned quantization parameters of '" +
+                               t.name + "'");
+      }
+      if (t.quant_offset > payload_end ||
+          t.quant_size > payload_end - t.quant_offset) {
+        return Status::IoError(
+            "quantization parameters of '" + t.name +
+            "' out of bounds (truncated or corrupted checkpoint)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Owned storage backing a QuantizedTable for ram-backend loads of a
+/// quantized checkpoint (the view's keepalive holds this struct).
+struct OwnedQuantStorage {
+  std::vector<unsigned char> codes;
+  std::vector<float> params;  // rows scales then rows zero-points
+};
+
+/// Materializes a model from a validated v3 file image. `zero_copy` is the
+/// mmap backend: the entity section (float or quantized) is attached as a
+/// read-only view into `data`, kept alive by `keepalive`; everything else
+/// is copied.
+Result<LoadedModel> BuildFromV3(const CheckpointInfo& info,
+                                const unsigned char* data, bool zero_copy,
+                                std::shared_ptr<const void> keepalive) {
+  KGFD_ASSIGN_OR_RETURN(ModelKind kind, ModelKindFromName(info.model_name));
+  KGFD_ASSIGN_OR_RETURN(auto model,
+                        CreateModelUninitialized(kind, info.config));
+  std::vector<NamedTensor> params = model->Parameters();
+  if (info.tensors.size() != params.size()) {
+    return Status::IoError("checkpoint parameter count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    NamedTensor& p = params[i];
+    const CheckpointTensorInfo& t = info.tensors[i];
+    if (t.name != p.name) {
+      return Status::IoError("checkpoint tensor mismatch for " + p.name);
+    }
+    if (t.dtype == EmbeddingDtype::kFloat32) {
+      if (t.rows != p.tensor->rows() || t.cols != p.tensor->cols()) {
+        return Status::IoError("checkpoint tensor mismatch for " + p.name);
+      }
+      const float* src =
+          reinterpret_cast<const float*>(data + t.payload_offset);
+      if (zero_copy && t.name == "entities") {
+        p.tensor->SetExternal(src, t.rows, t.cols);
+      } else {
+        std::memcpy(p.tensor->data().data(), src, t.payload_size);
+      }
+      continue;
+    }
+    // Quantized section: only the entity table of the kernel-backed pair
+    // models may be quantized.
+    if (t.name != "entities") {
+      return Status::IoError("quantized tensor section '" + t.name +
+                             "' (only the entity table may be quantized)");
+    }
+    if (!SupportsQuantizedEntities(kind)) {
+      return Status::IoError(
+          "quantized checkpoint for model " + info.model_name +
+          " is not supported (TransE/DistMult/ComplEx only)");
+    }
+    if (t.rows != info.config.num_entities ||
+        t.cols != info.config.embedding_dim) {
+      return Status::IoError("checkpoint tensor mismatch for " + p.name);
+    }
+    auto* pair = static_cast<PairEmbeddingModel*>(model.get());
+    if (zero_copy) {
+      const float* qparams =
+          reinterpret_cast<const float*>(data + t.quant_offset);
+      pair->AttachQuantizedEntities(QuantizedTable::View(
+          t.dtype, data + t.payload_offset, qparams, qparams + t.rows,
+          t.rows, t.cols, keepalive));
+    } else {
+      auto owned = std::make_shared<OwnedQuantStorage>();
+      owned->codes.resize(t.payload_size);
+      std::memcpy(owned->codes.data(), data + t.payload_offset,
+                  t.payload_size);
+      owned->params.resize(2 * t.rows);
+      std::memcpy(owned->params.data(), data + t.quant_offset, t.quant_size);
+      const unsigned char* codes = owned->codes.data();
+      const float* scales = owned->params.data();
+      pair->AttachQuantizedEntities(
+          QuantizedTable::View(t.dtype, codes, scales, scales + t.rows,
+                               t.rows, t.cols, std::move(owned)));
+    }
+  }
+  if (zero_copy) model->AttachStorageKeepalive(std::move(keepalive));
+  LoadedModel loaded;
+  loaded.model = std::move(model);
+  loaded.config = info.config;
+  return loaded;
+}
+
+/// The legacy v2 parse (trailer CRC already verified; `in` starts after
+/// magic + version).
+Result<LoadedModel> ParseV2(ByteReader* in) {
+  KGFD_ASSIGN_OR_RETURN(std::string model_name, in->ReadString());
+  KGFD_ASSIGN_OR_RETURN(ModelKind kind, ModelKindFromName(model_name));
+  ModelConfig config;
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_entities, in->ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, in->ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t embedding_dim, in->ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t transe_norm, in->ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_filters, in->ReadU64());
+  KGFD_ASSIGN_OR_RETURN(uint64_t conve_height, in->ReadU64());
+  config.num_entities = num_entities;
+  config.num_relations = num_relations;
+  config.embedding_dim = embedding_dim;
+  config.transe_norm = static_cast<int>(transe_norm);
+  config.conve_num_filters = conve_filters;
+  config.conve_reshape_height = conve_height;
+
+  KGFD_ASSIGN_OR_RETURN(auto model, CreateModelUninitialized(kind, config));
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_params, in->ReadU64());
+  std::vector<NamedTensor> params = model->Parameters();
+  if (num_params != params.size()) {
+    return Status::IoError("checkpoint parameter count mismatch");
+  }
+  for (NamedTensor& p : params) {
+    KGFD_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+    KGFD_ASSIGN_OR_RETURN(uint64_t rows, in->ReadU64());
+    KGFD_ASSIGN_OR_RETURN(uint64_t cols, in->ReadU64());
+    if (name != p.name || rows != p.tensor->rows() ||
+        cols != p.tensor->cols()) {
+      return Status::IoError("checkpoint tensor mismatch for " + p.name);
+    }
+    Status read = in->ReadBytes(p.tensor->data().data(),
+                                p.tensor->size() * sizeof(float));
+    if (!read.ok()) {
+      return Status::IoError("truncated checkpoint tensor " + p.name);
+    }
+  }
+  LoadedModel loaded;
+  loaded.model = std::move(model);
+  loaded.config = config;
+  return loaded;
+}
+
+/// Ram-backend load: read the whole file, verify magic + trailer CRC, then
+/// parse by version. Nothing past the CRC check ever parses unchecksummed
+/// bytes.
+Result<LoadedModel> LoadRam(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open: " + path);
   std::string data((std::istreambuf_iterator<char>(file)),
@@ -92,10 +479,7 @@ Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
   if (!file.good() && !file.eof()) {
     return Status::IoError("read failed: " + path);
   }
-  // Verify before parsing: magic, then the CRC-32 trailer over everything
-  // preceding it. A failed check means truncation or corruption — nothing
-  // past this point ever parses unchecksummed bytes.
-  if (data.size() < sizeof(kMagic) + 2 * sizeof(uint32_t)) {
+  if (data.size() < kFixedHead + sizeof(uint32_t)) {
     return Status::IoError("truncated checkpoint: " + path);
   }
   if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -104,57 +488,255 @@ Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
   uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, data.data() + data.size() - sizeof(uint32_t),
               sizeof(uint32_t));
-  const uint32_t actual_crc =
-      Crc32(data.data(), data.size() - sizeof(uint32_t));
-  if (stored_crc != actual_crc) {
+  if (stored_crc != Crc32(data.data(), data.size() - sizeof(uint32_t))) {
     return Status::IoError(
         "checkpoint checksum mismatch (truncated or corrupted): " + path);
   }
-  std::istringstream in(data.substr(0, data.size() - sizeof(uint32_t)),
-                        std::ios::binary);
-  in.ignore(sizeof(kMagic));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
   uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kFormatVersion) {
+  std::memcpy(&version, bytes + sizeof(kMagic), sizeof(version));
+  if (version == kFormatV2) {
+    ByteReader in(bytes + sizeof(kMagic) + sizeof(uint32_t),
+                  data.size() - sizeof(kMagic) - 2 * sizeof(uint32_t));
+    return ParseV2(&in);
+  }
+  if (version != kFormatV3) {
     return Status::IoError("unsupported checkpoint version");
   }
-  KGFD_ASSIGN_OR_RETURN(std::string model_name, ReadString(in));
-  KGFD_ASSIGN_OR_RETURN(ModelKind kind, ModelKindFromName(model_name));
-  ModelConfig config;
-  KGFD_ASSIGN_OR_RETURN(uint64_t num_entities, ReadU64(in));
-  KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, ReadU64(in));
-  KGFD_ASSIGN_OR_RETURN(uint64_t embedding_dim, ReadU64(in));
-  KGFD_ASSIGN_OR_RETURN(uint64_t transe_norm, ReadU64(in));
-  KGFD_ASSIGN_OR_RETURN(uint64_t conve_filters, ReadU64(in));
-  KGFD_ASSIGN_OR_RETURN(uint64_t conve_height, ReadU64(in));
-  config.num_entities = num_entities;
-  config.num_relations = num_relations;
-  config.embedding_dim = embedding_dim;
-  config.transe_norm = static_cast<int>(transe_norm);
-  config.conve_num_filters = conve_filters;
-  config.conve_reshape_height = conve_height;
-
-  Rng rng(0);  // parameters are overwritten below
-  KGFD_ASSIGN_OR_RETURN(auto model, CreateModel(kind, config, &rng));
-
-  KGFD_ASSIGN_OR_RETURN(uint64_t num_params, ReadU64(in));
-  std::vector<NamedTensor> params = model->Parameters();
-  if (num_params != params.size()) {
-    return Status::IoError("checkpoint parameter count mismatch");
-  }
-  for (NamedTensor& p : params) {
-    KGFD_ASSIGN_OR_RETURN(std::string name, ReadString(in));
-    KGFD_ASSIGN_OR_RETURN(uint64_t rows, ReadU64(in));
-    KGFD_ASSIGN_OR_RETURN(uint64_t cols, ReadU64(in));
-    if (name != p.name || rows != p.tensor->rows() ||
-        cols != p.tensor->cols()) {
-      return Status::IoError("checkpoint tensor mismatch for " + p.name);
-    }
-    in.read(reinterpret_cast<char*>(p.tensor->data().data()),
-            static_cast<std::streamsize>(p.tensor->size() * sizeof(float)));
-    if (!in) return Status::IoError("truncated checkpoint tensor " + p.name);
-  }
-  return model;
+  KGFD_ASSIGN_OR_RETURN(CheckpointInfo info,
+                        ParseV3Header(bytes, data.size()));
+  KGFD_RETURN_NOT_OK(ValidateV3Directory(info, data.size()));
+  return BuildFromV3(info, bytes, /*zero_copy=*/false, nullptr);
 }
+
+/// Mmap-backend load. Default integrity is the header CRC plus directory
+/// bounds/alignment validation — cold start is O(header), payload pages
+/// fault in on first use. `verify_mapped_payload` restores full ram-load
+/// integrity (per-section CRCs + whole-file trailer) at the cost of
+/// touching every page.
+Result<LoadedModel> LoadMmap(const std::string& path,
+                             bool verify_mapped_payload) {
+  KGFD_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  if (file.size() < kFixedHead + sizeof(uint32_t)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a kgfd checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, file.data() + sizeof(kMagic), sizeof(version));
+  if (version == kFormatV2) {
+    // v2 has no aligned, independently-checksummed tensor section to map;
+    // fall back to the ram path (same result, copied storage).
+    return LoadRam(path);
+  }
+  if (version != kFormatV3) {
+    return Status::IoError("unsupported checkpoint version");
+  }
+  KGFD_ASSIGN_OR_RETURN(CheckpointInfo info,
+                        ParseV3Header(file.data(), file.size()));
+  KGFD_RETURN_NOT_OK(ValidateV3Directory(info, file.size()));
+  if (verify_mapped_payload) {
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, file.data() + file.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    if (stored_crc != Crc32(file.data(), file.size() - sizeof(uint32_t))) {
+      return Status::IoError(
+          "checkpoint checksum mismatch (truncated or corrupted): " + path);
+    }
+    for (const CheckpointTensorInfo& t : info.tensors) {
+      uint32_t payload_crc = 0, quant_crc = 0;
+      SectionCrcs(file.data(), t, &payload_crc, &quant_crc);
+      if (payload_crc != Crc32(file.data() + t.payload_offset,
+                               t.payload_size)) {
+        return Status::IoError("tensor section '" + t.name +
+                               "' checksum mismatch: " + path);
+      }
+      if (t.quant_size != 0 &&
+          quant_crc != Crc32(file.data() + t.quant_offset, t.quant_size)) {
+        return Status::IoError("quantization parameters of '" + t.name +
+                               "' checksum mismatch: " + path);
+      }
+    }
+  }
+  for (const CheckpointTensorInfo& t : info.tensors) {
+    if (t.name == "entities") {
+      file.AdviseSequential(t.payload_offset, t.payload_size);
+    }
+  }
+  auto keepalive = std::make_shared<MmapFile>(std::move(file));
+  const unsigned char* data = keepalive->data();
+  return BuildFromV3(info, data, /*zero_copy=*/true, std::move(keepalive));
+}
+
+}  // namespace
+
+Status SaveModel(Model* model, const ModelConfig& config,
+                 const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointCheckpointSave);
+  std::vector<SectionSpec> sections;
+  for (const NamedTensor& p : model->Parameters()) {
+    SectionSpec s;
+    s.name = p.name;
+    const QuantizedTable* qt = model->quantized_entities();
+    if (p.name == "entities" && qt != nullptr) {
+      s.dtype = qt->dtype();
+      s.rows = qt->rows();
+      s.cols = qt->cols();
+      s.payload = qt->data();
+      s.scales = qt->scales();
+      s.zero_points = qt->zero_points();
+    } else {
+      s.rows = p.tensor->rows();
+      s.cols = p.tensor->cols();
+      s.payload = p.tensor->flat();
+    }
+    sections.push_back(s);
+  }
+  return WriteV3(model->name(), config, sections, path);
+}
+
+Status SaveQuantizedModel(Model* model, const ModelConfig& config,
+                          EmbeddingDtype dtype, const std::string& path) {
+  KGFD_FAIL_POINT(kFailPointCheckpointSave);
+  if (dtype == EmbeddingDtype::kFloat32) {
+    return Status::InvalidArgument(
+        "quantized save needs dtype int8 or int16 (use SaveModel for "
+        "float32)");
+  }
+  if (!SupportsQuantizedEntities(model->kind())) {
+    return Status::InvalidArgument(
+        "quantized entity storage supports TransE/DistMult/ComplEx only "
+        "(got " + model->name() + ")");
+  }
+  const QuantizedTable* existing = model->quantized_entities();
+  if (existing != nullptr) {
+    if (existing->dtype() != dtype) {
+      return Status::InvalidArgument(
+          "model is already quantized as " +
+          std::string(EmbeddingDtypeName(existing->dtype())) +
+          "; re-quantizing to " + EmbeddingDtypeName(dtype) +
+          " must start from the float checkpoint");
+    }
+    return SaveModel(model, config, path);
+  }
+  QuantizedTable table;
+  std::vector<SectionSpec> sections;
+  for (const NamedTensor& p : model->Parameters()) {
+    SectionSpec s;
+    s.name = p.name;
+    if (p.name == "entities") {
+      table = QuantizedTable::Quantize(*p.tensor, dtype);
+      s.dtype = dtype;
+      s.rows = table.rows();
+      s.cols = table.cols();
+      s.payload = table.data();
+      s.scales = table.scales();
+      s.zero_points = table.zero_points();
+    } else {
+      s.rows = p.tensor->rows();
+      s.cols = p.tensor->cols();
+      s.payload = p.tensor->flat();
+    }
+    sections.push_back(s);
+  }
+  return WriteV3(model->name(), config, sections, path);
+}
+
+Result<std::unique_ptr<Model>> LoadModel(const std::string& path) {
+  CheckpointLoadOptions options;
+  KGFD_ASSIGN_OR_RETURN(options.backend, EmbeddingBackendFromEnv());
+  options.verify_mapped_payload = MmapVerifyFromEnv();
+  return LoadModel(path, options);
+}
+
+Result<std::unique_ptr<Model>> LoadModel(
+    const std::string& path, const CheckpointLoadOptions& options) {
+  KGFD_ASSIGN_OR_RETURN(LoadedModel loaded,
+                        LoadModelWithConfig(path, options));
+  return std::move(loaded.model);
+}
+
+Result<LoadedModel> LoadModelWithConfig(const std::string& path,
+                                        const CheckpointLoadOptions& options) {
+  KGFD_FAIL_POINT(kFailPointCheckpointLoad);
+  if (options.backend == EmbeddingBackend::kMmap) {
+    return LoadMmap(path, options.verify_mapped_payload);
+  }
+  return LoadRam(path);
+}
+
+Result<CheckpointInfo> InspectCheckpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return Status::IoError("read failed: " + path);
+  }
+  if (data.size() < kFixedHead + sizeof(uint32_t)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a kgfd checkpoint: " + path);
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  uint32_t version = 0;
+  std::memcpy(&version, bytes + sizeof(kMagic), sizeof(version));
+  if (version == kFormatV2) {
+    CheckpointInfo info;
+    info.version = version;
+    ByteReader in(bytes + sizeof(kMagic) + sizeof(uint32_t),
+                  data.size() - sizeof(kMagic) - sizeof(uint32_t));
+    KGFD_ASSIGN_OR_RETURN(info.model_name, in.ReadString());
+    KGFD_ASSIGN_OR_RETURN(uint64_t num_entities, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, in.ReadU64());
+    KGFD_ASSIGN_OR_RETURN(uint64_t embedding_dim, in.ReadU64());
+    info.config.num_entities = num_entities;
+    info.config.num_relations = num_relations;
+    info.config.embedding_dim = embedding_dim;
+    return info;
+  }
+  if (version != kFormatV3) {
+    return Status::IoError("unsupported checkpoint version");
+  }
+  KGFD_ASSIGN_OR_RETURN(CheckpointInfo info,
+                        ParseV3Header(bytes, data.size()));
+  KGFD_RETURN_NOT_OK(ValidateV3Directory(info, data.size()));
+  return info;
+}
+
+namespace internal {
+
+Status SaveModelV2(Model* model, const ModelConfig& config,
+                   const std::string& path) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kFormatV2);
+  AppendString(&out, model->name());
+  AppendU64(&out, config.num_entities);
+  AppendU64(&out, config.num_relations);
+  AppendU64(&out, config.embedding_dim);
+  AppendU64(&out, static_cast<uint64_t>(config.transe_norm));
+  AppendU64(&out, config.conve_num_filters);
+  AppendU64(&out, config.conve_reshape_height);
+  const std::vector<NamedTensor> params = model->Parameters();
+  AppendU64(&out, params.size());
+  for (const NamedTensor& p : params) {
+    AppendString(&out, p.name);
+    AppendU64(&out, p.tensor->rows());
+    AppendU64(&out, p.tensor->cols());
+    out.append(reinterpret_cast<const char*>(p.tensor->flat()),
+               p.tensor->size() * sizeof(float));
+  }
+  AppendU32(&out, Crc32(out));
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace internal
 
 }  // namespace kgfd

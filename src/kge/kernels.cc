@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 namespace kgfd {
 namespace kernels {
@@ -15,6 +17,33 @@ namespace {
 /// cache while every query of the block scores against it. 256 rows of a
 /// dim-128 table are 128 KiB — comfortably L2-resident.
 constexpr size_t kPortableRowTile = 256;
+
+/// Dequantizes rows [e0, e1) into `dst` ((e1-e0) * dim floats). Single
+/// precision multiply-after-subtract — the canonical dequantization the
+/// determinism contract in kernels.h pins for every backend.
+template <typename Q>
+void DequantizeRowsT(const QuantTable& table, size_t e0, size_t e1,
+                     size_t dim, float* dst) {
+  const Q* codes = static_cast<const Q*>(table.data);
+  for (size_t e = e0; e < e1; ++e) {
+    const float scale = table.scales[e];
+    const float zp = table.zero_points[e];
+    const Q* row = codes + e * dim;
+    float* d = dst + (e - e0) * dim;
+    for (size_t i = 0; i < dim; ++i) {
+      d[i] = scale * (static_cast<float>(row[i]) - zp);
+    }
+  }
+}
+
+void DequantizeRows(const QuantTable& table, size_t e0, size_t e1,
+                    size_t dim, float* dst) {
+  if (table.is_int16) {
+    DequantizeRowsT<int16_t>(table, e0, e1, dim, dst);
+  } else {
+    DequantizeRowsT<int8_t>(table, e0, e1, dim, dst);
+  }
+}
 
 void PortableL1(const float* table, size_t rows, size_t dim,
                 const double* const* qs, size_t num_queries,
@@ -99,8 +128,107 @@ void PortablePairedDot(const float* table, size_t rows, size_t half,
   }
 }
 
+// Quantized variants: dequantize one row tile into a float scratch (paid
+// once per tile, amortized over the whole query block), then run the exact
+// loop body of the float kernel above over the tile. Identical dequantized
+// floats + identical accumulation order = scores bit-identical to
+// dequantize-then-float-kernel.
+
+void PortableL1Quant(const QuantTable& table, size_t rows, size_t dim,
+                     const double* const* qs, size_t num_queries,
+                     double* const* outs) {
+  std::vector<float> tile(kPortableRowTile * dim);
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    DequantizeRows(table, e0, e1, dim, tile.data());
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = tile.data() + (e - e0) * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) acc += std::fabs(qv[i] - row[i]);
+        out[e] = -acc;
+      }
+    }
+  }
+}
+
+void PortableL2Quant(const QuantTable& table, size_t rows, size_t dim,
+                     const double* const* qs, size_t num_queries,
+                     double* const* outs) {
+  std::vector<float> tile(kPortableRowTile * dim);
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    DequantizeRows(table, e0, e1, dim, tile.data());
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = tile.data() + (e - e0) * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) {
+          const double d = qv[i] - row[i];
+          acc += d * d;
+        }
+        out[e] = -std::sqrt(acc);
+      }
+    }
+  }
+}
+
+void PortableDotQuant(const QuantTable& table, size_t rows, size_t dim,
+                      const double* const* qs, size_t num_queries,
+                      double* const* outs) {
+  std::vector<float> tile(kPortableRowTile * dim);
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    DequantizeRows(table, e0, e1, dim, tile.data());
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qv = qs[q];
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = tile.data() + (e - e0) * dim;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i) acc += qv[i] * row[i];
+        out[e] = acc;
+      }
+    }
+  }
+}
+
+void PortablePairedDotQuant(const QuantTable& table, size_t rows,
+                            size_t half, const double* const* qs,
+                            size_t num_queries, double* const* outs) {
+  const size_t dim = 2 * half;
+  std::vector<float> tile(kPortableRowTile * dim);
+  for (size_t e0 = 0; e0 < rows; e0 += kPortableRowTile) {
+    const size_t e1 = e0 + kPortableRowTile < rows ? e0 + kPortableRowTile
+                                                   : rows;
+    DequantizeRows(table, e0, e1, dim, tile.data());
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* wr = qs[q];
+      const double* wi = qs[q] + half;
+      double* out = outs[q];
+      for (size_t e = e0; e < e1; ++e) {
+        const float* row = tile.data() + (e - e0) * dim;
+        double acc = 0.0;
+        for (size_t k = 0; k < half; ++k) {
+          acc += wr[k] * row[k] + wi[k] * row[half + k];
+        }
+        out[e] = acc;
+      }
+    }
+  }
+}
+
 constexpr KernelOps kPortableOps = {
-    "portable", PortableL1, PortableL2, PortableDot, PortablePairedDot,
+    "portable",        PortableL1,        PortableL2,
+    PortableDot,       PortablePairedDot, PortableL1Quant,
+    PortableL2Quant,   PortableDotQuant,  PortablePairedDotQuant,
 };
 
 std::atomic<const KernelOps*> g_override{nullptr};

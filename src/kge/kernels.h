@@ -31,6 +31,28 @@ using ScoreFn = void (*)(const float* table, size_t rows, size_t dim,
                          const double* const* qs, size_t num_queries,
                          double* const* outs);
 
+/// A per-row affine-quantized entity table operand (kge/embedding_store.h
+/// builds these): row-major int8 or int16 codes plus one (scale,
+/// zero_point) float pair per row; element i of row r dequantizes to
+/// scales[r] * (float(code) - zero_points[r]) in single precision.
+///
+/// The quantized kernels dequantize each row TILE into the float scratch
+/// once per tile — amortized over the whole query block — then run the
+/// unmodified float kernel body. Consequences, tested as the quantized
+/// determinism contract: quantized scores are bit-identical to
+/// dequantize-the-table-then-run-the-float-kernel, and the portable and
+/// AVX2 quantized backends are bit-identical to each other.
+struct QuantTable {
+  const void* data;
+  const float* scales;
+  const float* zero_points;
+  bool is_int16;  // false: int8 codes
+};
+
+using QuantScoreFn = void (*)(const QuantTable& table, size_t rows,
+                              size_t dim, const double* const* qs,
+                              size_t num_queries, double* const* outs);
+
 struct KernelOps {
   const char* name;
   /// outs[q][e] = -Σ_i |qs[q][i] - table[e][i]|        (TransE, L1)
@@ -47,6 +69,13 @@ struct KernelOps {
   void (*paired_dot_scores)(const float* table, size_t rows, size_t half,
                             const double* const* qs, size_t num_queries,
                             double* const* outs);
+  /// Quantized variants of the four kernels above, same score definitions
+  /// over the dequantized rows (see QuantTable). `dim`/`half` mean the
+  /// same as in their float counterparts.
+  QuantScoreFn l1_scores_quant;
+  QuantScoreFn l2_scores_quant;
+  QuantScoreFn dot_scores_quant;
+  QuantScoreFn paired_dot_scores_quant;
 };
 
 /// Queries per ParallelFor grain / kernel call in the batch-scoring

@@ -21,6 +21,7 @@
 #include <immintrin.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace kgfd {
@@ -28,6 +29,52 @@ namespace kernels {
 namespace {
 
 constexpr size_t kRowBlock = 8;
+
+/// Dequantizes 8 quantized rows straight into the transposed scratch
+/// layout (scratch[c * 8 + lane]). Scalar on purpose: it runs once per
+/// 8-row tile and is amortized over the whole query block, and the scalar
+/// multiply-after-subtract produces floats bit-identical to the portable
+/// quantized path (the contract the quantized kernels are tested against).
+template <typename Q>
+void DequantTransposeRows(const QuantTable& table, size_t row0, size_t dim,
+                          float* scratch) {
+  const Q* codes = static_cast<const Q*>(table.data);
+  for (size_t l = 0; l < kRowBlock; ++l) {
+    const size_t e = row0 + l;
+    const float scale = table.scales[e];
+    const float zp = table.zero_points[e];
+    const Q* row = codes + e * dim;
+    for (size_t c = 0; c < dim; ++c) {
+      scratch[c * 8 + l] = scale * (static_cast<float>(row[c]) - zp);
+    }
+  }
+}
+
+void DequantTransposeBlock(const QuantTable& table, size_t row0, size_t dim,
+                           float* scratch) {
+  if (table.is_int16) {
+    DequantTransposeRows<int16_t>(table, row0, dim, scratch);
+  } else {
+    DequantTransposeRows<int8_t>(table, row0, dim, scratch);
+  }
+}
+
+/// Dequantizes one row into `dst` (tail rows of a non-multiple-of-8 table).
+void DequantRow(const QuantTable& table, size_t e, size_t dim, float* dst) {
+  const float scale = table.scales[e];
+  const float zp = table.zero_points[e];
+  if (table.is_int16) {
+    const int16_t* row = static_cast<const int16_t*>(table.data) + e * dim;
+    for (size_t i = 0; i < dim; ++i) {
+      dst[i] = scale * (static_cast<float>(row[i]) - zp);
+    }
+  } else {
+    const int8_t* row = static_cast<const int8_t*>(table.data) + e * dim;
+    for (size_t i = 0; i < dim; ++i) {
+      dst[i] = scale * (static_cast<float>(row[i]) - zp);
+    }
+  }
+}
 
 /// Transposes 8 rows of `dim` floats into scratch[c * 8 + lane].
 void TransposeBlock(const float* table, size_t row0, size_t dim,
@@ -93,6 +140,34 @@ inline void LoadColumn(const float* scratch, size_t c, __m256d* lo,
 
 const __m256d kSignMask = _mm256_set1_pd(-0.0);
 
+/// The two tile sources the kernel skeletons below are generic over. The
+/// float source reads the entity table directly; the quantized source
+/// dequantizes each 8-row tile into the same transposed scratch layout
+/// (once per tile, amortized over the whole query block) so the identical
+/// vector loop body runs on both representations.
+struct FloatTileSource {
+  const float* table;
+  size_t dim;
+  void LoadTile(size_t row0, float* scratch) const {
+    TransposeBlock(table, row0, dim, scratch);
+  }
+  const float* TailRow(size_t e, float* /*buf*/) const {
+    return table + e * dim;
+  }
+};
+
+struct QuantTileSource {
+  const QuantTable* table;
+  size_t dim;
+  void LoadTile(size_t row0, float* scratch) const {
+    DequantTransposeBlock(*table, row0, dim, scratch);
+  }
+  const float* TailRow(size_t e, float* buf) const {
+    DequantRow(*table, e, dim, buf);
+    return buf;
+  }
+};
+
 /// Shared skeleton of the single-factor kernels (L1 / L2 / dot): `step`
 /// folds one widened column into the accumulator pair, `finish` maps the
 /// raw accumulators to scores. Queries are walked in pairs so each tile
@@ -102,15 +177,17 @@ const __m256d kSignMask = _mm256_set1_pd(-0.0);
 /// entity) accumulation order is unchanged, so pairing cannot perturb
 /// results. Tail rows (rows % 8) fall back to the bit-identical scalar
 /// loop via `scalar_row`.
-template <typename Step, typename Finish, typename ScalarRow>
-void BlockedScore(const float* table, size_t rows, size_t dim,
+template <typename TileSource, typename Step, typename Finish,
+          typename ScalarRow>
+void BlockedScore(const TileSource& source, size_t rows, size_t dim,
                   const double* const* qs, size_t num_queries,
                   double* const* outs, const Step& step,
                   const Finish& finish, const ScalarRow& scalar_row) {
   std::vector<float> scratch(dim * kRowBlock);
+  std::vector<float> tail(dim);
   const size_t full = rows - rows % kRowBlock;
   for (size_t e0 = 0; e0 < full; e0 += kRowBlock) {
-    TransposeBlock(table, e0, dim, scratch.data());
+    source.LoadTile(e0, scratch.data());
     size_t q = 0;
     for (; q + 2 <= num_queries; q += 2) {
       const double* qa = qs[q];
@@ -147,18 +224,19 @@ void BlockedScore(const float* table, size_t rows, size_t dim,
     }
   }
   for (size_t e = full; e < rows; ++e) {
-    const float* row = table + e * dim;
+    const float* row = source.TailRow(e, tail.data());
     for (size_t q = 0; q < num_queries; ++q) {
       outs[q][e] = scalar_row(qs[q], row);
     }
   }
 }
 
-void Avx2L1(const float* table, size_t rows, size_t dim,
-            const double* const* qs, size_t num_queries,
-            double* const* outs) {
+template <typename TileSource>
+void L1Kernel(const TileSource& source, size_t rows, size_t dim,
+              const double* const* qs, size_t num_queries,
+              double* const* outs) {
   BlockedScore(
-      table, rows, dim, qs, num_queries, outs,
+      source, rows, dim, qs, num_queries, outs,
       [](__m256d qb, __m256d vlo, __m256d vhi, __m256d* acc_lo,
          __m256d* acc_hi) {
         *acc_lo = _mm256_add_pd(
@@ -177,11 +255,12 @@ void Avx2L1(const float* table, size_t rows, size_t dim,
       });
 }
 
-void Avx2L2(const float* table, size_t rows, size_t dim,
-            const double* const* qs, size_t num_queries,
-            double* const* outs) {
+template <typename TileSource>
+void L2Kernel(const TileSource& source, size_t rows, size_t dim,
+              const double* const* qs, size_t num_queries,
+              double* const* outs) {
   BlockedScore(
-      table, rows, dim, qs, num_queries, outs,
+      source, rows, dim, qs, num_queries, outs,
       [](__m256d qb, __m256d vlo, __m256d vhi, __m256d* acc_lo,
          __m256d* acc_hi) {
         const __m256d dlo = _mm256_sub_pd(qb, vlo);
@@ -205,11 +284,12 @@ void Avx2L2(const float* table, size_t rows, size_t dim,
       });
 }
 
-void Avx2Dot(const float* table, size_t rows, size_t dim,
-             const double* const* qs, size_t num_queries,
-             double* const* outs) {
+template <typename TileSource>
+void DotKernel(const TileSource& source, size_t rows, size_t dim,
+               const double* const* qs, size_t num_queries,
+               double* const* outs) {
   BlockedScore(
-      table, rows, dim, qs, num_queries, outs,
+      source, rows, dim, qs, num_queries, outs,
       [](__m256d qb, __m256d vlo, __m256d vhi, __m256d* acc_lo,
          __m256d* acc_hi) {
         *acc_lo = _mm256_add_pd(*acc_lo, _mm256_mul_pd(qb, vlo));
@@ -223,14 +303,16 @@ void Avx2Dot(const float* table, size_t rows, size_t dim,
       });
 }
 
-void Avx2PairedDot(const float* table, size_t rows, size_t half,
-                   const double* const* qs, size_t num_queries,
-                   double* const* outs) {
+template <typename TileSource>
+void PairedDotKernel(const TileSource& source, size_t rows, size_t half,
+                     const double* const* qs, size_t num_queries,
+                     double* const* outs) {
   const size_t dim = 2 * half;
   std::vector<float> scratch(dim * kRowBlock);
+  std::vector<float> tail(dim);
   const size_t full = rows - rows % kRowBlock;
   for (size_t e0 = 0; e0 < full; e0 += kRowBlock) {
-    TransposeBlock(table, e0, dim, scratch.data());
+    source.LoadTile(e0, scratch.data());
     for (size_t q = 0; q < num_queries; ++q) {
       const double* wr = qs[q];
       const double* wi = qs[q] + half;
@@ -256,7 +338,7 @@ void Avx2PairedDot(const float* table, size_t rows, size_t half,
     }
   }
   for (size_t e = full; e < rows; ++e) {
-    const float* row = table + e * dim;
+    const float* row = source.TailRow(e, tail.data());
     for (size_t q = 0; q < num_queries; ++q) {
       const double* wr = qs[q];
       const double* wi = qs[q] + half;
@@ -269,8 +351,65 @@ void Avx2PairedDot(const float* table, size_t rows, size_t half,
   }
 }
 
+// Dispatch-table entry points: the float kernels instantiate the skeletons
+// with the direct-read tile source (unchanged operations — bit-identical
+// to the pre-quantization AVX2 kernels), the quantized ones with the
+// dequantize-per-tile source.
+
+void Avx2L1(const float* table, size_t rows, size_t dim,
+            const double* const* qs, size_t num_queries,
+            double* const* outs) {
+  L1Kernel(FloatTileSource{table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2L2(const float* table, size_t rows, size_t dim,
+            const double* const* qs, size_t num_queries,
+            double* const* outs) {
+  L2Kernel(FloatTileSource{table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2Dot(const float* table, size_t rows, size_t dim,
+             const double* const* qs, size_t num_queries,
+             double* const* outs) {
+  DotKernel(FloatTileSource{table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2PairedDot(const float* table, size_t rows, size_t half,
+                   const double* const* qs, size_t num_queries,
+                   double* const* outs) {
+  PairedDotKernel(FloatTileSource{table, 2 * half}, rows, half, qs,
+                  num_queries, outs);
+}
+
+void Avx2L1Quant(const QuantTable& table, size_t rows, size_t dim,
+                 const double* const* qs, size_t num_queries,
+                 double* const* outs) {
+  L1Kernel(QuantTileSource{&table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2L2Quant(const QuantTable& table, size_t rows, size_t dim,
+                 const double* const* qs, size_t num_queries,
+                 double* const* outs) {
+  L2Kernel(QuantTileSource{&table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2DotQuant(const QuantTable& table, size_t rows, size_t dim,
+                  const double* const* qs, size_t num_queries,
+                  double* const* outs) {
+  DotKernel(QuantTileSource{&table, dim}, rows, dim, qs, num_queries, outs);
+}
+
+void Avx2PairedDotQuant(const QuantTable& table, size_t rows, size_t half,
+                        const double* const* qs, size_t num_queries,
+                        double* const* outs) {
+  PairedDotKernel(QuantTileSource{&table, 2 * half}, rows, half, qs,
+                  num_queries, outs);
+}
+
 constexpr KernelOps kAvx2Ops = {
-    "avx2", Avx2L1, Avx2L2, Avx2Dot, Avx2PairedDot,
+    "avx2",        Avx2L1,      Avx2L2,       Avx2Dot,
+    Avx2PairedDot, Avx2L1Quant, Avx2L2Quant,  Avx2DotQuant,
+    Avx2PairedDotQuant,
 };
 
 }  // namespace

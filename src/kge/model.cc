@@ -36,9 +36,8 @@ Result<ModelKind> ModelKindFromName(const std::string& name) {
   return Status::NotFound("unknown model: " + name);
 }
 
-Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
-                                           const ModelConfig& config,
-                                           Rng* rng) {
+Result<std::unique_ptr<Model>> CreateModelUninitialized(
+    ModelKind kind, const ModelConfig& config) {
   if (config.num_entities < 1 || config.num_relations < 1) {
     return Status::InvalidArgument("model needs >= 1 entity and relation");
   }
@@ -71,6 +70,14 @@ Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
       model = std::make_unique<ConvEModel>(config);
       break;
   }
+  return model;
+}
+
+Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
+                                           const ModelConfig& config,
+                                           Rng* rng) {
+  KGFD_ASSIGN_OR_RETURN(std::unique_ptr<Model> model,
+                        CreateModelUninitialized(kind, config));
   model->InitParameters(rng);
   return model;
 }

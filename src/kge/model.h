@@ -13,6 +13,8 @@
 
 namespace kgfd {
 
+class QuantizedTable;  // kge/embedding_store.h
+
 /// The KGE models evaluated or described by the paper.
 enum class ModelKind {
   kTransE,
@@ -99,12 +101,33 @@ class Model {
   /// (Re-)initializes all parameters from `rng`.
   virtual void InitParameters(Rng* rng) = 0;
 
+  /// Non-null when the entity table is held quantized (int8/int16 codes +
+  /// per-row affine parameters) instead of as a float Parameters() tensor.
+  /// Only the kernel-backed pair models (TransE/DistMult/ComplEx) support
+  /// quantized storage; everything else always returns null.
+  virtual const QuantizedTable* quantized_entities() const { return nullptr; }
+
+  /// Fingerprint of storage NOT visible through Parameters() (quantized
+  /// entity tables). Mixed into HashModelParameters so two models that
+  /// differ only in quantization never alias a DiscoveryCache. Zero for
+  /// float-backed models.
+  virtual uint64_t StorageFingerprint() const { return 0; }
+
+  /// Keeps checkpoint-owned backing storage (the mmap'd file a tensor
+  /// view points into) alive for the model's lifetime.
+  void AttachStorageKeepalive(std::shared_ptr<const void> keepalive) {
+    storage_keepalive_ = std::move(keepalive);
+  }
+
   /// Total number of scalar parameters.
   size_t NumParameters() {
     size_t n = 0;
     for (const NamedTensor& p : Parameters()) n += p.tensor->size();
     return n;
   }
+
+ private:
+  std::shared_ptr<const void> storage_keepalive_;
 };
 
 /// Model construction options. Fields irrelevant to a given model are
@@ -125,6 +148,13 @@ struct ModelConfig {
 Result<std::unique_ptr<Model>> CreateModel(ModelKind kind,
                                            const ModelConfig& config,
                                            Rng* rng);
+
+/// Instantiates a model WITHOUT random parameter initialization — all
+/// parameters are zero until the caller fills them. Checkpoint loaders use
+/// this so a load never pays the RNG sweep its parameters would only
+/// overwrite.
+Result<std::unique_ptr<Model>> CreateModelUninitialized(
+    ModelKind kind, const ModelConfig& config);
 
 /// The shared model/graph shape contract enforced by both fact discovery
 /// and link-prediction evaluation: the model's entity vocabulary must match

@@ -20,9 +20,10 @@ ComplExModel::ComplExModel(const ModelConfig& config)
       half_(config.embedding_dim / 2) {}
 
 double ComplExModel::Score(const Triple& t) const {
-  const float* s = entities_.Row(t.subject);
+  thread_local std::vector<float> sbuf, obuf;
+  const float* s = EntityRow(t.subject, &sbuf);
   const float* r = relations_.Row(t.relation);
-  const float* o = entities_.Row(t.object);
+  const float* o = EntityRow(t.object, &obuf);
   const float* sr = s;
   const float* si = s + half_;
   const float* rr = r;
@@ -47,8 +48,9 @@ void ComplExModel::ScoreObjectsBatch(const SideQuery* queries,
                                      size_t num_queries,
                                      std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
-    const float* sv = entities_.Row(queries[q].entity);
+    const float* sv = EntityRow(queries[q].entity, &ebuf);
     const float* rv = relations_.Row(queries[q].relation);
     double* wr = prep.query(q);
     double* wi = wr + half_;
@@ -59,19 +61,24 @@ void ComplExModel::ScoreObjectsBatch(const SideQuery* queries,
       wi[k] = si * rr + sr * ri;
     }
   }
-  kernels::ActiveKernels().paired_dot_scores(entities_.data().data(),
-                                             num_entities(), half_,
-                                             prep.qs(), num_queries,
-                                             prep.outs());
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  if (quantized()) {
+    ops.paired_dot_scores_quant(qentities_.KernelTable(), num_entities(),
+                                half_, prep.qs(), num_queries, prep.outs());
+  } else {
+    ops.paired_dot_scores(entities_.flat(), num_entities(), half_, prep.qs(),
+                          num_queries, prep.outs());
+  }
 }
 
 void ComplExModel::ScoreSubjectsBatch(
     const SideQuery* queries, size_t num_queries,
     std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
     const float* rv = relations_.Row(queries[q].relation);
-    const float* ov = entities_.Row(queries[q].entity);
+    const float* ov = EntityRow(queries[q].entity, &ebuf);
     double* ur = prep.query(q);
     double* ui = ur + half_;
     // u = conj(r) * o: u_r[k] = rr*or + ri*oi, u_i[k] = rr*oi - ri*or.
@@ -82,10 +89,14 @@ void ComplExModel::ScoreSubjectsBatch(
       ui[k] = rr * oi - ri * orr;
     }
   }
-  kernels::ActiveKernels().paired_dot_scores(entities_.data().data(),
-                                             num_entities(), half_,
-                                             prep.qs(), num_queries,
-                                             prep.outs());
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  if (quantized()) {
+    ops.paired_dot_scores_quant(qentities_.KernelTable(), num_entities(),
+                                half_, prep.qs(), num_queries, prep.outs());
+  } else {
+    ops.paired_dot_scores(entities_.flat(), num_entities(), half_, prep.qs(),
+                          num_queries, prep.outs());
+  }
 }
 
 void ComplExModel::ScoreObjects(EntityId s, RelationId r,

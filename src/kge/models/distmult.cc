@@ -6,9 +6,10 @@
 namespace kgfd {
 
 double DistMultModel::Score(const Triple& t) const {
-  const float* s = entities_.Row(t.subject);
+  thread_local std::vector<float> sbuf, obuf;
+  const float* s = EntityRow(t.subject, &sbuf);
   const float* r = relations_.Row(t.relation);
-  const float* o = entities_.Row(t.object);
+  const float* o = EntityRow(t.object, &obuf);
   double acc = 0.0;
   for (size_t i = 0; i < dim_; ++i) {
     acc += static_cast<double>(s[i]) * r[i] * o[i];
@@ -24,34 +25,46 @@ void DistMultModel::ScoreObjectsBatch(const SideQuery* queries,
                                       size_t num_queries,
                                       std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
-    const float* sv = entities_.Row(queries[q].entity);
+    const float* sv = EntityRow(queries[q].entity, &ebuf);
     const float* rv = relations_.Row(queries[q].relation);
     double* dst = prep.query(q);
     for (size_t i = 0; i < dim_; ++i) {
       dst[i] = static_cast<double>(sv[i]) * rv[i];
     }
   }
-  kernels::ActiveKernels().dot_scores(entities_.data().data(),
-                                      num_entities(), dim_, prep.qs(),
-                                      num_queries, prep.outs());
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  if (quantized()) {
+    ops.dot_scores_quant(qentities_.KernelTable(), num_entities(), dim_,
+                         prep.qs(), num_queries, prep.outs());
+  } else {
+    ops.dot_scores(entities_.flat(), num_entities(), dim_, prep.qs(),
+                   num_queries, prep.outs());
+  }
 }
 
 void DistMultModel::ScoreSubjectsBatch(
     const SideQuery* queries, size_t num_queries,
     std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
     const float* rv = relations_.Row(queries[q].relation);
-    const float* ov = entities_.Row(queries[q].entity);
+    const float* ov = EntityRow(queries[q].entity, &ebuf);
     double* dst = prep.query(q);
     for (size_t i = 0; i < dim_; ++i) {
       dst[i] = static_cast<double>(rv[i]) * ov[i];
     }
   }
-  kernels::ActiveKernels().dot_scores(entities_.data().data(),
-                                      num_entities(), dim_, prep.qs(),
-                                      num_queries, prep.outs());
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  if (quantized()) {
+    ops.dot_scores_quant(qentities_.KernelTable(), num_entities(), dim_,
+                         prep.qs(), num_queries, prep.outs());
+  } else {
+    ops.dot_scores(entities_.flat(), num_entities(), dim_, prep.qs(),
+                   num_queries, prep.outs());
+  }
 }
 
 void DistMultModel::ScoreObjects(EntityId s, RelationId r,

@@ -12,9 +12,10 @@ TransEModel::TransEModel(const ModelConfig& config)
       norm_(config.transe_norm) {}
 
 double TransEModel::Score(const Triple& t) const {
-  const float* s = entities_.Row(t.subject);
+  thread_local std::vector<float> sbuf, obuf;
+  const float* s = EntityRow(t.subject, &sbuf);
   const float* r = relations_.Row(t.relation);
-  const float* o = entities_.Row(t.object);
+  const float* o = EntityRow(t.object, &obuf);
   double acc = 0.0;
   if (norm_ == 1) {
     for (size_t i = 0; i < dim_; ++i) {
@@ -38,8 +39,9 @@ void TransEModel::ScoreObjectsBatch(const SideQuery* queries,
                                     size_t num_queries,
                                     std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
-    const float* sv = entities_.Row(queries[q].entity);
+    const float* sv = EntityRow(queries[q].entity, &ebuf);
     const float* rv = relations_.Row(queries[q].relation);
     double* dst = prep.query(q);
     for (size_t i = 0; i < dim_; ++i) {
@@ -47,27 +49,40 @@ void TransEModel::ScoreObjectsBatch(const SideQuery* queries,
     }
   }
   const kernels::KernelOps& ops = kernels::ActiveKernels();
-  (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
-      entities_.data().data(), num_entities(), dim_, prep.qs(), num_queries,
-      prep.outs());
+  if (quantized()) {
+    (norm_ == 1 ? ops.l1_scores_quant : ops.l2_scores_quant)(
+        qentities_.KernelTable(), num_entities(), dim_, prep.qs(),
+        num_queries, prep.outs());
+  } else {
+    (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
+        entities_.flat(), num_entities(), dim_, prep.qs(), num_queries,
+        prep.outs());
+  }
 }
 
 void TransEModel::ScoreSubjectsBatch(const SideQuery* queries,
                                      size_t num_queries,
                                      std::vector<double>* const* outs) const {
   QueryPrep prep(num_queries, dim_, num_entities(), outs);
+  std::vector<float> ebuf;
   for (size_t q = 0; q < num_queries; ++q) {
     const float* rv = relations_.Row(queries[q].relation);
-    const float* ov = entities_.Row(queries[q].entity);
+    const float* ov = EntityRow(queries[q].entity, &ebuf);
     double* dst = prep.query(q);
     for (size_t i = 0; i < dim_; ++i) {
       dst[i] = static_cast<double>(ov[i]) - rv[i];
     }
   }
   const kernels::KernelOps& ops = kernels::ActiveKernels();
-  (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
-      entities_.data().data(), num_entities(), dim_, prep.qs(), num_queries,
-      prep.outs());
+  if (quantized()) {
+    (norm_ == 1 ? ops.l1_scores_quant : ops.l2_scores_quant)(
+        qentities_.KernelTable(), num_entities(), dim_, prep.qs(),
+        num_queries, prep.outs());
+  } else {
+    (norm_ == 1 ? ops.l1_scores : ops.l2_scores)(
+        entities_.flat(), num_entities(), dim_, prep.qs(), num_queries,
+        prep.outs());
+  }
 }
 
 void TransEModel::ScoreObjects(EntityId s, RelationId r,

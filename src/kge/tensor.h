@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,13 @@ namespace kgfd {
 /// banks, dense projection weights, bias vectors. Deliberately minimal — all
 /// model math is written against raw rows, keeping gradients analytic and
 /// dependency-free.
+///
+/// Storage is either OWNED (the usual case: a heap vector this tensor
+/// allocates and may mutate) or EXTERNAL (SetExternal(): a read-only view
+/// into storage someone else keeps alive, e.g. the page-aligned tensor
+/// section of an mmap'd checkpoint). All const accessors work identically
+/// on both; every mutating accessor aborts on an external tensor, so
+/// training code can never silently write through to a mapped file.
 class Tensor {
  public:
   Tensor() = default;
@@ -24,22 +33,50 @@ class Tensor {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
+  size_t size() const { return rows_ * cols_; }
 
-  float* Row(size_t r) { return data_.data() + r * cols_; }
-  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  float* Row(size_t r) { return MutableData() + r * cols_; }
+  const float* Row(size_t r) const { return flat() + r * cols_; }
 
-  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float& At(size_t r, size_t c) { return MutableData()[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return flat()[r * cols_ + c]; }
 
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() {
+    AssertOwned("Tensor::data()");
+    return data_;
+  }
+  const std::vector<float>& data() const {
+    AssertOwned("Tensor::data() const");
+    return data_;
+  }
 
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Flat row-major storage, valid for owned and external tensors alike.
+  /// Readers (kernels, checkpoints, fingerprints) use this instead of
+  /// data().data() so they work on every storage backend.
+  const float* flat() const {
+    return external_ != nullptr ? external_ : data_.data();
+  }
+
+  bool external() const { return external_ != nullptr; }
+
+  /// Points this tensor at read-only external storage that the caller
+  /// keeps alive (the model holds the mmap'd checkpoint open). Releases
+  /// any owned storage; the tensor becomes read-only.
+  void SetExternal(const float* data, size_t rows, size_t cols) {
+    external_ = data;
+    rows_ = rows;
+    cols_ = cols;
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  void Fill(float v) {
+    std::fill(data().begin(), data().end(), v);
+  }
 
   /// Uniform init in [lo, hi).
   void InitUniform(Rng* rng, float lo, float hi) {
-    for (float& v : data_) v = rng->UniformFloat(lo, hi);
+    for (float& v : data()) v = rng->UniformFloat(lo, hi);
   }
 
   /// Glorot/Xavier uniform init with explicit fan sizes. For embedding
@@ -52,15 +89,30 @@ class Tensor {
 
   /// Normal init.
   void InitNormal(Rng* rng, float mean, float stddev) {
-    for (float& v : data_) {
+    for (float& v : data()) {
       v = static_cast<float>(rng->Normal(mean, stddev));
     }
   }
 
  private:
+  float* MutableData() {
+    AssertOwned("mutating accessor");
+    return data_.data();
+  }
+
+  void AssertOwned(const char* what) const {
+    if (external_ == nullptr) return;
+    std::fprintf(stderr,
+                 "Tensor: %s on a read-only external tensor (mmap-backed "
+                 "storage cannot be mutated)\n",
+                 what);
+    std::abort();
+  }
+
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<float> data_;
+  const float* external_ = nullptr;
 };
 
 /// A model parameter with a stable name (used by checkpoints and the

@@ -27,7 +27,8 @@
 #include "kg/triple_store.h"   // IWYU pragma: export
 #include "kg/types.h"          // IWYU pragma: export
 #include "kg/vocab.h"          // IWYU pragma: export
-#include "kge/checkpoint.h"    // IWYU pragma: export
+#include "kge/checkpoint.h"       // IWYU pragma: export
+#include "kge/embedding_store.h"  // IWYU pragma: export
 #include "kge/evaluator.h"     // IWYU pragma: export
 #include "kge/grid_search.h"   // IWYU pragma: export
 #include "kge/kernels.h"       // IWYU pragma: export

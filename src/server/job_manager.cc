@@ -357,7 +357,15 @@ void JobManager::RunOne(Job* job) {
 
 Result<std::shared_ptr<JobManager::LoadedModel>> JobManager::GetOrLoadModel(
     const std::string& data_dir, const std::string& checkpoint) {
-  const std::string key = data_dir + "\n" + checkpoint;
+  // The storage backend is part of the cache identity: a cached ram-backed
+  // model must not be served after the process switches to mmap (and vice
+  // versa) — the caller asked for different storage semantics, not just
+  // the same scores. Quantization needs no key component: it is a property
+  // of the checkpoint file itself, and HashModelParameters mixes the
+  // quantized fingerprint into the DiscoveryCache identity below.
+  KGFD_ASSIGN_OR_RETURN(EmbeddingBackend backend, EmbeddingBackendFromEnv());
+  const std::string key = data_dir + "\n" + checkpoint + "\n" +
+                          EmbeddingBackendName(backend);
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = model_cache_.find(key);

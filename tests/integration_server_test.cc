@@ -2,6 +2,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -239,6 +240,41 @@ TEST_F(ServerTest, SecondIdenticalJobIsServedFromSharedCaches) {
   auto facts2 = HttpGet(kHost, port_, "/jobs/" + second + "/facts");
   ASSERT_TRUE(facts1.ok() && facts2.ok());
   EXPECT_EQ(facts1.value().body, facts2.value().body);
+}
+
+TEST_F(ServerTest, ChangingEmbeddingBackendMissesTheModelCache) {
+  // Regression: the model cache key must include the storage backend. It
+  // used to be data_dir+checkpoint only, so a server whose
+  // KGFD_EMBEDDING_BACKEND changed between requests would happily serve a
+  // model loaded under the old backend.
+  const char* saved = std::getenv("KGFD_EMBEDDING_BACKEND");
+  const std::string restore = saved != nullptr ? saved : "";
+  unsetenv("KGFD_EMBEDDING_BACKEND");
+
+  StartServer();
+  const std::string first = SubmitJob(JobConfig());
+  ASSERT_EQ(AwaitTerminal(first), "done");
+  EXPECT_EQ(MetricsCounter("server.model_cache.misses"), 1u);
+
+  setenv("KGFD_EMBEDDING_BACKEND", "mmap", 1);
+  const std::string second = SubmitJob(JobConfig());
+  const std::string state = AwaitTerminal(second);
+  if (saved != nullptr) {
+    setenv("KGFD_EMBEDDING_BACKEND", restore.c_str(), 1);
+  } else {
+    unsetenv("KGFD_EMBEDDING_BACKEND");
+  }
+  ASSERT_EQ(state, "done");
+
+  // Different backend: a fresh load (miss), not a cache hit...
+  EXPECT_EQ(MetricsCounter("server.model_cache.misses"), 2u);
+  EXPECT_EQ(MetricsCounter("server.model_cache.hits"), 0u);
+  // ...serving byte-identical facts — the backend stores the same floats.
+  auto facts1 = HttpGet(kHost, port_, "/jobs/" + first + "/facts");
+  auto facts2 = HttpGet(kHost, port_, "/jobs/" + second + "/facts");
+  ASSERT_TRUE(facts1.ok() && facts2.ok());
+  EXPECT_EQ(facts1.value().body, facts2.value().body);
+  EXPECT_FALSE(facts1.value().body.empty());
 }
 
 TEST_F(ServerTest, CancelMidJobKeepsPartialFactsAndManifest) {

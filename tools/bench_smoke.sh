@@ -41,6 +41,10 @@ for bin in "$BENCH_DIR"/bench_*; do
       args=(--entities 500 --relations 7 --dim 16 --queries 8 --repeats 1
             --out "$SCRATCH/pr6.json")
       ;;
+    bench_pr8_storage)
+      args=(--entities 2000 --relations 7 --dim 16 --queries 8 --repeats 1
+            --out "$SCRATCH/pr8.json")
+      ;;
     *)
       # Paper-figure/table harnesses share the bench_common flag set.
       # --scale DIVIDES the paper's dataset sizes, so bigger is smaller.
@@ -66,7 +70,7 @@ for bin in "$BENCH_DIR"/bench_*; do
     failures=$((failures + 1))
     continue
   fi
-  for json in "$SCRATCH"/pr2.json "$SCRATCH"/pr6.json; do
+  for json in "$SCRATCH"/pr2.json "$SCRATCH"/pr6.json "$SCRATCH"/pr8.json; do
     case "${args[*]}" in *"$json"*) ;; *) continue ;; esac
     if ! python3 -c '
 import json, sys
@@ -80,6 +84,24 @@ if not isinstance(record, dict) or not record:
     fi
   done
 done
+
+# The mmap storage backend gets a dedicated smoke assertion on top of the
+# bench_pr8_storage run above (which loads through BOTH backends): its
+# JSON record must report the backends bit-identical even at smoke scale.
+if [ -f "$SCRATCH/pr8.json" ]; then
+  total=$((total + 1))
+  printf '== bench_pr8_storage mmap identity check\n'
+  if python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    record = json.load(f)
+if record.get("mmap_scores_identical") is not True:
+    sys.exit("pr8.json: mmap scores diverged from ram")
+' "$SCRATCH/pr8.json"; then :; else
+    echo "FAILED: bench_pr8_storage mmap identity" >&2
+    failures=$((failures + 1))
+  fi
+fi
 
 echo "bench_smoke: $((total - failures))/$total benches ran clean"
 exit "$((failures > 0 ? 1 : 0))"

@@ -54,7 +54,10 @@ void PrintUsage() {
       "  budget (exit 124); Ctrl-C / SIGTERM also stop gracefully (exit\n"
       "  130), flushing partial facts, manifests and metrics first\n"
       "  every command accepts --failpoints 'site=spec;...' (or env\n"
-      "  KGFD_FAILPOINTS) to arm fault-injection sites; see TESTING.md\n");
+      "  KGFD_FAILPOINTS) to arm fault-injection sites; see TESTING.md\n"
+      "  eval/discover/run accept --embedding_backend ram|mmap (or env\n"
+      "  KGFD_EMBEDDING_BACKEND) to pick checkpoint storage: mmap maps\n"
+      "  the entity table zero-copy instead of copying it into RAM\n");
 }
 
 /// Writes the registry as JSON when --metrics_out is set.
@@ -469,6 +472,19 @@ int main(int argc, char** argv) {
   const kgfd::Status backend = kgfd::kernels::ValidateKernelBackendEnv();
   if (!backend.ok()) {
     std::fprintf(stderr, "%s\n", backend.ToString().c_str());
+    return 1;
+  }
+  // --embedding_backend ram|mmap overrides KGFD_EMBEDDING_BACKEND; the
+  // flag is exported to the environment so every LoadModel call site
+  // (including config-driven `run` jobs) resolves the same backend.
+  const std::string embedding_backend =
+      flags.value().GetString("embedding_backend", "");
+  if (!embedding_backend.empty()) {
+    setenv("KGFD_EMBEDDING_BACKEND", embedding_backend.c_str(), 1);
+  }
+  const kgfd::Status storage = kgfd::ValidateEmbeddingBackendEnv();
+  if (!storage.ok()) {
+    std::fprintf(stderr, "%s\n", storage.ToString().c_str());
     return 1;
   }
   const std::string failpoints =

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -100,7 +101,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     std::fprintf(stderr,
                  "usage: kgfd_server [--port N] [--bind ADDR] "
-                 "[--work_dir DIR] [--threads N] [--max_queued N]\n");
+                 "[--work_dir DIR] [--threads N] [--max_queued N] "
+                 "[--embedding_backend ram|mmap]\n");
     return 1;
   }
   // A typo'd kernel backend should be a startup error, not an abort the
@@ -108,6 +110,19 @@ int main(int argc, char** argv) {
   const kgfd::Status backend = kgfd::kernels::ValidateKernelBackendEnv();
   if (!backend.ok()) {
     std::fprintf(stderr, "%s\n", backend.ToString().c_str());
+    return 1;
+  }
+  // --embedding_backend ram|mmap overrides KGFD_EMBEDDING_BACKEND; job
+  // workers resolve the backend from the environment on every model load
+  // (and key the model cache by it).
+  const std::string embedding_backend =
+      flags.value().GetString("embedding_backend", "");
+  if (!embedding_backend.empty()) {
+    setenv("KGFD_EMBEDDING_BACKEND", embedding_backend.c_str(), 1);
+  }
+  const kgfd::Status storage = kgfd::ValidateEmbeddingBackendEnv();
+  if (!storage.ok()) {
+    std::fprintf(stderr, "%s\n", storage.ToString().c_str());
     return 1;
   }
   const std::string failpoints =

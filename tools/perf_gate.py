@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the BENCH_*.json perf-trajectory records.
 
-Compares the current run's BENCH_pr6.json (batch-kernel scoring throughput)
-and BENCH_pr2.json (parallel ranking speedup) against the committed
-baselines in bench/baselines/, and fails (exit 1) on:
+Compares the current run's BENCH_pr6.json (batch-kernel scoring
+throughput), BENCH_pr2.json (parallel ranking speedup) and BENCH_pr8.json
+(storage backends) against the committed baselines in bench/baselines/,
+and fails (exit 1) on:
 
   * a >``--tolerance`` (default 20%) drop in batch scoring throughput for
-    any model, or in parallel-ranking candidate throughput;
+    any model, or in parallel-ranking candidate throughput, or in pr8
+    float/int8 ranking throughput;
   * ``batch_speedup`` below ``--min-batch-speedup`` (default 5.0) for any
     model — the machine-independent contract of the batch kernels;
   * ``ranking_speedup`` below ``--min-ranking-speedup`` (default 1.0);
-  * ``scores_match`` / ``facts_identical`` false — a kernel that got fast
-    by going wrong is a correctness bug, not a perf win.
+  * ``cold_start_speedup`` below ``--min-mmap-speedup`` (default 10.0) —
+    an mmap load that reads the whole file has lost its reason to exist;
+  * ``int8_ranking_ratio`` below ``--min-int8-ratio`` (default 1.0) —
+    quantized ranking may never be slower than float;
+  * ``scores_match`` / ``facts_identical`` / ``mmap_scores_identical``
+    false — a kernel that got fast by going wrong is a correctness bug,
+    not a perf win.
 
 Absolute-throughput comparisons are hardware-sensitive, so they are only
 enforced when the run is comparable to the baseline: same
@@ -24,6 +31,7 @@ Usage (CI):
   python3 tools/perf_gate.py \
     --pr6 BENCH_pr6.json --pr6-baseline bench/baselines/BENCH_pr6.json \
     --pr2 BENCH_pr2.json --pr2-baseline bench/baselines/BENCH_pr2.json \
+    --pr8 BENCH_pr8.json --pr8-baseline bench/baselines/BENCH_pr8.json \
     --summary perf_trend.md
 
 Self-check (run by ctest as perf_gate_selftest):
@@ -37,10 +45,13 @@ import sys
 
 
 class Gate:
-    def __init__(self, tolerance, min_batch_speedup, min_ranking_speedup):
+    def __init__(self, tolerance, min_batch_speedup, min_ranking_speedup,
+                 min_mmap_speedup=10.0, min_int8_ratio=1.0):
         self.tolerance = tolerance
         self.min_batch_speedup = min_batch_speedup
         self.min_ranking_speedup = min_ranking_speedup
+        self.min_mmap_speedup = min_mmap_speedup
+        self.min_int8_ratio = min_int8_ratio
         self.rows = []  # (check, baseline, current, delta, verdict)
         self.failures = []
         self.warnings = []
@@ -129,6 +140,41 @@ class Gate:
         self.check_throughput("pr2.candidates_per_s", base_tput, cur_tput,
                               comparable)
 
+    def gate_pr8(self, current, baseline):
+        self.check_flag("pr8.mmap_scores_identical",
+                        current.get("mmap_scores_identical"))
+        cold = current.get("cold_start", {})
+        rank = current.get("ranking", {})
+        if not (self.require(cold, ["cold_start_speedup"], "pr8.cold_start")
+                and self.require(rank, ["float_mscores_per_s",
+                                        "int8_mscores_per_s",
+                                        "int8_ranking_ratio"],
+                                 "pr8.ranking")):
+            return
+        # Machine-independent ratios: always enforced. The mmap load
+        # validates O(header) bytes while ram reads and copies the file,
+        # so the speedup scales with checkpoint size; 10x is far below
+        # what any healthy run measures on the default 15 MiB checkpoint.
+        self.check_floor("pr8.cold_start_speedup",
+                         cold["cold_start_speedup"], self.min_mmap_speedup)
+        self.check_floor("pr8.int8_ranking_ratio",
+                         rank["int8_ranking_ratio"], self.min_int8_ratio)
+        comparable = current.get("kernel_backend") == baseline.get(
+            "kernel_backend")
+        if not comparable:
+            self.warnings.append(
+                "pr8: kernel_backend differs from baseline "
+                f"({current.get('kernel_backend')} vs "
+                f"{baseline.get('kernel_backend')}); absolute throughput "
+                "not compared")
+        base_rank = baseline.get("ranking", {})
+        for key in ("float_mscores_per_s", "int8_mscores_per_s"):
+            if key not in base_rank:
+                self.failures.append(f"pr8.{key}: missing from baseline")
+                continue
+            self.check_throughput(f"pr8.{key}", base_rank[key], rank[key],
+                                  comparable)
+
     def summary_markdown(self):
         lines = ["# Perf trend", "",
                  "| check | baseline / floor | current | delta | verdict |",
@@ -196,12 +242,22 @@ def self_test():
         "parallel_ranking_seconds": 0.05,
         "ranking_speedup": 2.0,
     }
+    pr8 = {
+        "kernel_backend": "avx2",
+        "mmap_scores_identical": True,
+        "cold_start": {"cold_start_speedup": 100.0},
+        "ranking": {"float_mscores_per_s": 60.0,
+                    "int8_mscores_per_s": 65.0,
+                    "int8_ranking_ratio": 1.08},
+    }
 
-    def run(cur6, base6, cur2, base2):
+    def run(cur6, base6, cur2, base2, cur8=None, base8=None):
         g = Gate(tolerance=0.20, min_batch_speedup=5.0,
                  min_ranking_speedup=1.0)
         g.gate_pr6(cur6, base6)
         g.gate_pr2(cur2, base2)
+        g.gate_pr8(cur8 if cur8 is not None else pr8,
+                   base8 if base8 is not None else pr8)
         return g
 
     # Identical current and baseline passes.
@@ -284,10 +340,50 @@ def self_test():
         finally:
             os.unlink(path)
 
+    # An mmap load no faster than ram fails the pr8 floor.
+    slow_mmap = copy.deepcopy(pr8)
+    slow_mmap["cold_start"]["cold_start_speedup"] = 1.2
+    g = run(pr6, pr6, pr2, pr2, slow_mmap, pr8)
+    assert any("cold_start_speedup" in f for f in g.failures), g.failures
+
+    # int8 ranking slower than float fails even against its own baseline.
+    slow_int8 = copy.deepcopy(pr8)
+    slow_int8["ranking"]["int8_ranking_ratio"] = 0.8
+    g = run(pr6, pr6, pr2, pr2, slow_int8, slow_int8)
+    assert any("int8_ranking_ratio" in f for f in g.failures), g.failures
+
+    # mmap/ram score divergence is a hard failure regardless of speed.
+    diverged = copy.deepcopy(pr8)
+    diverged["mmap_scores_identical"] = False
+    g = run(pr6, pr6, pr2, pr2, diverged, pr8)
+    assert any("mmap_scores_identical" in f for f in g.failures), g.failures
+
+    # A 30% ranking-throughput drop vs baseline fails...
+    pr8_slow = copy.deepcopy(pr8)
+    pr8_slow["ranking"]["float_mscores_per_s"] = 40.0
+    pr8_slow["ranking"]["int8_mscores_per_s"] = 43.2
+    g = run(pr6, pr6, pr2, pr2, pr8_slow, pr8)
+    assert any("float_mscores_per_s" in f for f in g.failures), g.failures
+
+    # ...unless the kernel backend differs (ratios still enforced).
+    pr8_portable = copy.deepcopy(pr8_slow)
+    pr8_portable["kernel_backend"] = "portable"
+    g = run(pr6, pr6, pr2, pr2, pr8_portable, pr8)
+    assert not g.failures, g.failures
+    assert any("pr8" in w for w in g.warnings), g.warnings
+
+    # Gutted pr8 records fail with a named key, not a KeyError.
+    hollow8 = copy.deepcopy(pr8)
+    del hollow8["cold_start"]["cold_start_speedup"]
+    g = run(pr6, pr6, pr2, pr2, hollow8, pr8)
+    assert any("cold_start_speedup" in f and "missing" in f
+               for f in g.failures), g.failures
+
     # Markdown summary renders every check row.
     g = run(pr6, pr6, pr2, pr2)
     md = g.summary_markdown()
     assert "pr6.TransE.batch_speedup" in md and "PASS" in md
+    assert "pr8.cold_start_speedup" in md
 
     print("perf_gate self-test: all checks behave as specified")
     return 0
@@ -299,9 +395,13 @@ def main():
     parser.add_argument("--pr6-baseline")
     parser.add_argument("--pr2")
     parser.add_argument("--pr2-baseline")
+    parser.add_argument("--pr8")
+    parser.add_argument("--pr8-baseline")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-batch-speedup", type=float, default=5.0)
     parser.add_argument("--min-ranking-speedup", type=float, default=1.0)
+    parser.add_argument("--min-mmap-speedup", type=float, default=10.0)
+    parser.add_argument("--min-int8-ratio", type=float, default=1.0)
     parser.add_argument("--summary", help="write a markdown trend summary")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
@@ -310,13 +410,16 @@ def main():
         return self_test()
 
     gate = Gate(args.tolerance, args.min_batch_speedup,
-                args.min_ranking_speedup)
+                args.min_ranking_speedup, args.min_mmap_speedup,
+                args.min_int8_ratio)
     if args.pr6:
         gate.gate_pr6(load(args.pr6), load(args.pr6_baseline))
     if args.pr2:
         gate.gate_pr2(load(args.pr2), load(args.pr2_baseline))
-    if not args.pr6 and not args.pr2:
-        parser.error("nothing to gate: pass --pr6 and/or --pr2")
+    if args.pr8:
+        gate.gate_pr8(load(args.pr8), load(args.pr8_baseline))
+    if not args.pr6 and not args.pr2 and not args.pr8:
+        parser.error("nothing to gate: pass --pr6, --pr2 and/or --pr8")
     if args.summary:
         with open(args.summary, "w") as f:
             f.write(gate.summary_markdown())

@@ -7,7 +7,9 @@
 #      run with the same options on the same artifacts;
 #   2. a second identical job is served from the shared caches (asserted
 #      via /metrics counters, and again byte-identical);
-#   3. SIGTERM drains gracefully and the server exits 0.
+#   3. SIGTERM drains gracefully and the server exits 0;
+#   4. the whole stack rerun under the mmap embedding backend (with full
+#      payload verification) serves the same bytes as the ram run.
 #
 # Usage: tools/server_smoke.sh [BUILD_DIR]   (default: build)
 set -u
@@ -118,4 +120,40 @@ SRVPID=""
 [ "$STATUS" -eq 0 ] || fail "SIGTERM drain exited $STATUS (want 0)"
 grep -q "kgfd_server exiting" server.log || fail "missing drain log line"
 
-echo "server_smoke: OK (facts byte-identical, caches hit, clean drain)"
+# Contract 4: the mmap embedding backend is invisible in the output. Run
+# the CLI and a fresh server with --embedding_backend mmap (plus full
+# payload verification) and demand the same bytes as the ram run above.
+KGFD_MMAP_VERIFY=1 "$CLI" discover --data data --checkpoint model.bin \
+  --embedding_backend mmap --top_n 50 --max_candidates 100 \
+  --out cli_facts_mmap.tsv >/dev/null 2>&1 ||
+  fail "kgfd_cli discover --embedding_backend mmap"
+cmp -s cli_facts.tsv cli_facts_mmap.tsv ||
+  fail "mmap-backend CLI facts differ from ram-backend facts"
+
+KGFD_MMAP_VERIFY=1 "$SRV" --port 0 --work_dir jobs_mmap \
+  --embedding_backend mmap >server.log 2>&1 &
+SRVPID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' server.log)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SRVPID" 2>/dev/null || fail "mmap server died on startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "mmap server never printed its listening port"
+BASE="http://127.0.0.1:$PORT"
+
+ID3="$(submit_and_wait)" || exit 1
+curl -fsS "$BASE/jobs/$ID3/facts" >http_facts_mmap.tsv ||
+  fail "GET facts ($ID3, mmap)"
+cmp -s cli_facts.tsv http_facts_mmap.tsv ||
+  fail "facts from mmap-backend job $ID3 differ from ram-backend output"
+
+kill -TERM "$SRVPID"
+wait "$SRVPID"
+STATUS=$?
+SRVPID=""
+[ "$STATUS" -eq 0 ] || fail "mmap server SIGTERM drain exited $STATUS"
+
+echo "server_smoke: OK (facts byte-identical, caches hit, clean drain," \
+  "mmap backend identical)"
