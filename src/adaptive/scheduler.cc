@@ -1,0 +1,119 @@
+#include "adaptive/scheduler.h"
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kgfd {
+
+std::vector<SamplingStrategy> AdaptiveArmStrategies() {
+  std::vector<SamplingStrategy> arms = ComparativeStrategies();
+  arms.push_back(SamplingStrategy::kModelScore);
+  return arms;
+}
+
+BanditScheduler::BanditScheduler(std::vector<SamplingStrategy> arms,
+                                 const BanditOptions& options)
+    : arms_(std::move(arms)),
+      rounds_(options.rounds),
+      exploration_(options.exploration),
+      remaining_(options.total_budget),
+      rng_(options.seed),
+      plays_(arms_.size(), 0),
+      granted_(arms_.size(), 0),
+      reward_sum_(arms_.size(), 0.0),
+      metrics_(options.metrics) {
+  if (metrics_ != nullptr) {
+    rounds_counter_ = metrics_->GetCounter(kAdaptiveRoundsCounter);
+    budget_counters_.reserve(arms_.size());
+    reward_hists_.reserve(arms_.size());
+    cost_hists_.reserve(arms_.size());
+    for (SamplingStrategy arm : arms_) {
+      const std::string name = SamplingStrategyName(arm);
+      budget_counters_.push_back(
+          metrics_->GetCounter(kAdaptiveBudgetPrefix + name));
+      reward_hists_.push_back(
+          metrics_->GetHistogram(kAdaptiveRewardPrefix + name));
+      cost_hists_.push_back(metrics_->GetHistogram(kAdaptiveCostPrefix + name));
+    }
+  }
+}
+
+BanditScheduler::RoundPlan BanditScheduler::NextRound() {
+  RoundPlan plan;
+  plan.round = next_round_;
+
+  // Initialization phase: play every arm once, in arm order — the standard
+  // UCB1 opening, and deterministic by construction.
+  size_t chosen = arms_.size();
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    if (plays_[i] == 0) {
+      chosen = i;
+      break;
+    }
+  }
+  if (chosen == arms_.size()) {
+    // UCB1: argmax of mean + c * sqrt(ln N / n_i). Exact ties (e.g. two
+    // arms with identical reward histories) break via the seeded stream so
+    // no arm is structurally starved; the draw is consumed only on a tie,
+    // and the tie set is itself deterministic, so the sequence stays
+    // reproducible.
+    double best = -1.0;
+    std::vector<size_t> tied;
+    for (size_t i = 0; i < arms_.size(); ++i) {
+      const double mean =
+          reward_sum_[i] / static_cast<double>(plays_[i]);
+      const double bonus =
+          exploration_ *
+          std::sqrt(std::log(static_cast<double>(total_plays_)) /
+                    static_cast<double>(plays_[i]));
+      const double ucb = mean + bonus;
+      if (ucb > best) {
+        best = ucb;
+        tied.assign(1, i);
+      } else if (ucb == best) {
+        tied.push_back(i);
+      }
+    }
+    chosen = tied.size() == 1
+                 ? tied.front()
+                 : tied[rng_.UniformInt(tied.size())];
+  }
+  plan.arm = chosen;
+
+  // Even split of what's left over the rounds that remain (ceiling
+  // division), so the quotas sum to exactly the original budget and every
+  // scheduled round gets at least one candidate while budget lasts.
+  const size_t rounds_left = rounds_ - next_round_;
+  plan.quota = (remaining_ + rounds_left - 1) / rounds_left;
+  remaining_ -= plan.quota;
+  granted_[chosen] += plan.quota;
+  ++next_round_;
+
+  if (metrics_ != nullptr) {
+    rounds_counter_->Increment();
+    budget_counters_[chosen]->Increment(plan.quota);
+  }
+  return plan;
+}
+
+void BanditScheduler::Report(const RoundPlan& plan, size_t candidates_scored,
+                             size_t facts_accepted, double ranking_seconds) {
+  const double reward =
+      candidates_scored > 0
+          ? static_cast<double>(facts_accepted) /
+                static_cast<double>(candidates_scored)
+          : 0.0;
+  ++plays_[plan.arm];
+  ++total_plays_;
+  reward_sum_[plan.arm] += reward;
+  if (metrics_ != nullptr) {
+    reward_hists_[plan.arm]->Observe(reward);
+    // Wall-clock cost is deliberately observability-only: feeding it into
+    // the allocation would make the schedule thread-count dependent.
+    cost_hists_[plan.arm]->Observe(ranking_seconds);
+  }
+}
+
+}  // namespace kgfd

@@ -1,0 +1,115 @@
+#ifndef KGFD_ADAPTIVE_SCHEDULER_H_
+#define KGFD_ADAPTIVE_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace kgfd {
+
+class MetricsRegistry;
+class Counter;
+class HistogramMetric;
+
+/// Metric names the scheduler records when constructed with a registry.
+/// The per-strategy series are suffixed with the canonical strategy name,
+/// e.g. "adaptive.budget.ENTITY_FREQUENCY".
+inline constexpr char kAdaptiveRoundsCounter[] = "adaptive.rounds";
+inline constexpr char kAdaptiveBudgetPrefix[] = "adaptive.budget.";
+inline constexpr char kAdaptiveRewardPrefix[] = "adaptive.reward.";
+inline constexpr char kAdaptiveCostPrefix[] = "adaptive.cost.";
+
+/// The arm set of strategy=ADAPTIVE discovery: the paper's five comparative
+/// strategies plus the model-score-sketch extension, so the bandit chooses
+/// among exactly the columns of the comparative tables.
+std::vector<SamplingStrategy> AdaptiveArmStrategies();
+
+/// Configuration of one per-relation bandit run.
+struct BanditOptions {
+  /// Number of budget rounds max_candidates is split into.
+  size_t rounds = 8;
+  /// UCB1 exploration constant c in  mean + c * sqrt(ln(N) / n_i).
+  double exploration = 0.5;
+  /// Seeds the tie-break stream. Every (seed, report sequence) pair yields
+  /// one deterministic arm sequence, independent of wall clock or threads.
+  uint64_t seed = 0;
+  /// Total candidate budget to split across rounds (max_candidates).
+  size_t total_budget = 500;
+  /// When set, allocation and reward series are recorded (names above).
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-relation UCB1 budget scheduler: splits a candidate budget into
+/// `rounds` rounds and picks the sampling strategy for each round from the
+/// observed reward (accepted facts per candidate scored) of earlier rounds.
+///
+/// Determinism contract: the arm sequence is a pure function of
+/// (arms, options.seed, the reported (candidates, facts) sequence). Wall
+/// time is observability only — Report() records ranking seconds into the
+/// metrics registry but never feeds them into the allocation decision, so
+/// the schedule is bit-identical across thread counts and across a
+/// checkpoint/replay cycle (resume replays Report() from the manifest and
+/// the scheduler re-derives the same remaining schedule).
+class BanditScheduler {
+ public:
+  BanditScheduler(std::vector<SamplingStrategy> arms,
+                  const BanditOptions& options);
+
+  /// One round's allocation.
+  struct RoundPlan {
+    size_t round = 0;  ///< 0-based round number
+    size_t arm = 0;    ///< index into arms()
+    size_t quota = 0;  ///< candidate budget granted to this round
+  };
+
+  /// True when every round ran or the budget is exhausted.
+  bool Done() const { return next_round_ >= rounds_ || remaining_ == 0; }
+
+  /// Selects the next round's arm (UCB1: each arm once, then argmax of
+  /// mean + c*sqrt(ln N / n_i), seeded-RNG tie-break) and grants it an
+  /// even share of the remaining budget. Call exactly once per round,
+  /// followed by exactly one Report() for the returned plan.
+  RoundPlan NextRound();
+
+  /// Feeds the round's outcome back: reward is
+  /// facts_accepted / candidates_scored (0 when nothing was scored).
+  /// `ranking_seconds` is recorded as the round's cost metric only.
+  void Report(const RoundPlan& plan, size_t candidates_scored,
+              size_t facts_accepted, double ranking_seconds);
+
+  const std::vector<SamplingStrategy>& arms() const { return arms_; }
+  size_t rounds() const { return rounds_; }
+  size_t remaining_budget() const { return remaining_; }
+  size_t plays(size_t arm) const { return plays_[arm]; }
+  size_t budget_granted(size_t arm) const { return granted_[arm]; }
+  double mean_reward(size_t arm) const {
+    return plays_[arm] > 0
+               ? reward_sum_[arm] / static_cast<double>(plays_[arm])
+               : 0.0;
+  }
+
+ private:
+  std::vector<SamplingStrategy> arms_;
+  size_t rounds_;
+  double exploration_;
+  size_t remaining_;
+  size_t next_round_ = 0;
+  size_t total_plays_ = 0;
+  Rng rng_;
+  std::vector<size_t> plays_;
+  std::vector<size_t> granted_;
+  std::vector<double> reward_sum_;
+
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* rounds_counter_ = nullptr;
+  std::vector<Counter*> budget_counters_;
+  std::vector<HistogramMetric*> reward_hists_;
+  std::vector<HistogramMetric*> cost_hists_;
+};
+
+}  // namespace kgfd
+
+#endif  // KGFD_ADAPTIVE_SCHEDULER_H_

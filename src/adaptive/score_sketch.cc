@@ -1,0 +1,134 @@
+#include "adaptive/score_sketch.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "kge/kernels.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+/// Credits the top_k entities of one scoring pass into `weight`, breaking
+/// score ties by entity id so the sketch is independent of sort internals.
+void AccumulateTopK(const std::vector<double>& scores, size_t top_k,
+                    std::vector<double>* weight) {
+  const size_t n = scores.size();
+  const size_t k = std::min(top_k, n);
+  std::vector<EntityId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&scores](EntityId a, EntityId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  for (size_t pos = 0; pos < k; ++pos) {
+    (*weight)[order[pos]] +=
+        static_cast<double>(k - pos) / static_cast<double>(k);
+  }
+}
+
+/// Runs `queries` through the model's batch API in kQueryBlock blocks and
+/// folds each pass's top-k into `weight`. Accumulation is serial and in
+/// query order, so the result is deterministic regardless of how the
+/// kernels tile the scoring internally.
+void SweepSide(const Model& model, bool object_side,
+               const std::vector<SideQuery>& queries, size_t top_k,
+               std::vector<double>* weight) {
+  std::vector<std::vector<double>> block_scores(kernels::kQueryBlock);
+  std::vector<std::vector<double>*> outs(kernels::kQueryBlock);
+  for (size_t i = 0; i < kernels::kQueryBlock; ++i) {
+    outs[i] = &block_scores[i];
+  }
+  for (size_t begin = 0; begin < queries.size();
+       begin += kernels::kQueryBlock) {
+    const size_t count =
+        std::min(kernels::kQueryBlock, queries.size() - begin);
+    if (object_side) {
+      model.ScoreObjectsBatch(queries.data() + begin, count, outs.data());
+    } else {
+      model.ScoreSubjectsBatch(queries.data() + begin, count, outs.data());
+    }
+    for (size_t q = 0; q < count; ++q) {
+      AccumulateTopK(block_scores[q], top_k, weight);
+    }
+  }
+}
+
+}  // namespace
+
+Result<ScoreSketch> ComputeScoreSketch(const Model& model,
+                                       const TripleStore& kg,
+                                       const ScoreSketchOptions& options) {
+  if (kg.size() == 0) {
+    return Status::InvalidArgument(
+        "cannot compute a score sketch on an empty KG");
+  }
+  if (options.num_probes == 0 || options.top_k == 0) {
+    return Status::InvalidArgument(
+        "score sketch num_probes and top_k must be > 0");
+  }
+  KGFD_RETURN_NOT_OK(
+      ValidateModelShape(model, kg.num_entities(), kg.num_relations()));
+
+  // Probe triples: sampled with replacement from the training triples under
+  // the sketch's own fixed seed. Sampling real (s, r) / (r, o) contexts
+  // keeps every pass on-distribution — probing random id pairs would mostly
+  // measure score noise on contexts the model never trained on.
+  Rng rng(options.seed);
+  const std::vector<Triple>& triples = kg.triples();
+  std::vector<SideQuery> object_queries(options.num_probes);
+  std::vector<SideQuery> subject_queries(options.num_probes);
+  for (size_t i = 0; i < options.num_probes; ++i) {
+    const Triple& probe = triples[rng.UniformInt(triples.size())];
+    object_queries[i] = SideQuery{probe.subject, probe.relation};
+    subject_queries[i] = SideQuery{probe.object, probe.relation};
+  }
+
+  ScoreSketch sketch;
+  sketch.num_probes = options.num_probes;
+  sketch.top_k = options.top_k;
+  sketch.subject_weight.assign(kg.num_entities(), 0.0);
+  sketch.object_weight.assign(kg.num_entities(), 0.0);
+  // Object-side passes score (s, r, o') for all o' — they tell us which
+  // entities the model likes as *objects*, and vice versa.
+  SweepSide(model, /*object_side=*/true, object_queries, options.top_k,
+            &sketch.object_weight);
+  SweepSide(model, /*object_side=*/false, subject_queries, options.top_k,
+            &sketch.subject_weight);
+  return sketch;
+}
+
+StrategyWeights ModelScoreWeights(const ScoreSketch& sketch) {
+  StrategyWeights w;
+  const size_t n = sketch.subject_weight.size();
+  w.subject_pool.resize(n);
+  std::iota(w.subject_pool.begin(), w.subject_pool.end(), 0);
+  w.object_pool = w.subject_pool;
+  auto normalize = [&w](const std::vector<double>& raw,
+                        std::vector<double>* out) {
+    const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+    if (total <= 0.0) {
+      out->assign(raw.size(), 1.0 / static_cast<double>(raw.size()));
+      w.fell_back_to_uniform = true;
+    } else {
+      out->resize(raw.size());
+      for (size_t i = 0; i < raw.size(); ++i) (*out)[i] = raw[i] / total;
+    }
+  };
+  normalize(sketch.subject_weight, &w.subject_weights);
+  normalize(sketch.object_weight, &w.object_weights);
+  return w;
+}
+
+Result<StrategyWeights> ComputeModelScoreWeights(
+    const Model& model, const TripleStore& kg,
+    const ScoreSketchOptions& options) {
+  KGFD_ASSIGN_OR_RETURN(const ScoreSketch sketch,
+                        ComputeScoreSketch(model, kg, options));
+  return ModelScoreWeights(sketch);
+}
+
+}  // namespace kgfd

@@ -1,0 +1,65 @@
+#ifndef KGFD_ADAPTIVE_SCORE_SKETCH_H_
+#define KGFD_ADAPTIVE_SCORE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "kg/triple_store.h"
+#include "kge/model.h"
+#include "util/status.h"
+
+namespace kgfd {
+
+/// Controls the MODEL_SCORE sketch precompute. The defaults are what every
+/// production caller uses: the sketch must be a pure function of
+/// (model, KG) so DiscoveryCache can key it by fingerprint alone, which is
+/// why the probe seed is a fixed constant rather than the run seed.
+struct ScoreSketchOptions {
+  /// Probe queries drawn per side; each probe is one full scoring pass.
+  size_t num_probes = 64;
+  /// Entities credited per probe pass (weight (top_k - position) / top_k).
+  size_t top_k = 32;
+  /// Seed of the probe-selection stream. Fixed so two runs over the same
+  /// (model, KG) build byte-identical sketches.
+  uint64_t seed = 0x5ce7c4b1d2a8f00dULL;
+};
+
+/// Compact per-entity summary of where the model concentrates its score
+/// mass: `num_probes` training triples are drawn deterministically, each
+/// contributes one object-side pass (s, r, ·) and one subject-side pass
+/// (·, r, o) through the batch scoring kernels, and each pass credits its
+/// top_k entities with linearly decaying weight. Entities the model never
+/// surfaces stay at zero.
+struct ScoreSketch {
+  std::vector<double> subject_weight;  ///< per entity, unnormalized
+  std::vector<double> object_weight;   ///< per entity, unnormalized
+  size_t num_probes = 0;
+  size_t top_k = 0;
+};
+
+/// Builds the sketch with one batched scoring sweep per side. Deterministic
+/// in (model, KG, options): probe order, tie-breaks (score descending, then
+/// entity id ascending) and accumulation order are all fixed.
+/// InvalidArgument on an empty KG.
+Result<ScoreSketch> ComputeScoreSketch(const Model& model,
+                                       const TripleStore& kg,
+                                       const ScoreSketchOptions& options = {});
+
+/// Converts a sketch into SamplingStrategy-shaped weights over the full
+/// entity pool (the MODEL_SCORE strategy): per-side normalized sketch
+/// weights, falling back to uniform when a side's sketch is identically
+/// zero. Composes with type_filter exactly like every other strategy —
+/// filtering happens on the generated candidates, not the pool.
+StrategyWeights ModelScoreWeights(const ScoreSketch& sketch);
+
+/// ComputeScoreSketch + ModelScoreWeights in one call — the seam
+/// DiscoveryCache and DiscoverFacts use.
+Result<StrategyWeights> ComputeModelScoreWeights(
+    const Model& model, const TripleStore& kg,
+    const ScoreSketchOptions& options = {});
+
+}  // namespace kgfd
+
+#endif  // KGFD_ADAPTIVE_SCORE_SKETCH_H_

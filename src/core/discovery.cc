@@ -5,6 +5,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "adaptive/scheduler.h"
+#include "adaptive/score_sketch.h"
 #include "core/discovery_cache.h"
 #include "core/side_score_cache.h"
 #include "core/type_filter.h"
@@ -87,6 +89,18 @@ Status ValidateDiscoveryOptions(const DiscoveryOptions& options,
   }
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be > 0");
+  }
+  if (options.strategy == SamplingStrategy::kAdaptive) {
+    if (options.adaptive_rounds == 0) {
+      return Status::InvalidArgument(
+          "adaptive_rounds must be > 0 for strategy=ADAPTIVE");
+    }
+    // Negated >= so a NaN (never >= 0) is rejected instead of silently
+    // poisoning every UCB comparison.
+    if (!(options.adaptive_exploration >= 0.0)) {
+      return Status::InvalidArgument(
+          "adaptive_exploration must be >= 0 for strategy=ADAPTIVE");
+    }
   }
   for (RelationId r : options.relations) {
     if (r >= kg.num_relations()) {
@@ -205,12 +219,18 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     return false;
   };
 
+  const bool adaptive = options.strategy == SamplingStrategy::kAdaptive;
+  const bool model_score = options.strategy == SamplingStrategy::kModelScore;
+
   // Optional weight-caching ablation: hoist line 7 out of the loop. A
   // shared DiscoveryCache hoists as well — it already guarantees one
   // computation per strategy across runs, so the recompute-per-relation
   // semantics of cache_weights=false would only repeat a cache lookup.
-  const bool hoist_weights =
-      options.cache_weights || options.shared_cache != nullptr;
+  // MODEL_SCORE always hoists: its sketch depends only on (model, KG), so a
+  // per-relation recompute would repeat the probe sweep for identical
+  // weights. ADAPTIVE hoists its whole arm set below for the same reason.
+  const bool hoist_weights = options.cache_weights ||
+                             options.shared_cache != nullptr || model_score;
   StrategyWeights hoisted_weights;
   AliasSampler hoisted_subject_sampler;
   AliasSampler hoisted_object_sampler;
@@ -221,23 +241,78 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
   const AliasSampler* hoisted_subject_ptr = &hoisted_subject_sampler;
   const AliasSampler* hoisted_object_ptr = &hoisted_object_sampler;
   double hoisted_weight_seconds = 0.0;
-  if (options.shared_cache != nullptr) {
+  if (!adaptive && options.shared_cache != nullptr) {
     ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
     KGFD_ASSIGN_OR_RETURN(
         shared_weights,
-        options.shared_cache->GetOrComputeWeights(options.strategy, kg));
+        model_score
+            ? options.shared_cache->GetOrComputeModelScoreWeights(model, kg)
+            : options.shared_cache->GetOrComputeWeights(options.strategy, kg));
     hoisted_weights_ptr = &shared_weights->weights;
     hoisted_subject_ptr = &shared_weights->subject_sampler;
     hoisted_object_ptr = &shared_weights->object_sampler;
     hoisted_weight_seconds = weight_span.Stop();
-  } else if (options.cache_weights) {
+  } else if (!adaptive && (options.cache_weights || model_score)) {
     ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
     KGFD_ASSIGN_OR_RETURN(hoisted_weights,
-                          ComputeStrategyWeights(options.strategy, kg));
+                          model_score
+                              ? ComputeModelScoreWeights(model, kg)
+                              : ComputeStrategyWeights(options.strategy, kg));
     KGFD_ASSIGN_OR_RETURN(hoisted_subject_sampler,
                           AliasSampler::Build(hoisted_weights.subject_weights));
     KGFD_ASSIGN_OR_RETURN(hoisted_object_sampler,
                           AliasSampler::Build(hoisted_weights.object_weights));
+    hoisted_weight_seconds = weight_span.Stop();
+  }
+
+  // ADAPTIVE: precompute every arm's weights + samplers once per sweep. The
+  // bandit may grant any arm any round, so all six must exist before the
+  // relation loop starts; per-relation recomputes (faithful mode) would
+  // multiply the most expensive metric sweeps by the relation count for
+  // byte-identical results. Pointers are bound in a second loop because
+  // push_back would otherwise move `owned` out from under them.
+  struct ArmState {
+    std::shared_ptr<const DiscoveryCache::WeightsEntry> shared;
+    DiscoveryCache::WeightsEntry owned;
+    const StrategyWeights* weights = nullptr;
+    const AliasSampler* subject_sampler = nullptr;
+    const AliasSampler* object_sampler = nullptr;
+  };
+  const std::vector<SamplingStrategy> arm_strategies =
+      adaptive ? AdaptiveArmStrategies() : std::vector<SamplingStrategy>{};
+  std::vector<ArmState> arms(arm_strategies.size());
+  if (adaptive) {
+    ScopedSpan weight_span(metrics, kDiscoveryWeightsSpan);
+    for (size_t a = 0; a < arm_strategies.size(); ++a) {
+      const SamplingStrategy s = arm_strategies[a];
+      ArmState& arm = arms[a];
+      if (options.shared_cache != nullptr) {
+        KGFD_ASSIGN_OR_RETURN(
+            arm.shared,
+            s == SamplingStrategy::kModelScore
+                ? options.shared_cache->GetOrComputeModelScoreWeights(model,
+                                                                      kg)
+                : options.shared_cache->GetOrComputeWeights(s, kg));
+      } else {
+        KGFD_ASSIGN_OR_RETURN(arm.owned.weights,
+                              s == SamplingStrategy::kModelScore
+                                  ? ComputeModelScoreWeights(model, kg)
+                                  : ComputeStrategyWeights(s, kg));
+        KGFD_ASSIGN_OR_RETURN(
+            arm.owned.subject_sampler,
+            AliasSampler::Build(arm.owned.weights.subject_weights));
+        KGFD_ASSIGN_OR_RETURN(
+            arm.owned.object_sampler,
+            AliasSampler::Build(arm.owned.weights.object_weights));
+      }
+    }
+    for (ArmState& arm : arms) {
+      const DiscoveryCache::WeightsEntry& entry =
+          arm.shared != nullptr ? *arm.shared : arm.owned;
+      arm.weights = &entry.weights;
+      arm.subject_sampler = &entry.subject_sampler;
+      arm.object_sampler = &entry.object_sampler;
+    }
     hoisted_weight_seconds = weight_span.Stop();
   }
 
@@ -483,10 +558,295 @@ Result<DiscoveryResult> DiscoverFacts(const Model& model,
     }
   };
 
+  // ADAPTIVE: the same relation contract (all-or-nothing outcome slot, own
+  // seed-derived RNG streams, bit-identical across thread counts), but the
+  // candidate budget is played out in bandit rounds. Each round samples with
+  // the granted arm's weights from a round-specific RNG stream, ranks only
+  // its own candidates, and feeds accepted-facts-per-candidate back into the
+  // scheduler; the relation's SideScoreCache persists across rounds so
+  // repeated (entity, relation) pairs never re-score. Rounds — not
+  // relations — are the checkpoint unit: each finished live round fires
+  // on_round_complete, and a resumed run replays the recorded rounds
+  // through the scheduler (verifying the arm sequence) before playing the
+  // rest live.
+  auto process_relation_adaptive = [&](size_t index) {
+    const RelationId r = relations[index];
+    RelationOutcome& out = outcomes[index];
+    if (checkpoint_stop()) return;  // relation-boundary checkpoint
+    out.status = FailPoints::Instance().Evaluate(kFailPointDiscoveryRelation);
+    if (!out.status.ok()) return;
+
+    const uint64_t relation_seed =
+        options.seed ^
+        (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(r) + 1));
+
+    BanditOptions bandit_options;
+    bandit_options.rounds = options.adaptive_rounds;
+    bandit_options.exploration = options.adaptive_exploration;
+    bandit_options.seed = relation_seed;
+    bandit_options.total_budget = options.max_candidates;
+    bandit_options.metrics = metrics;
+    BanditScheduler scheduler(arm_strategies, bandit_options);
+
+    const std::vector<AdaptiveRoundRecord>* restored = nullptr;
+    if (options.adaptive_resume != nullptr) {
+      auto it = options.adaptive_resume->rounds.find(r);
+      if (it != options.adaptive_resume->rounds.end()) restored = &it->second;
+    }
+
+    SideScoreCache score_cache;  // shared by every round of this relation
+    std::unordered_set<uint64_t> fact_seen;  // cross-round dedup, first wins
+    size_t live_candidates = 0;   // candidates scored by live rounds
+    size_t unique_entries = 0;    // first-touch score entries, live rounds
+
+    // Candidate generation for one round. Deduplicates against every earlier
+    // round of this relation — the same whole-relation contract as the fixed
+    // path — so repeat draws from a favored arm keep producing fresh
+    // candidates instead of burning quota on triples an earlier round
+    // already ranked. The output (and the dedup set's evolution) is a pure
+    // function of (seed, relation, arm sequence), never of ranking results,
+    // which lets a resumed run rebuild the exact set state by regenerating
+    // replayed rounds without re-scoring them.
+    std::unordered_set<uint64_t> candidate_seen;
+    auto generate_round = [&](const BanditScheduler::RoundPlan& plan) {
+      Rng round_rng(relation_seed ^
+                    (0xD1B54A32D192ED03ULL *
+                     (static_cast<uint64_t>(plan.round) + 1)));
+      const size_t round_sample = MeshGridSampleSize(plan.quota);
+      std::vector<Triple> round_candidates;
+      for (size_t iteration = 0;
+           iteration < options.max_iterations &&
+           round_candidates.size() < plan.quota;
+           ++iteration) {
+        std::vector<EntityId> s_samples(round_sample);
+        std::vector<EntityId> o_samples(round_sample);
+        const ArmState& arm = arms[plan.arm];
+        for (size_t i = 0; i < round_sample; ++i) {
+          s_samples[i] =
+              arm.weights
+                  ->subject_pool[arm.subject_sampler->Sample(&round_rng)];
+          o_samples[i] =
+              arm.weights->object_pool[arm.object_sampler->Sample(&round_rng)];
+        }
+        for (EntityId s : s_samples) {
+          if (round_candidates.size() >= plan.quota) break;
+          for (EntityId o : o_samples) {
+            if (round_candidates.size() >= plan.quota) break;
+            const Triple t{s, r, o};
+            if (kg.Contains(t)) continue;
+            if (type_filter != nullptr && !type_filter->Admissible(t)) {
+              continue;
+            }
+            if (!candidate_seen.insert(PackTriple(t)).second) continue;
+            round_candidates.push_back(t);
+          }
+        }
+      }
+      if (round_candidates.size() > plan.quota) {
+        round_candidates.resize(plan.quota);
+      }
+      return round_candidates;
+    };
+
+    while (!scheduler.Done()) {
+      const BanditScheduler::RoundPlan plan = scheduler.NextRound();
+      const SamplingStrategy arm_strategy = arm_strategies[plan.arm];
+
+      if (restored != nullptr && plan.round < restored->size()) {
+        // Replay: feed the recorded outcome back so the scheduler re-derives
+        // the original allocation sequence, and merge the recorded facts
+        // without re-ranking anything. A manifest whose recorded arm diverges
+        // from the re-derived one was written by a different configuration
+        // than CheckManifestCompatible admitted — refuse rather than splice
+        // two different schedules.
+        const AdaptiveRoundRecord& rec = (*restored)[plan.round];
+        if (rec.arm != SamplingStrategyName(arm_strategy)) {
+          out.status = Status::Internal(
+              "resume manifest round " + std::to_string(plan.round) +
+              " of relation " + std::to_string(r) + " recorded arm " +
+              rec.arm + " but the scheduler re-derived " +
+              SamplingStrategyName(arm_strategy) +
+              "; the manifest does not match this run");
+          return;
+        }
+        // Regenerate (never re-rank) the replayed round's candidates so the
+        // cross-round dedup set evolves exactly as in the original run;
+        // later live rounds then draw the same fresh candidates they would
+        // have drawn uninterrupted. A count mismatch means the manifest was
+        // produced under different generation inputs than this run.
+        const std::vector<Triple> replayed = generate_round(plan);
+        if (replayed.size() != rec.num_candidates) {
+          out.status = Status::Internal(
+              "resume manifest round " + std::to_string(plan.round) +
+              " of relation " + std::to_string(r) + " recorded " +
+              std::to_string(rec.num_candidates) +
+              " candidates but regeneration produced " +
+              std::to_string(replayed.size()) +
+              "; the manifest does not match this run");
+          return;
+        }
+        scheduler.Report(plan, rec.num_candidates, rec.facts.size(),
+                         /*ranking_seconds=*/0.0);
+        for (const DiscoveredFact& fact : rec.facts) {
+          if (fact_seen.insert(PackTriple(fact.triple)).second) {
+            out.facts.push_back(fact);
+          }
+        }
+        out.num_candidates += rec.num_candidates;
+        continue;  // replayed rounds never re-fire on_round_complete
+      }
+
+      if (checkpoint_stop()) return;  // round-boundary checkpoint
+
+      // Generation, scoped to this round's quota. The round RNG stream is a
+      // pure function of (seed, relation, round), so a replayed prefix
+      // leaves later rounds' streams untouched.
+      ScopedSpan generation_span(metrics, kDiscoveryGenerationSpan);
+      const std::vector<Triple> round_candidates = generate_round(plan);
+      out.num_candidates += round_candidates.size();
+      live_candidates += round_candidates.size();
+      out.generation_seconds += generation_span.Stop();
+
+      if (checkpoint_stop()) return;  // post-generation checkpoint
+
+      // Ranking: identical mechanics to the fixed-strategy path, restricted
+      // to this round's candidates. Only keys the relation cache has never
+      // seen are (fetched and) precomputed.
+      ScopedSpan ranking_span(metrics, kDiscoveryRankingSpan);
+      const size_t n_cand = round_candidates.size();
+      std::vector<SideScoreCache::Key> need_subject_keys;
+      std::vector<SideScoreCache::Key> need_object_keys;
+      {
+        std::unordered_set<EntityId> seen_subjects;
+        std::unordered_set<EntityId> seen_objects;
+        for (const Triple& t : round_candidates) {
+          if (seen_subjects.insert(t.subject).second &&
+              score_cache.FindObjects(t.subject, r) == nullptr) {
+            need_subject_keys.emplace_back(t.subject, r);
+          }
+          if (seen_objects.insert(t.object).second &&
+              score_cache.FindSubjects(r, t.object) == nullptr) {
+            need_object_keys.emplace_back(t.object, r);
+          }
+        }
+      }
+      unique_entries += need_subject_keys.size() + need_object_keys.size();
+      DiscoveryCache* const shared = options.shared_cache;
+      std::vector<SideScoreCache::Key> fresh_subject_keys;
+      std::vector<SideScoreCache::Key> fresh_object_keys;
+      const std::vector<SideScoreCache::Key>* precompute_subject_keys =
+          &need_subject_keys;
+      const std::vector<SideScoreCache::Key>* precompute_object_keys =
+          &need_object_keys;
+      if (shared != nullptr) {
+        shared->FetchObjects(need_subject_keys, options.filtered_ranking,
+                             &score_cache, &fresh_subject_keys);
+        shared->FetchSubjects(need_object_keys, options.filtered_ranking,
+                              &score_cache, &fresh_object_keys);
+        precompute_subject_keys = &fresh_subject_keys;
+        precompute_object_keys = &fresh_object_keys;
+      }
+      score_cache.PrecomputeObjects(model, kg, *precompute_subject_keys,
+                                    options.filtered_ranking, pool,
+                                    &run_cancel);
+      score_cache.PrecomputeSubjects(model, kg, *precompute_object_keys,
+                                     options.filtered_ranking, pool,
+                                     &run_cancel);
+      if (shared != nullptr) {
+        shared->PublishObjects(fresh_subject_keys, options.filtered_ranking,
+                               score_cache);
+        shared->PublishSubjects(fresh_object_keys, options.filtered_ranking,
+                                score_cache);
+      }
+      if (checkpoint_stop()) return;  // pre-ranking / post-precompute
+      std::vector<double> subject_ranks(n_cand);
+      std::vector<double> object_ranks(n_cand);
+      ParallelFor(
+          pool, n_cand,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              if ((i & 63u) == 0 && fine_stop()) return;
+              const Triple& t = round_candidates[i];
+              const SideScoreCache::Entry* obj_entry =
+                  score_cache.FindObjects(t.subject, r);
+              object_ranks[i] = RankAgainstScores(obj_entry->scores, t.object,
+                                                  &obj_entry->excluded);
+              const SideScoreCache::Entry* subj_entry =
+                  score_cache.FindSubjects(r, t.object);
+              subject_ranks[i] = RankAgainstScores(subj_entry->scores,
+                                                   t.subject,
+                                                   &subj_entry->excluded);
+            }
+          },
+          &run_cancel, kernels::kQueryBlock);
+      if (fine_stop()) return;  // rank slots may be partially filled
+      std::vector<DiscoveredFact> round_facts;
+      for (size_t i = 0; i < n_cand; ++i) {
+        const double rank = Aggregate(options.rank_aggregation,
+                                      subject_ranks[i], object_ranks[i]);
+        if (rank <= static_cast<double>(options.top_n)) {
+          DiscoveredFact fact;
+          fact.triple = round_candidates[i];
+          fact.rank = rank;
+          fact.subject_rank = subject_ranks[i];
+          fact.object_rank = object_ranks[i];
+          round_facts.push_back(fact);
+        }
+      }
+      const double ranking_seconds = ranking_span.Stop();
+      out.evaluation_seconds += ranking_seconds;
+
+      scheduler.Report(plan, round_candidates.size(), round_facts.size(),
+                       ranking_seconds);
+      for (const DiscoveredFact& fact : round_facts) {
+        if (fact_seen.insert(PackTriple(fact.triple)).second) {
+          out.facts.push_back(fact);
+        }
+      }
+
+      if (options.on_round_complete) {
+        AdaptiveRoundCompletion completion;
+        completion.relation = r;
+        completion.index = index;
+        completion.record.round = plan.round;
+        completion.record.arm = SamplingStrategyName(arm_strategy);
+        completion.record.num_candidates = round_candidates.size();
+        completion.record.facts = std::move(round_facts);
+        options.on_round_complete(std::move(completion));
+      }
+    }
+
+    if (metrics != nullptr) {
+      candidates_counter->Increment(out.num_candidates);
+      facts_counter->Increment(out.facts.size());
+      // Same derived arithmetic as the fixed path, over the live rounds
+      // only (replayed rounds did no scoring in this run).
+      cache_misses_counter->Increment(unique_entries);
+      cache_hits_counter->Increment(2 * live_candidates - unique_entries);
+      relations_counter->Increment();
+    }
+
+    out.completed = true;
+    if (options.on_relation_complete) {
+      RelationCompletion completion;
+      completion.relation = r;
+      completion.index = index;
+      completion.num_candidates = out.num_candidates;
+      completion.facts = out.facts;
+      options.on_relation_complete(std::move(completion));
+    }
+  };
+
   ParallelFor(
       pool, relations.size(),
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) process_relation(i);
+        for (size_t i = begin; i < end; ++i) {
+          if (adaptive) {
+            process_relation_adaptive(i);
+          } else {
+            process_relation(i);
+          }
+        }
       },
       &run_cancel);
   const auto final_reason =

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/strategy.h"
@@ -34,12 +36,17 @@ inline constexpr char kDiscoveryScoreCacheMisses[] =
     "discovery.score_cache.misses";
 inline constexpr char kDiscoveryRelationsCounter[] =
     "discovery.relations.processed";
+// ADAPTIVE strategy metrics live in adaptive/scheduler.h
+// (adaptive.rounds, adaptive.budget.<strategy>, adaptive.reward.<strategy>,
+// adaptive.cost.<strategy>).
 
 /// How the two side ranks of a candidate collapse into the single rank the
 /// paper's Algorithm 1 filters on.
 enum class RankAggregation { kMean, kMin, kMax };
 
-struct RelationCompletion;  // defined below, after DiscoveredFact
+struct RelationCompletion;       // defined below, after DiscoveredFact
+struct AdaptiveRoundCompletion;  // defined below, after DiscoveredFact
+struct AdaptiveResumeState;      // defined below, after DiscoveredFact
 
 /// Hyperparameters of the Discover Facts algorithm (paper Algorithm 1).
 struct DiscoveryOptions {
@@ -68,6 +75,25 @@ struct DiscoveryOptions {
   /// by its §5.1 discussion of rule-based candidate filtering.
   bool type_filter = false;
   uint64_t seed = 123;
+  /// ADAPTIVE only: number of bandit rounds the per-relation max_candidates
+  /// budget is split into (adaptive/scheduler.h). More rounds give the
+  /// bandit more reallocation opportunities at the cost of smaller (noisier)
+  /// per-round reward samples.
+  size_t adaptive_rounds = 8;
+  /// ADAPTIVE only: the UCB1 exploration constant c. 0 is pure greedy after
+  /// the forced first pass over the arms; larger values spread budget wider.
+  double adaptive_exploration = 0.5;
+  /// ADAPTIVE only: per-relation round history restored from a resume
+  /// manifest. Relations with restored rounds replay them (bit-identical,
+  /// no re-ranking) before playing the remaining rounds live. Not a
+  /// config-file key; set in code (core/resume.h does).
+  const AdaptiveResumeState* adaptive_resume = nullptr;
+  /// ADAPTIVE only: invoked after every *live* bandit round, from whichever
+  /// thread processes the relation (must be thread-safe under a pool, like
+  /// on_relation_complete). Replayed rounds do not re-fire it. The
+  /// round-level checkpoint seam the resume layer persists. Not a
+  /// config-file key; set in code.
+  std::function<void(AdaptiveRoundCompletion&&)> on_round_complete;
   /// When set, per-phase latency histograms and candidate/fact/score-cache
   /// counters are recorded here (metric names above). Null disables all
   /// instrumentation at zero cost.
@@ -124,6 +150,35 @@ struct RelationCompletion {
   size_t index = 0;
   size_t num_candidates = 0;
   std::vector<DiscoveredFact> facts;
+};
+
+/// One finished ADAPTIVE bandit round of one relation — the round-level
+/// checkpoint unit. `arm` is the canonical SamplingStrategyName of the
+/// strategy the scheduler granted the round to; on resume the scheduler is
+/// replayed and must re-derive the same arm, which pins the replay to the
+/// original allocation sequence.
+struct AdaptiveRoundRecord {
+  size_t round = 0;
+  std::string arm;
+  size_t num_candidates = 0;
+  std::vector<DiscoveredFact> facts;
+};
+
+/// Round history restored from a resume manifest, keyed by relation.
+/// Relations present here were interrupted mid-relation; their recorded
+/// rounds are replayed without re-ranking, then the remaining rounds run
+/// live.
+struct AdaptiveResumeState {
+  std::map<RelationId, std::vector<AdaptiveRoundRecord>> rounds;
+};
+
+/// Payload of DiscoveryOptions::on_round_complete: one live round plus the
+/// identity of the relation it belongs to.
+struct AdaptiveRoundCompletion {
+  RelationId relation = 0;
+  /// Position of the relation in the run's relation order.
+  size_t index = 0;
+  AdaptiveRoundRecord record;
 };
 
 /// Phase-split accounting of one discovery run. The three phase fields are

@@ -31,6 +31,10 @@ inline constexpr char kSharedScoresHitsCounter[] =
     "discovery.shared_scores.hits";
 inline constexpr char kSharedScoresMissesCounter[] =
     "discovery.shared_scores.misses";
+/// Model-score sketch (MODEL_SCORE strategy) served from / absent in the
+/// cache. A hit skips the whole probe-pass precompute.
+inline constexpr char kSketchHitsCounter[] = "discovery.sketch.hits";
+inline constexpr char kSketchMissesCounter[] = "discovery.sketch.misses";
 
 /// Cross-run cache of the two most expensive reusable artifacts of
 /// DiscoverFacts:
@@ -72,6 +76,15 @@ class DiscoveryCache {
   /// serialize on the first computation and then share one entry.
   Result<std::shared_ptr<const WeightsEntry>> GetOrComputeWeights(
       SamplingStrategy strategy, const TripleStore& kg);
+
+  /// MODEL_SCORE counterpart: computes the score sketch (one probe-pass
+  /// sweep through the batch kernels, adaptive/score_sketch.h) on first use
+  /// and caches the resulting weights + samplers like any other strategy.
+  /// The sketch is a deterministic function of (model, KG) — exactly the
+  /// pair this cache instance is keyed by (HashModelParameters ⊕ KG
+  /// fingerprint), so one instance never mixes sketches of two models.
+  Result<std::shared_ptr<const WeightsEntry>> GetOrComputeModelScoreWeights(
+      const Model& model, const TripleStore& kg);
 
   /// Copies cached object-side entries for `keys` into `local` and appends
   /// the keys without a cached entry to `missing` (preserving `keys`
@@ -122,6 +135,8 @@ class DiscoveryCache {
   Counter* weights_misses_ = nullptr;
   Counter* scores_hits_ = nullptr;
   Counter* scores_misses_ = nullptr;
+  Counter* sketch_hits_ = nullptr;
+  Counter* sketch_misses_ = nullptr;
   std::atomic<uint64_t> weights_hits_n_{0};
   std::atomic<uint64_t> scores_hits_n_{0};
 };

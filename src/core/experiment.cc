@@ -73,10 +73,15 @@ Result<std::vector<TrainedModel>> TrainAllModels(
 Result<std::vector<ExperimentCell>> RunGridOnDataset(
     const Dataset& dataset, const ExperimentConfig& config) {
   KGFD_ASSIGN_OR_RETURN(auto models, TrainAllModels(dataset, config));
+  std::vector<SamplingStrategy> strategies = config.strategies;
+  if (config.include_adaptive) {
+    strategies.push_back(SamplingStrategy::kModelScore);
+    strategies.push_back(SamplingStrategy::kAdaptive);
+  }
   std::vector<ExperimentCell> cells;
-  cells.reserve(models.size() * config.strategies.size());
+  cells.reserve(models.size() * strategies.size());
   for (const TrainedModel& tm : models) {
-    for (SamplingStrategy strategy : config.strategies) {
+    for (SamplingStrategy strategy : strategies) {
       DiscoveryOptions options = config.discovery;
       options.strategy = strategy;
       options.seed = config.seed ^ (static_cast<uint64_t>(strategy) << 8) ^

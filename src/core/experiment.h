@@ -30,7 +30,13 @@ struct ExperimentConfig {
   std::vector<ModelKind> models = {ModelKind::kTransE, ModelKind::kDistMult,
                                    ModelKind::kComplEx, ModelKind::kRescal,
                                    ModelKind::kConvE};
+  /// The paper's comparative columns; ComparativeStrategies() is the single
+  /// source of truth shared with the CLI help text and the adaptive arm set.
   std::vector<SamplingStrategy> strategies = ComparativeStrategies();
+  /// Appends the adaptive-subsystem cells (MODEL_SCORE, then ADAPTIVE) after
+  /// the comparative columns, for the adaptive-vs-fixed comparison rows.
+  /// Off by default so the paper-figure benches keep the paper's grid shape.
+  bool include_adaptive = false;
   uint64_t seed = 42;
 };
 

@@ -63,8 +63,8 @@ Result<JobSpec> JobSpec::FromConfig(const ConfigFile& config) {
   KGFD_ASSIGN_OR_RETURN(
       spec.discovery.strategy,
       SamplingStrategyFromName(config.GetString(
-          "discovery.strategy", SamplingStrategyName(
-                                    spec.discovery.strategy))));
+          "discovery.strategy",
+          SamplingStrategyName(DefaultSamplingStrategy()))));
   KGFD_ASSIGN_OR_RETURN(const int64_t top_n,
                         config.GetInt("discovery.top_n", 500));
   spec.discovery.top_n = static_cast<size_t>(top_n);
@@ -84,6 +84,21 @@ Result<JobSpec> JobSpec::FromConfig(const ConfigFile& config) {
   }
   spec.discovery.max_candidate_memory_bytes =
       static_cast<size_t>(max_cand_mem);
+  KGFD_ASSIGN_OR_RETURN(
+      const int64_t adaptive_rounds,
+      config.GetInt("discovery.adaptive_rounds",
+                    static_cast<int64_t>(spec.discovery.adaptive_rounds)));
+  if (adaptive_rounds <= 0) {
+    return Status::InvalidArgument("discovery.adaptive_rounds must be > 0");
+  }
+  spec.discovery.adaptive_rounds = static_cast<size_t>(adaptive_rounds);
+  KGFD_ASSIGN_OR_RETURN(spec.discovery.adaptive_exploration,
+                        config.GetDouble("discovery.adaptive_exploration",
+                                         spec.discovery.adaptive_exploration));
+  if (!(spec.discovery.adaptive_exploration >= 0.0)) {
+    return Status::InvalidArgument(
+        "discovery.adaptive_exploration must be >= 0");
+  }
 
   KGFD_ASSIGN_OR_RETURN(const int64_t seed, config.GetInt("seed", 42));
   spec.seed = static_cast<uint64_t>(seed);

@@ -21,7 +21,10 @@ namespace {
 constexpr char kMagic[8] = {'K', 'G', 'F', 'D', 'R', 'S', 'U', 'M'};
 // Version 2 appends a CRC-32 trailer over everything before it, so loads
 // reject truncated or bit-flipped manifests instead of parsing garbage.
-constexpr uint32_t kFormatVersion = 2;
+// Version 3 adds the ADAPTIVE fingerprint fields (rounds, exploration) and
+// the per-relation partial-round section that makes bandit rounds the
+// checkpoint unit.
+constexpr uint32_t kFormatVersion = 3;
 
 void WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -119,6 +122,10 @@ ResumeManifest MakeManifestHeader(Model* model, const TripleStore& kg,
   m.cache_weights = options.cache_weights ? 1 : 0;
   m.type_filter = options.type_filter ? 1 : 0;
   m.rank_aggregation = static_cast<uint8_t>(options.rank_aggregation);
+  if (options.strategy == SamplingStrategy::kAdaptive) {
+    m.adaptive_rounds = options.adaptive_rounds;
+    m.adaptive_exploration = options.adaptive_exploration;
+  }
   m.relations = relations;
   return m;
 }
@@ -160,6 +167,15 @@ Status CheckManifestCompatible(const ResumeManifest& loaded,
   if (loaded.rank_aggregation != expected.rank_aggregation) {
     return mismatch("rank_aggregation");
   }
+  if (loaded.adaptive_rounds != expected.adaptive_rounds) {
+    return mismatch("adaptive_rounds");
+  }
+  // Bit comparison: any numeric difference in the exploration constant, even
+  // one a tolerance would forgive, yields a different bandit schedule.
+  if (std::bit_cast<uint64_t>(loaded.adaptive_exploration) !=
+      std::bit_cast<uint64_t>(expected.adaptive_exploration)) {
+    return mismatch("adaptive_exploration");
+  }
   if (loaded.relations != expected.relations) {
     return mismatch("relation list");
   }
@@ -190,6 +206,8 @@ Status SaveResumeManifest(const ResumeManifest& manifest,
                       (static_cast<uint32_t>(manifest.type_filter) << 16) |
                       (static_cast<uint32_t>(manifest.rank_aggregation)
                        << 24));
+    WriteU64(out, manifest.adaptive_rounds);
+    WriteDouble(out, manifest.adaptive_exploration);
     WriteU64(out, manifest.relations.size());
     for (RelationId r : manifest.relations) WriteU32(out, r);
     WriteU64(out, manifest.done.size());
@@ -204,6 +222,25 @@ Status SaveResumeManifest(const ResumeManifest& manifest,
         WriteDouble(out, fact.rank);
         WriteDouble(out, fact.subject_rank);
         WriteDouble(out, fact.object_rank);
+      }
+    }
+    WriteU64(out, manifest.partial.size());
+    for (const AdaptiveRelationPartial& partial : manifest.partial) {
+      WriteU32(out, partial.relation);
+      WriteU64(out, partial.rounds.size());
+      for (const AdaptiveRoundRecord& round : partial.rounds) {
+        WriteU64(out, round.round);
+        WriteString(out, round.arm);
+        WriteU64(out, round.num_candidates);
+        WriteU64(out, round.facts.size());
+        for (const DiscoveredFact& fact : round.facts) {
+          WriteU32(out, fact.triple.subject);
+          WriteU32(out, fact.triple.relation);
+          WriteU32(out, fact.triple.object);
+          WriteDouble(out, fact.rank);
+          WriteDouble(out, fact.subject_rank);
+          WriteDouble(out, fact.object_rank);
+        }
       }
     }
   }
@@ -277,6 +314,8 @@ Result<ResumeManifest> LoadResumeManifest(const std::string& path) {
   m.cache_weights = static_cast<uint8_t>((flags >> 8) & 0xFF);
   m.type_filter = static_cast<uint8_t>((flags >> 16) & 0xFF);
   m.rank_aggregation = static_cast<uint8_t>((flags >> 24) & 0xFF);
+  KGFD_ASSIGN_OR_RETURN(m.adaptive_rounds, ReadU64(in));
+  KGFD_ASSIGN_OR_RETURN(m.adaptive_exploration, ReadDouble(in));
   KGFD_ASSIGN_OR_RETURN(uint64_t num_relations, ReadU64(in));
   if (num_relations > (1ULL << 32)) {
     return Status::IoError("corrupt resume manifest relation count");
@@ -311,6 +350,45 @@ Result<ResumeManifest> LoadResumeManifest(const std::string& path) {
       entry.facts.push_back(fact);
     }
     m.done.push_back(std::move(entry));
+  }
+  KGFD_ASSIGN_OR_RETURN(uint64_t num_partial, ReadU64(in));
+  if (num_partial > num_relations) {
+    return Status::IoError("corrupt resume manifest partial count");
+  }
+  m.partial.reserve(num_partial);
+  for (uint64_t i = 0; i < num_partial; ++i) {
+    AdaptiveRelationPartial partial;
+    KGFD_ASSIGN_OR_RETURN(partial.relation, ReadU32(in));
+    KGFD_ASSIGN_OR_RETURN(uint64_t num_rounds, ReadU64(in));
+    if (num_rounds > (1ULL << 20)) {
+      return Status::IoError("corrupt resume manifest round count");
+    }
+    partial.rounds.reserve(num_rounds);
+    for (uint64_t k = 0; k < num_rounds; ++k) {
+      AdaptiveRoundRecord round;
+      KGFD_ASSIGN_OR_RETURN(uint64_t round_number, ReadU64(in));
+      round.round = round_number;
+      KGFD_ASSIGN_OR_RETURN(round.arm, ReadString(in));
+      KGFD_ASSIGN_OR_RETURN(uint64_t round_candidates, ReadU64(in));
+      round.num_candidates = round_candidates;
+      KGFD_ASSIGN_OR_RETURN(uint64_t num_facts, ReadU64(in));
+      if (num_facts > (1ULL << 32)) {
+        return Status::IoError("corrupt resume manifest fact count");
+      }
+      round.facts.reserve(num_facts);
+      for (uint64_t f = 0; f < num_facts; ++f) {
+        DiscoveredFact fact;
+        KGFD_ASSIGN_OR_RETURN(fact.triple.subject, ReadU32(in));
+        KGFD_ASSIGN_OR_RETURN(fact.triple.relation, ReadU32(in));
+        KGFD_ASSIGN_OR_RETURN(fact.triple.object, ReadU32(in));
+        KGFD_ASSIGN_OR_RETURN(fact.rank, ReadDouble(in));
+        KGFD_ASSIGN_OR_RETURN(fact.subject_rank, ReadDouble(in));
+        KGFD_ASSIGN_OR_RETURN(fact.object_rank, ReadDouble(in));
+        round.facts.push_back(fact);
+      }
+      partial.rounds.push_back(std::move(round));
+    }
+    m.partial.push_back(std::move(partial));
   }
   return m;
 }
@@ -374,6 +452,55 @@ Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
   Status save_error;  // first persistence failure, surfaced after the run
   DiscoveryOptions live_options = options;
   live_options.relations = remaining;
+  const bool adaptive = options.strategy == SamplingStrategy::kAdaptive;
+
+  // ADAPTIVE: hand the restored round history of still-unfinished relations
+  // to DiscoverFacts for replay, and persist every live round as it
+  // finishes — rounds, not relations, are the checkpoint unit.
+  AdaptiveResumeState adaptive_state;
+  const auto chained_round_callback = options.on_round_complete;
+  if (adaptive) {
+    for (const AdaptiveRelationPartial& partial : manifest.partial) {
+      if (done.find(partial.relation) == done.end()) {
+        adaptive_state.rounds.emplace(partial.relation, partial.rounds);
+      }
+    }
+    live_options.adaptive_resume = &adaptive_state;
+    live_options.on_round_complete =
+        [&](AdaptiveRoundCompletion&& completion) {
+          {
+            std::lock_guard<std::mutex> lock(manifest_mu);
+            AdaptiveRelationPartial* slot = nullptr;
+            for (AdaptiveRelationPartial& partial : manifest.partial) {
+              if (partial.relation == completion.relation) {
+                slot = &partial;
+                break;
+              }
+            }
+            if (slot == nullptr) {
+              manifest.partial.emplace_back();
+              slot = &manifest.partial.back();
+              slot->relation = completion.relation;
+              // Live rounds follow the replayed prefix, so the restored
+              // rounds must be re-seated first for index == round number to
+              // hold on the next resume.
+              auto it = adaptive_state.rounds.find(completion.relation);
+              if (it != adaptive_state.rounds.end()) slot->rounds = it->second;
+            }
+            slot->rounds.push_back(completion.record);
+            const Status status = RetryStatus(
+                resume.save_retry, "SaveResumeManifest",
+                [&manifest, &resume]() {
+                  return SaveResumeManifest(manifest, resume.manifest_path);
+                });
+            if (!status.ok() && save_error.ok()) save_error = status;
+          }
+          if (chained_round_callback) {
+            chained_round_callback(std::move(completion));
+          }
+        };
+  }
+
   const auto chained_callback = options.on_relation_complete;
   live_options.on_relation_complete = [&](RelationCompletion&& completion) {
     {
@@ -383,6 +510,14 @@ Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
       entry.num_candidates = completion.num_candidates;
       entry.facts = completion.facts;
       manifest.done.push_back(std::move(entry));
+      // A completed relation's rounds are subsumed by its `done` entry.
+      for (size_t i = 0; i < manifest.partial.size(); ++i) {
+        if (manifest.partial[i].relation == completion.relation) {
+          manifest.partial.erase(manifest.partial.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
       const Status status = RetryStatus(
           resume.save_retry, "SaveResumeManifest", [&manifest, &resume]() {
             return SaveResumeManifest(manifest, resume.manifest_path);

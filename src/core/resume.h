@@ -27,6 +27,16 @@ struct RelationCheckpointEntry {
   std::vector<DiscoveredFact> facts;
 };
 
+/// ADAPTIVE only: the finished bandit rounds of a relation that was
+/// interrupted mid-relation. Rounds are stored in play order (index ==
+/// round number); on resume they are replayed through the scheduler so the
+/// remaining rounds continue from the exact allocation state the
+/// interrupted run had.
+struct AdaptiveRelationPartial {
+  RelationId relation = 0;
+  std::vector<AdaptiveRoundRecord> rounds;
+};
+
 /// On-disk resume state: a fingerprint of everything the output depends on
 /// (model identity and parameters, graph shape, discovery options, relation
 /// order) plus the per-relation results completed so far. Loading validates
@@ -49,11 +59,20 @@ struct ResumeManifest {
   uint8_t cache_weights = 0;
   uint8_t type_filter = 0;
   uint8_t rank_aggregation = 0;
+  /// ADAPTIVE fingerprint fields; zero for every other strategy. The
+  /// exploration constant is compared bit-exactly — any change to it yields
+  /// a different bandit schedule, so it invalidates the manifest the same
+  /// way a different seed would.
+  uint64_t adaptive_rounds = 0;
+  double adaptive_exploration = 0.0;
   /// The full relation order of the run (not just the completed prefix).
   std::vector<RelationId> relations;
 
   // -- Progress ------------------------------------------------------------
   std::vector<RelationCheckpointEntry> done;
+  /// ADAPTIVE only: round-level progress of relations not yet in `done`.
+  /// A relation moves out of here the moment it completes.
+  std::vector<AdaptiveRelationPartial> partial;
 };
 
 /// FNV-1a over the raw bytes of every parameter tensor, in Parameters()
@@ -110,6 +129,13 @@ struct ResumeOptions {
 /// Stats caveat: the timing fields cover only the live portion of the run;
 /// counts (candidates, facts, relations) cover manifest-restored relations
 /// too.
+///
+/// strategy=ADAPTIVE refines the checkpoint unit from relations to bandit
+/// rounds: every finished round is persisted under `partial`, and a resumed
+/// run replays the recorded rounds (no re-ranking, scheduler state
+/// re-derived exactly) before playing the rest live — so a kill mid-relation
+/// loses at most one round of ranking work and the resumed fact set stays
+/// bit-identical to an uninterrupted run.
 Result<DiscoveryResult> DiscoverFactsResumable(const Model& model,
                                                const TripleStore& kg,
                                                const DiscoveryOptions& options,

@@ -1,6 +1,7 @@
 #include "core/strategy.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "graph/adjacency.h"
@@ -30,6 +31,10 @@ const char* SamplingStrategyName(SamplingStrategy strategy) {
       return "EXPLORATION_MIXTURE";
     case SamplingStrategy::kPageRank:
       return "PAGERANK";
+    case SamplingStrategy::kModelScore:
+      return "MODEL_SCORE";
+    case SamplingStrategy::kAdaptive:
+      return "ADAPTIVE";
   }
   return "UNKNOWN";
 }
@@ -54,23 +59,48 @@ const char* SamplingStrategyAbbrev(SamplingStrategy strategy) {
       return "EX";
     case SamplingStrategy::kPageRank:
       return "PR";
+    case SamplingStrategy::kModelScore:
+      return "MS";
+    case SamplingStrategy::kAdaptive:
+      return "AD";
   }
   return "??";
 }
 
+const std::vector<SamplingStrategy>& AllSamplingStrategies() {
+  static const std::vector<SamplingStrategy> all = {
+      SamplingStrategy::kUniformRandom,
+      SamplingStrategy::kEntityFrequency,
+      SamplingStrategy::kGraphDegree,
+      SamplingStrategy::kClusteringCoefficient,
+      SamplingStrategy::kClusteringTriangles,
+      SamplingStrategy::kClusteringSquares,
+      SamplingStrategy::kInverseDegree,
+      SamplingStrategy::kExplorationMixture,
+      SamplingStrategy::kPageRank,
+      SamplingStrategy::kModelScore,
+      SamplingStrategy::kAdaptive,
+  };
+  return all;
+}
+
+std::string SamplingStrategyNameList() {
+  std::string joined;
+  for (SamplingStrategy s : AllSamplingStrategies()) {
+    if (!joined.empty()) joined += ", ";
+    joined += SamplingStrategyName(s);
+  }
+  return joined;
+}
+
 Result<SamplingStrategy> SamplingStrategyFromName(const std::string& name) {
-  for (SamplingStrategy s :
-       {SamplingStrategy::kUniformRandom, SamplingStrategy::kEntityFrequency,
-        SamplingStrategy::kGraphDegree,
-        SamplingStrategy::kClusteringCoefficient,
-        SamplingStrategy::kClusteringTriangles,
-        SamplingStrategy::kClusteringSquares, SamplingStrategy::kInverseDegree,
-        SamplingStrategy::kExplorationMixture, SamplingStrategy::kPageRank}) {
+  for (SamplingStrategy s : AllSamplingStrategies()) {
     if (name == SamplingStrategyName(s) || name == SamplingStrategyAbbrev(s)) {
       return s;
     }
   }
-  return Status::NotFound("unknown sampling strategy: " + name);
+  return Status::NotFound("unknown sampling strategy: " + name +
+                          " (valid: " + SamplingStrategyNameList() + ")");
 }
 
 std::vector<SamplingStrategy> ComparativeStrategies() {
@@ -78,6 +108,29 @@ std::vector<SamplingStrategy> ComparativeStrategies() {
           SamplingStrategy::kGraphDegree,
           SamplingStrategy::kClusteringCoefficient,
           SamplingStrategy::kClusteringTriangles};
+}
+
+SamplingStrategy DefaultSamplingStrategy() {
+  const char* env = std::getenv("KGFD_DEFAULT_STRATEGY");
+  if (env == nullptr || env[0] == '\0') {
+    return SamplingStrategy::kEntityFrequency;
+  }
+  auto parsed = SamplingStrategyFromName(env);
+  // Unknown values were rejected at startup by ValidateDefaultStrategyEnv;
+  // fall back defensively for library users that skipped validation.
+  return parsed.ok() ? parsed.value() : SamplingStrategy::kEntityFrequency;
+}
+
+Status ValidateDefaultStrategyEnv() {
+  const char* env = std::getenv("KGFD_DEFAULT_STRATEGY");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  const auto parsed = SamplingStrategyFromName(env);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        "KGFD_DEFAULT_STRATEGY=" + std::string(env) + ": " +
+        parsed.status().message());
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -213,6 +266,19 @@ Result<StrategyWeights> ComputeStrategyWeights(SamplingStrategy strategy,
       const Adjacency adj = Adjacency::FromTripleStore(kg);
       return FromNodeMetric(kg, PageRank(adj));
     }
+    case SamplingStrategy::kModelScore:
+      // Model-aware: the weights come from the score sketch, which needs the
+      // trained model — DiscoverFacts (or DiscoveryCache) computes them via
+      // adaptive/score_sketch.h, never through this KG-only entry point.
+      return Status::InvalidArgument(
+          "MODEL_SCORE weights require the trained model; they are computed "
+          "inside DiscoverFacts (adaptive/score_sketch.h), not from the KG "
+          "alone");
+    case SamplingStrategy::kAdaptive:
+      return Status::InvalidArgument(
+          "ADAPTIVE is a budget scheduler over other strategies "
+          "(adaptive/scheduler.h), not a weighting; it has no weights of "
+          "its own");
   }
   return Status::InvalidArgument("unhandled strategy");
 }

@@ -21,6 +21,19 @@ namespace kgfd {
 ///     half proportional to degree (exploit).
 ///   * PAGERANK — weight ∝ PageRank over the undirected projection, a
 ///     smoother popularity metric than raw degree.
+///
+/// Two further model-aware strategies back the adaptive sampling subsystem
+/// (src/adaptive/):
+///   * MODEL_SCORE — weight from a one-time per-(model, KG) score sketch:
+///     probe scoring passes through the batch kernels credit the entities
+///     the model itself ranks highly (see adaptive/score_sketch.h). The
+///     only strategy whose weights depend on the model, so
+///     ComputeStrategyWeights rejects it — DiscoverFacts computes (or
+///     fetches from DiscoveryCache) the sketch itself.
+///   * ADAPTIVE — not a weighting at all: a per-relation UCB1 bandit
+///     (adaptive/scheduler.h) splits max_candidates into rounds and
+///     reallocates budget across the comparative strategies + MODEL_SCORE
+///     by observed reward.
 enum class SamplingStrategy {
   kUniformRandom,
   kEntityFrequency,
@@ -31,17 +44,42 @@ enum class SamplingStrategy {
   kInverseDegree,
   kExplorationMixture,
   kPageRank,
+  kModelScore,
+  kAdaptive,
 };
 
 /// Canonical name, e.g. "ENTITY_FREQUENCY".
 const char* SamplingStrategyName(SamplingStrategy strategy);
 /// Two-letter label used by the paper's figures (UR, EF, GD, CC, CT, CS).
 const char* SamplingStrategyAbbrev(SamplingStrategy strategy);
+/// Accepts canonical names and abbreviations; the error message lists every
+/// valid name so a typo'd CLI flag or job-config value is self-explaining.
 Result<SamplingStrategy> SamplingStrategyFromName(const std::string& name);
+
+/// Every strategy, in enum order — the single source of truth behind
+/// SamplingStrategyFromName's error listing and the CLI --strategy help.
+const std::vector<SamplingStrategy>& AllSamplingStrategies();
+
+/// Comma-separated canonical names of AllSamplingStrategies() (for help
+/// text and error messages).
+std::string SamplingStrategyNameList();
 
 /// The five strategies of the paper's comparative study (CLUSTERING_SQUARES
 /// is excluded there for inefficiency, reproduced by bench_squares_exclusion).
+/// The single source of truth for the experiment grid; the adaptive bandit's
+/// arm set is this list + MODEL_SCORE (adaptive/scheduler.h).
 std::vector<SamplingStrategy> ComparativeStrategies();
+
+/// The strategy front ends (kgfd_cli, kgfd_server job parsing) fall back to
+/// when a request names none: KGFD_DEFAULT_STRATEGY if set (any name
+/// SamplingStrategyFromName accepts), ENTITY_FREQUENCY otherwise. Library
+/// callers are unaffected — DiscoveryOptions keeps its compiled-in default.
+SamplingStrategy DefaultSamplingStrategy();
+
+/// Startup validation mirroring ValidateKernelBackendEnv(): a typo'd
+/// KGFD_DEFAULT_STRATEGY is a clean error at launch, not a surprise
+/// ENTITY_FREQUENCY run hours later.
+Status ValidateDefaultStrategyEnv();
 
 /// Per-side sampling pools and weights, the output of the paper's
 /// compute_weights(): entity pools with parallel unnormalized weights.

@@ -4,8 +4,11 @@
 /// Umbrella header for the kgfd public API: knowledge-graph storage,
 /// synthetic benchmark datasets, graph analytics, knowledge-graph embedding
 /// models with training/evaluation, the fact-discovery algorithm with its
-/// six sampling strategies, and the discovery-as-a-service HTTP server.
+/// sampling strategies (including the adaptive bandit subsystem), and the
+/// discovery-as-a-service HTTP server.
 
+#include "adaptive/scheduler.h"       // IWYU pragma: export
+#include "adaptive/score_sketch.h"    // IWYU pragma: export
 #include "core/discovery.h"           // IWYU pragma: export
 #include "core/discovery_cache.h"     // IWYU pragma: export
 #include "core/embedding_analysis.h"  // IWYU pragma: export

@@ -115,9 +115,21 @@ Result<JobRequest> JobRequest::Parse(const std::string& config_text) {
 
   const std::string strategy_name = config.GetString(
       "discovery.strategy",
-      SamplingStrategyName(request.discovery.strategy));
+      SamplingStrategyName(DefaultSamplingStrategy()));
   KGFD_ASSIGN_OR_RETURN(request.discovery.strategy,
                         SamplingStrategyFromName(strategy_name));
+  KGFD_ASSIGN_OR_RETURN(
+      request.discovery.adaptive_rounds,
+      GetPositiveSize(config, "discovery.adaptive_rounds",
+                      request.discovery.adaptive_rounds));
+  KGFD_ASSIGN_OR_RETURN(
+      request.discovery.adaptive_exploration,
+      config.GetDouble("discovery.adaptive_exploration",
+                       request.discovery.adaptive_exploration));
+  if (!(request.discovery.adaptive_exploration >= 0.0)) {
+    return Status::InvalidArgument(
+        "discovery.adaptive_exploration must be >= 0");
+  }
   KGFD_ASSIGN_OR_RETURN(
       request.discovery.top_n,
       GetPositiveSize(config, "discovery.top_n", request.discovery.top_n));

@@ -58,13 +58,17 @@ Status EnsureJobWorkDir(const std::string& path);
 ///    path and what the cross-request caches accelerate. Keys:
 ///      data.dir                  = <dataset directory>      (required)
 ///      model.checkpoint          = <model checkpoint file>  (required)
-///      discovery.strategy        = ENTITY_FREQUENCY
+///      discovery.strategy        = <any strategy name; default is
+///                                  KGFD_DEFAULT_STRATEGY, else
+///                                  ENTITY_FREQUENCY>
 ///      discovery.top_n           = 500
 ///      discovery.max_candidates  = 500
 ///      discovery.max_iterations  = 5
 ///      discovery.type_filter     = false
 ///      discovery.filtered_ranking= true
 ///      discovery.seed            = 123
+///      discovery.adaptive_rounds      = 8    # strategy=ADAPTIVE rounds
+///      discovery.adaptive_exploration = 0.5  # UCB1 exploration constant
 ///      deadline_s                = 0        # 0 = no deadline
 ///    Defaults deliberately match `kgfd_cli discover`, so the same inputs
 ///    produce byte-identical facts through either front end.

@@ -43,6 +43,64 @@ TEST(StrategyNamesTest, RoundTripCanonicalAndAbbrev) {
   EXPECT_FALSE(SamplingStrategyFromName("NOPE").ok());
 }
 
+TEST(StrategyNamesTest, AdaptiveAndModelScoreRoundTrip) {
+  for (SamplingStrategy s :
+       {SamplingStrategy::kModelScore, SamplingStrategy::kAdaptive}) {
+    auto canonical = SamplingStrategyFromName(SamplingStrategyName(s));
+    ASSERT_TRUE(canonical.ok());
+    EXPECT_EQ(canonical.value(), s);
+    auto abbrev = SamplingStrategyFromName(SamplingStrategyAbbrev(s));
+    ASSERT_TRUE(abbrev.ok());
+    EXPECT_EQ(abbrev.value(), s);
+  }
+  EXPECT_STREQ(SamplingStrategyName(SamplingStrategy::kModelScore),
+               "MODEL_SCORE");
+  EXPECT_STREQ(SamplingStrategyName(SamplingStrategy::kAdaptive),
+               "ADAPTIVE");
+}
+
+TEST(StrategyNamesTest, AllStrategiesEnumeratedOnce) {
+  const auto all = AllSamplingStrategies();
+  EXPECT_EQ(all.size(), 11u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+  // Every enumerated strategy round-trips through its name.
+  for (SamplingStrategy s : all) {
+    auto parsed = SamplingStrategyFromName(SamplingStrategyName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), s);
+  }
+}
+
+TEST(StrategyNamesTest, UnknownNameErrorListsEveryValidName) {
+  const auto result = SamplingStrategyFromName("CLAIRVOYANT");
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("CLAIRVOYANT"), std::string::npos);
+  // The actionable part: every valid spelling appears in the message.
+  for (SamplingStrategy s : AllSamplingStrategies()) {
+    EXPECT_NE(message.find(SamplingStrategyName(s)), std::string::npos)
+        << "missing " << SamplingStrategyName(s) << " in: " << message;
+  }
+}
+
+TEST(StrategyWeightsTest, RejectsModelScoreAndAdaptiveWithGuidance) {
+  // These two are not topology formulas: MODEL_SCORE needs the model
+  // (adaptive/score_sketch.h) and ADAPTIVE is a meta-strategy. The error
+  // must say where to go instead of a generic "unsupported".
+  const TripleStore store = FormulaStore();
+  auto ms = ComputeStrategyWeights(SamplingStrategy::kModelScore, store);
+  ASSERT_FALSE(ms.ok());
+  EXPECT_EQ(ms.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ms.status().message().find("score_sketch"), std::string::npos);
+  auto ad = ComputeStrategyWeights(SamplingStrategy::kAdaptive, store);
+  ASSERT_FALSE(ad.ok());
+  EXPECT_EQ(ad.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(StrategyNamesTest, ComparativeSetExcludesSquares) {
   const auto strategies = ComparativeStrategies();
   EXPECT_EQ(strategies.size(), 5u);

@@ -200,6 +200,9 @@ TEST_F(ServerTest, SubmitStatusFactsRoundTripMatchesDirectDiscovery) {
   DiscoveryOptions options;
   options.top_n = 25;
   options.max_candidates = 60;
+  // The server resolves its default strategy from KGFD_DEFAULT_STRATEGY;
+  // the direct run must do the same or the ADAPTIVE CI leg diverges here.
+  options.strategy = DefaultSamplingStrategy();
   const auto direct = DiscoverFacts(*f.model, f.dataset->train(), options);
   ASSERT_TRUE(direct.ok());
   const std::string expected =

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -234,8 +235,16 @@ TEST(QuantizedSaveTest, RejectsFloatDtypeAndUnsupportedModels) {
 class MmapFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/kgfd_fuzz.bin";
-    victim_ = ::testing::TempDir() + "/kgfd_fuzz_victim.bin";
+    // ctest registers every fuzz test as its own process and runs them
+    // concurrently under -j; the scratch files must be keyed by test name
+    // (plus pid for repeat runs) or parallel entries clobber each other.
+    const std::string tag =
+        std::string(::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()) +
+        "_" + std::to_string(::getpid());
+    path_ = ::testing::TempDir() + "/kgfd_fuzz_" + tag + ".bin";
+    victim_ = ::testing::TempDir() + "/kgfd_fuzz_victim_" + tag + ".bin";
     auto model = MakeModel(ModelKind::kTransE, 86);
     ASSERT_TRUE(SaveModel(model.get(), SmallConfig(), path_).ok());
     pristine_ = ReadFile(path_);

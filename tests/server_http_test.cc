@@ -119,8 +119,9 @@ TEST(JobRequestTest, ParsesDiscoverJobWithDefaults) {
   // identical facts from identical inputs.
   EXPECT_EQ(request.value().discovery.top_n, 500u);
   EXPECT_EQ(request.value().discovery.max_candidates, 500u);
-  EXPECT_EQ(request.value().discovery.strategy,
-            SamplingStrategy::kEntityFrequency);
+  // (DefaultSamplingStrategy, not a literal: both front ends honor
+  // KGFD_DEFAULT_STRATEGY, which the ADAPTIVE CI leg sets suite-wide.)
+  EXPECT_EQ(request.value().discovery.strategy, DefaultSamplingStrategy());
   EXPECT_TRUE(request.value().discovery.filtered_ranking);
   EXPECT_EQ(request.value().discovery.seed, 123u);
   EXPECT_EQ(request.value().deadline_s, 0.0);

@@ -45,6 +45,14 @@ for bin in "$BENCH_DIR"/bench_*; do
       args=(--entities 2000 --relations 7 --dim 16 --queries 8 --repeats 1
             --out "$SCRATCH/pr8.json")
       ;;
+    bench_pr9_adaptive)
+      # Exits nonzero on its own if the adaptive sweep stops being
+      # bit-identical across thread counts, so smoke scale still checks
+      # the determinism contract.
+      args=(--entities 400 --relations 4 --dim 8 --epochs 1 --top_n 50
+            --max_candidates 120 --adaptive_rounds 8 --repeats 1
+            --out "$SCRATCH/pr9.json")
+      ;;
     *)
       # Paper-figure/table harnesses share the bench_common flag set.
       # --scale DIVIDES the paper's dataset sizes, so bigger is smaller.
@@ -70,7 +78,8 @@ for bin in "$BENCH_DIR"/bench_*; do
     failures=$((failures + 1))
     continue
   fi
-  for json in "$SCRATCH"/pr2.json "$SCRATCH"/pr6.json "$SCRATCH"/pr8.json; do
+  for json in "$SCRATCH"/pr2.json "$SCRATCH"/pr6.json "$SCRATCH"/pr8.json \
+              "$SCRATCH"/pr9.json; do
     case "${args[*]}" in *"$json"*) ;; *) continue ;; esac
     if ! python3 -c '
 import json, sys

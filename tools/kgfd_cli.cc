@@ -48,6 +48,11 @@ void PrintUsage() {
       "  discover: --data DIR --checkpoint FILE [--strategy NAME]\n"
       "            [--top_n N] [--max_candidates N] [--out FILE]\n"
       "            [--type_filter] [--seed N] [--resume MANIFEST]\n"
+      "            [--adaptive_rounds N] [--adaptive_exploration X]\n"
+      "    --strategy values: %s\n"
+      "    (default: env KGFD_DEFAULT_STRATEGY, else ENTITY_FREQUENCY;\n"
+      "    ADAPTIVE schedules the budget across the comparative\n"
+      "    strategies + MODEL_SCORE with a per-relation UCB1 bandit)\n"
       "  train/eval/discover/run also accept --metrics_out FILE to dump\n"
       "  the run's metrics registry (counters/gauges/histograms) as JSON\n"
       "  and --deadline_s SECONDS to stop gracefully after a wall-clock\n"
@@ -57,7 +62,10 @@ void PrintUsage() {
       "  KGFD_FAILPOINTS) to arm fault-injection sites; see TESTING.md\n"
       "  eval/discover/run accept --embedding_backend ram|mmap (or env\n"
       "  KGFD_EMBEDDING_BACKEND) to pick checkpoint storage: mmap maps\n"
-      "  the entity table zero-copy instead of copying it into RAM\n");
+      "  the entity table zero-copy instead of copying it into RAM\n",
+      // Derived from AllSamplingStrategies() so the help text can never
+      // drift from what SamplingStrategyFromName accepts.
+      SamplingStrategyNameList().c_str());
 }
 
 /// Writes the registry as JSON when --metrics_out is set.
@@ -336,8 +344,8 @@ int Discover(const Flags& flags) {
   model.status().AbortIfNotOk("load checkpoint");
 
   DiscoveryOptions options;
-  auto strategy = SamplingStrategyFromName(
-      flags.GetString("strategy", "ENTITY_FREQUENCY"));
+  auto strategy = SamplingStrategyFromName(flags.GetString(
+      "strategy", SamplingStrategyName(DefaultSamplingStrategy())));
   strategy.status().AbortIfNotOk("strategy name");
   options.strategy = strategy.value();
   options.top_n = static_cast<size_t>(flags.GetInt("top_n", 500));
@@ -345,6 +353,11 @@ int Discover(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("max_candidates", 500));
   options.type_filter = flags.GetBool("type_filter", false);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 123));
+  options.adaptive_rounds = static_cast<size_t>(
+      flags.GetInt("adaptive_rounds",
+                   static_cast<int64_t>(options.adaptive_rounds)));
+  options.adaptive_exploration =
+      flags.GetDouble("adaptive_exploration", options.adaptive_exploration);
   options.cancel = MakeCancelContext(flags);
 
   MetricsRegistry registry;
@@ -485,6 +498,13 @@ int main(int argc, char** argv) {
   const kgfd::Status storage = kgfd::ValidateEmbeddingBackendEnv();
   if (!storage.ok()) {
     std::fprintf(stderr, "%s\n", storage.ToString().c_str());
+    return 1;
+  }
+  // Same early-validation treatment for KGFD_DEFAULT_STRATEGY: a typo must
+  // not silently fall back to ENTITY_FREQUENCY.
+  const kgfd::Status default_strategy = kgfd::ValidateDefaultStrategyEnv();
+  if (!default_strategy.ok()) {
+    std::fprintf(stderr, "%s\n", default_strategy.ToString().c_str());
     return 1;
   }
   const std::string failpoints =

@@ -125,6 +125,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", storage.ToString().c_str());
     return 1;
   }
+  // A typo'd KGFD_DEFAULT_STRATEGY must fail at startup, not silently
+  // default every job that omits discovery.strategy to ENTITY_FREQUENCY.
+  const kgfd::Status default_strategy = kgfd::ValidateDefaultStrategyEnv();
+  if (!default_strategy.ok()) {
+    std::fprintf(stderr, "%s\n", default_strategy.ToString().c_str());
+    return 1;
+  }
   const std::string failpoints =
       flags.value().GetString("failpoints", "");
   if (!failpoints.empty()) {

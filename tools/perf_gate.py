@@ -2,13 +2,13 @@
 """CI perf-regression gate over the BENCH_*.json perf-trajectory records.
 
 Compares the current run's BENCH_pr6.json (batch-kernel scoring
-throughput), BENCH_pr2.json (parallel ranking speedup) and BENCH_pr8.json
-(storage backends) against the committed baselines in bench/baselines/,
-and fails (exit 1) on:
+throughput), BENCH_pr2.json (parallel ranking speedup), BENCH_pr8.json
+(storage backends) and BENCH_pr9.json (adaptive sampling) against the
+committed baselines in bench/baselines/, and fails (exit 1) on:
 
   * a >``--tolerance`` (default 20%) drop in batch scoring throughput for
     any model, or in parallel-ranking candidate throughput, or in pr8
-    float/int8 ranking throughput;
+    float/int8 ranking throughput, or in pr9 adaptive facts/hour;
   * ``batch_speedup`` below ``--min-batch-speedup`` (default 5.0) for any
     model — the machine-independent contract of the batch kernels;
   * ``ranking_speedup`` below ``--min-ranking-speedup`` (default 1.0);
@@ -16,6 +16,15 @@ and fails (exit 1) on:
     an mmap load that reads the whole file has lost its reason to exist;
   * ``int8_ranking_ratio`` below ``--min-int8-ratio`` (default 1.0) —
     quantized ranking may never be slower than float;
+  * ``adaptive_vs_best_fixed`` below ``--min-adaptive-ratio`` (default
+    0.9) — a scheduler that pays more than 10% of the best fixed
+    strategy's facts/hour for not knowing the best arm up front has lost
+    its reason to exist;
+  * ``sketch_fraction`` above ``--max-sketch-fraction`` (default 0.10) —
+    the model-score sketch is sold as a cheap precompute;
+  * ``vs_entity_frequency`` below ``--min-sketch-quality`` (default 1.0)
+    — the sketch must beat the frequency heuristic it replaces on
+    accepted facts per candidate;
   * ``scores_match`` / ``facts_identical`` / ``mmap_scores_identical``
     false — a kernel that got fast by going wrong is a correctness bug,
     not a perf win.
@@ -32,6 +41,7 @@ Usage (CI):
     --pr6 BENCH_pr6.json --pr6-baseline bench/baselines/BENCH_pr6.json \
     --pr2 BENCH_pr2.json --pr2-baseline bench/baselines/BENCH_pr2.json \
     --pr8 BENCH_pr8.json --pr8-baseline bench/baselines/BENCH_pr8.json \
+    --pr9 BENCH_pr9.json --pr9-baseline bench/baselines/BENCH_pr9.json \
     --summary perf_trend.md
 
 Self-check (run by ctest as perf_gate_selftest):
@@ -46,12 +56,17 @@ import sys
 
 class Gate:
     def __init__(self, tolerance, min_batch_speedup, min_ranking_speedup,
-                 min_mmap_speedup=10.0, min_int8_ratio=1.0):
+                 min_mmap_speedup=10.0, min_int8_ratio=1.0,
+                 min_adaptive_ratio=0.9, max_sketch_fraction=0.10,
+                 min_sketch_quality=1.0):
         self.tolerance = tolerance
         self.min_batch_speedup = min_batch_speedup
         self.min_ranking_speedup = min_ranking_speedup
         self.min_mmap_speedup = min_mmap_speedup
         self.min_int8_ratio = min_int8_ratio
+        self.min_adaptive_ratio = min_adaptive_ratio
+        self.max_sketch_fraction = max_sketch_fraction
+        self.min_sketch_quality = min_sketch_quality
         self.rows = []  # (check, baseline, current, delta, verdict)
         self.failures = []
         self.warnings = []
@@ -68,6 +83,10 @@ class Gate:
     def check_floor(self, name, value, floor, skipped=False):
         self._record(name, f">= {floor:g}", f"{value:.3f}", "-",
                      value >= floor, skipped=skipped)
+
+    def check_ceiling(self, name, value, ceiling, skipped=False):
+        self._record(name, f"<= {ceiling:g}", f"{value:.3f}", "-",
+                     value <= ceiling, skipped=skipped)
 
     def check_throughput(self, name, baseline, current, comparable):
         delta = (current - baseline) / baseline if baseline > 0 else 0.0
@@ -175,6 +194,48 @@ class Gate:
             self.check_throughput(f"pr8.{key}", base_rank[key], rank[key],
                                   comparable)
 
+    def gate_pr9(self, current, baseline):
+        adaptive = current.get("adaptive", {})
+        sketch = current.get("model_score", {})
+        self.check_flag("pr9.adaptive.facts_identical",
+                        adaptive.get("facts_identical"))
+        self.check_flag("pr9.model_score.facts_identical",
+                        sketch.get("facts_identical"))
+        if not (self.require(adaptive,
+                             ["adaptive_vs_best_fixed", "facts_per_hour"],
+                             "pr9.adaptive") and
+                self.require(sketch,
+                             ["sketch_fraction", "vs_entity_frequency"],
+                             "pr9.model_score")):
+            return
+        # Machine-independent ratios: always enforced. Both sides of each
+        # ratio come from the same interleaved bench invocation, so host
+        # speed cancels out.
+        self.check_floor("pr9.adaptive_vs_best_fixed",
+                         adaptive["adaptive_vs_best_fixed"],
+                         self.min_adaptive_ratio)
+        self.check_ceiling("pr9.sketch_fraction", sketch["sketch_fraction"],
+                           self.max_sketch_fraction)
+        self.check_floor("pr9.model_score_vs_entity_frequency",
+                         sketch["vs_entity_frequency"],
+                         self.min_sketch_quality)
+        comparable = current.get("kernel_backend") == baseline.get(
+            "kernel_backend")
+        if not comparable:
+            self.warnings.append(
+                "pr9: kernel_backend differs from baseline "
+                f"({current.get('kernel_backend')} vs "
+                f"{baseline.get('kernel_backend')}); absolute throughput "
+                "not compared")
+        base_adaptive = baseline.get("adaptive", {})
+        if "facts_per_hour" not in base_adaptive:
+            self.failures.append(
+                "pr9.adaptive.facts_per_hour: missing from baseline")
+            return
+        self.check_throughput("pr9.adaptive.facts_per_hour",
+                              base_adaptive["facts_per_hour"],
+                              adaptive["facts_per_hour"], comparable)
+
     def summary_markdown(self):
         lines = ["# Perf trend", "",
                  "| check | baseline / floor | current | delta | verdict |",
@@ -250,14 +311,26 @@ def self_test():
                     "int8_mscores_per_s": 65.0,
                     "int8_ranking_ratio": 1.08},
     }
+    pr9 = {
+        "kernel_backend": "avx2",
+        "adaptive": {"facts_identical": True,
+                     "facts_per_hour": 100.0e6,
+                     "adaptive_vs_best_fixed": 0.95},
+        "model_score": {"facts_identical": True,
+                        "sketch_fraction": 0.02,
+                        "vs_entity_frequency": 1.3},
+    }
 
-    def run(cur6, base6, cur2, base2, cur8=None, base8=None):
+    def run(cur6, base6, cur2, base2, cur8=None, base8=None,
+            cur9=None, base9=None):
         g = Gate(tolerance=0.20, min_batch_speedup=5.0,
                  min_ranking_speedup=1.0)
         g.gate_pr6(cur6, base6)
         g.gate_pr2(cur2, base2)
         g.gate_pr8(cur8 if cur8 is not None else pr8,
                    base8 if base8 is not None else pr8)
+        g.gate_pr9(cur9 if cur9 is not None else pr9,
+                   base9 if base9 is not None else pr9)
         return g
 
     # Identical current and baseline passes.
@@ -379,11 +452,66 @@ def self_test():
     assert any("cold_start_speedup" in f and "missing" in f
                for f in g.failures), g.failures
 
+    # An adaptive sweep below 0.9x the best fixed strategy fails even
+    # against its own baseline.
+    lagging = copy.deepcopy(pr9)
+    lagging["adaptive"]["adaptive_vs_best_fixed"] = 0.8
+    g = run(pr6, pr6, pr2, pr2, cur9=lagging, base9=lagging)
+    assert any("adaptive_vs_best_fixed" in f for f in g.failures), g.failures
+
+    # A sketch precompute above 10% of the run's time fails.
+    pricey = copy.deepcopy(pr9)
+    pricey["model_score"]["sketch_fraction"] = 0.25
+    g = run(pr6, pr6, pr2, pr2, cur9=pricey, base9=pricey)
+    assert any("sketch_fraction" in f for f in g.failures), g.failures
+
+    # A sketch that loses to the frequency heuristic it replaces fails.
+    beaten = copy.deepcopy(pr9)
+    beaten["model_score"]["vs_entity_frequency"] = 0.9
+    g = run(pr6, pr6, pr2, pr2, cur9=beaten, base9=beaten)
+    assert any("model_score_vs_entity_frequency" in f
+               for f in g.failures), g.failures
+
+    # Thread-count or resume divergence is a hard failure despite speed.
+    forked = copy.deepcopy(pr9)
+    forked["adaptive"]["facts_identical"] = False
+    g = run(pr6, pr6, pr2, pr2, cur9=forked, base9=pr9)
+    assert any("adaptive.facts_identical" in f for f in g.failures), \
+        g.failures
+
+    # A 30% adaptive facts/hour drop vs baseline fails...
+    pr9_slow = copy.deepcopy(pr9)
+    pr9_slow["adaptive"]["facts_per_hour"] = 70.0e6
+    g = run(pr6, pr6, pr2, pr2, cur9=pr9_slow, base9=pr9)
+    assert any("facts_per_hour" in f for f in g.failures), g.failures
+
+    # ...unless the kernel backend differs (ratios still enforced).
+    pr9_portable = copy.deepcopy(pr9_slow)
+    pr9_portable["kernel_backend"] = "portable"
+    g = run(pr6, pr6, pr2, pr2, cur9=pr9_portable, base9=pr9)
+    assert not g.failures, g.failures
+    assert any("pr9" in w for w in g.warnings), g.warnings
+
+    # Gutted pr9 records fail with a named key, not a KeyError.
+    hollow9 = copy.deepcopy(pr9)
+    del hollow9["adaptive"]["adaptive_vs_best_fixed"]
+    g = run(pr6, pr6, pr2, pr2, cur9=hollow9, base9=pr9)
+    assert any("adaptive_vs_best_fixed" in f and "missing" in f
+               for f in g.failures), g.failures
+
+    # A baseline without adaptive throughput fails rather than skipping.
+    bald9 = copy.deepcopy(pr9)
+    del bald9["adaptive"]["facts_per_hour"]
+    g = run(pr6, pr6, pr2, pr2, cur9=pr9, base9=bald9)
+    assert any("missing from baseline" in f for f in g.failures), g.failures
+
     # Markdown summary renders every check row.
     g = run(pr6, pr6, pr2, pr2)
     md = g.summary_markdown()
     assert "pr6.TransE.batch_speedup" in md and "PASS" in md
     assert "pr8.cold_start_speedup" in md
+    assert "pr9.adaptive_vs_best_fixed" in md
+    assert "pr9.sketch_fraction" in md
 
     print("perf_gate self-test: all checks behave as specified")
     return 0
@@ -397,11 +525,16 @@ def main():
     parser.add_argument("--pr2-baseline")
     parser.add_argument("--pr8")
     parser.add_argument("--pr8-baseline")
+    parser.add_argument("--pr9")
+    parser.add_argument("--pr9-baseline")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-batch-speedup", type=float, default=5.0)
     parser.add_argument("--min-ranking-speedup", type=float, default=1.0)
     parser.add_argument("--min-mmap-speedup", type=float, default=10.0)
     parser.add_argument("--min-int8-ratio", type=float, default=1.0)
+    parser.add_argument("--min-adaptive-ratio", type=float, default=0.9)
+    parser.add_argument("--max-sketch-fraction", type=float, default=0.10)
+    parser.add_argument("--min-sketch-quality", type=float, default=1.0)
     parser.add_argument("--summary", help="write a markdown trend summary")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
@@ -411,15 +544,19 @@ def main():
 
     gate = Gate(args.tolerance, args.min_batch_speedup,
                 args.min_ranking_speedup, args.min_mmap_speedup,
-                args.min_int8_ratio)
+                args.min_int8_ratio, args.min_adaptive_ratio,
+                args.max_sketch_fraction, args.min_sketch_quality)
     if args.pr6:
         gate.gate_pr6(load(args.pr6), load(args.pr6_baseline))
     if args.pr2:
         gate.gate_pr2(load(args.pr2), load(args.pr2_baseline))
     if args.pr8:
         gate.gate_pr8(load(args.pr8), load(args.pr8_baseline))
-    if not args.pr6 and not args.pr2 and not args.pr8:
-        parser.error("nothing to gate: pass --pr6, --pr2 and/or --pr8")
+    if args.pr9:
+        gate.gate_pr9(load(args.pr9), load(args.pr9_baseline))
+    if not args.pr6 and not args.pr2 and not args.pr8 and not args.pr9:
+        parser.error(
+            "nothing to gate: pass --pr6, --pr2, --pr8 and/or --pr9")
     if args.summary:
         with open(args.summary, "w") as f:
             f.write(gate.summary_markdown())
