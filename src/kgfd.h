@@ -41,6 +41,7 @@
 #include "server/http.h"               // IWYU pragma: export
 #include "server/http_client.h"        // IWYU pragma: export
 #include "server/http_server.h"        // IWYU pragma: export
+#include "server/job_journal.h"        // IWYU pragma: export
 #include "server/job_manager.h"        // IWYU pragma: export
 #include "obs/export.h"        // IWYU pragma: export
 #include "obs/metrics.h"       // IWYU pragma: export

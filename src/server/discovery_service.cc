@@ -32,6 +32,8 @@ std::string FormatJobStatusText(const JobStatus& status) {
   out << "stopped_reason = " << StoppedReasonName(status.stopped_reason)
       << "\n";
   out << "runtime_seconds = " << status.runtime_seconds << "\n";
+  out << "attempts = " << status.attempts << "\n";
+  if (status.recovered) out << "recovered = true\n";
   if (!status.error.empty()) {
     // The error may span lines; keep the body one key per line.
     std::string flat = status.error;

@@ -19,18 +19,32 @@ namespace {
 
 /// Full-buffer send. MSG_NOSIGNAL everywhere: a client that closed early
 /// must surface as an error return, never as a process-killing SIGPIPE.
-bool SendAll(int fd, const std::string& data) {
+/// `timed_out`, when non-null, is set if the send gave up because the
+/// socket's SO_SNDTIMEO expired (the client stopped reading).
+bool SendAll(int fd, const std::string& data, bool* timed_out = nullptr) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          timed_out != nullptr) {
+        *timed_out = true;
+      }
       return false;
     }
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+timeval TimevalFromSeconds(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  return tv;
 }
 
 /// Reads one framed request (head + Content-Length body) off the socket.
@@ -70,6 +84,13 @@ Status RecvRequestText(int fd, size_t max_body_bytes, std::string* out) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the client started a request and stalled.
+        // Distinct from plain IoError so the caller can close with a
+        // descriptive 408 instead of silence.
+        return Status::DeadlineExceeded(
+            "timed out waiting for the rest of the request");
+      }
       return Status::IoError("recv failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -160,14 +181,21 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::ServeConnection(int fd) {
   WallTimer timer;
-  // Bound how long a silent client can hold this worker.
+  // Bound how long a silent client can hold this worker, in both
+  // directions: a client that stops sending its request (SO_RCVTIMEO) and
+  // one that stops reading its response (SO_SNDTIMEO, the slow-loris
+  // reader of a large facts TSV).
   if (options_.receive_timeout_s > 0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(options_.receive_timeout_s);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (options_.receive_timeout_s - std::floor(options_.receive_timeout_s)) *
-        1e6);
+    const timeval tv = TimevalFromSeconds(options_.receive_timeout_s);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.send_timeout_s > 0) {
+    const timeval tv = TimevalFromSeconds(options_.send_timeout_s);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.send_buffer_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                 sizeof(options_.send_buffer_bytes));
   }
 
   Counter* requests = nullptr;
@@ -183,14 +211,23 @@ void HttpServer::ServeConnection(int fd) {
   HttpResponse response;
   if (!recv_status.ok()) {
     if (recv_status.code() == StatusCode::kIoError) {
-      // Nothing parseable arrived (client vanished / timed out): no
-      // response is owed; just close.
+      // Nothing parseable arrived (client vanished): no response is owed;
+      // just close.
       ::close(fd);
       return;
     }
-    const bool too_large =
-        recv_status.message().find("too large") != std::string::npos;
-    response = TextResponse(too_large ? 413 : 400, recv_status.message());
+    if (recv_status.code() == StatusCode::kDeadlineExceeded) {
+      // Stalled mid-request: best-effort descriptive 408, then close.
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter(kServerRecvTimeoutsCounter)
+            ->Increment();
+      }
+      response = TextResponse(408, recv_status.message());
+    } else {
+      const bool too_large =
+          recv_status.message().find("too large") != std::string::npos;
+      response = TextResponse(too_large ? 413 : 400, recv_status.message());
+    }
   } else {
     const auto request = ParseHttpRequest(text);
     if (!request.ok()) {
@@ -205,7 +242,11 @@ void HttpServer::ServeConnection(int fd) {
     options_.metrics->GetHistogram(kServerRequestSecondsHist)
         ->Observe(timer.ElapsedSeconds());
   }
-  SendAll(fd, SerializeHttpResponse(response));
+  bool send_timed_out = false;
+  SendAll(fd, SerializeHttpResponse(response), &send_timed_out);
+  if (send_timed_out && options_.metrics != nullptr) {
+    options_.metrics->GetCounter(kServerSendTimeoutsCounter)->Increment();
+  }
   ::shutdown(fd, SHUT_WR);  // flush FIN before close
   ::close(fd);
 }

@@ -22,6 +22,12 @@ inline constexpr char kServerRequestErrorsCounter[] =
     "server.requests.errors";
 inline constexpr char kServerRequestSecondsHist[] =
     "server.request.seconds";
+/// Connections whose client stopped sending mid-request (SO_RCVTIMEO) or
+/// stopped reading mid-response (SO_SNDTIMEO, the slow-loris reader).
+inline constexpr char kServerRecvTimeoutsCounter[] =
+    "server.requests.recv_timeouts";
+inline constexpr char kServerSendTimeoutsCounter[] =
+    "server.requests.send_timeouts";
 
 class MetricsRegistry;
 
@@ -44,8 +50,17 @@ class HttpServer {
     /// Requests with a larger body are rejected with 413 before buffering.
     size_t max_body_bytes = 8u << 20;
     /// Per-socket receive timeout; a client that stops sending mid-request
-    /// cannot hold a worker (and block drain) longer than this.
+    /// cannot hold a worker (and block drain) longer than this. A timed-out
+    /// request gets a best-effort 408 before the close.
     double receive_timeout_s = 10.0;
+    /// Per-socket send timeout (SO_SNDTIMEO): a slow-loris client reading a
+    /// large /jobs/<id>/facts response a few bytes at a time cannot pin a
+    /// connection worker past this; the connection is closed and counted
+    /// in server.requests.send_timeouts.
+    double send_timeout_s = 10.0;
+    /// Test hook: shrink the kernel send buffer (SO_SNDBUF) so a
+    /// non-reading client back-pressures SendAll quickly. 0 = OS default.
+    int send_buffer_bytes = 0;
     /// Connection tasks run here. Required, borrowed.
     ThreadPool* pool = nullptr;
     /// Optional request count/error/latency metrics (names above).

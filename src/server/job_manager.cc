@@ -1,9 +1,14 @@
 #include "server/job_manager.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -15,6 +20,7 @@
 #include "kge/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/config_file.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace kgfd {
@@ -54,6 +60,118 @@ Result<size_t> GetPositiveSize(const ConfigFile& config,
   return static_cast<size_t>(raw);
 }
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stable on-disk encoding of the terminal JobStates (journal kTerminal
+/// records). Values are part of the journal format — never renumber.
+uint8_t JobStateToJournal(JobState state) {
+  switch (state) {
+    case JobState::kDone:
+      return 1;
+    case JobState::kCancelled:
+      return 2;
+    case JobState::kDeadline:
+      return 3;
+    case JobState::kFailed:
+      return 4;
+    case JobState::kFailedPoisoned:
+      return 5;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // never journaled as terminal
+  }
+  return 4;
+}
+
+JobState JobStateFromJournal(uint8_t encoded) {
+  switch (encoded) {
+    case 1:
+      return JobState::kDone;
+    case 2:
+      return JobState::kCancelled;
+    case 3:
+      return JobState::kDeadline;
+    case 4:
+      return JobState::kFailed;
+    case 5:
+      return JobState::kFailedPoisoned;
+    default:
+      // Unknown terminal code from a future format revision: the job is
+      // over either way; surface it as failed rather than re-running it.
+      return JobState::kFailed;
+  }
+}
+
+std::string FactsPathFor(const std::string& work_dir,
+                         const std::string& job_id) {
+  return work_dir + "/" + job_id + ".facts.tsv";
+}
+
+/// Atomic tmp+rename write, same crash contract as resume manifests: a
+/// kill at any point leaves either the old file or the new, never a torn
+/// mix.
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("write to " + tmp + " failed: " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path +
+                           " failed: " + err);
+  }
+  return Status::OK();
+}
+
+/// Best-effort whole-file read ("" when absent/unreadable) for restoring a
+/// terminal job's facts at recovery.
+std::string ReadFileOrEmpty(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return "";
+  std::string data;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    data.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+/// Numeric part of "j<N>" job ids, 0 if the id has another shape.
+uint64_t JobIdNumber(const std::string& id) {
+  if (id.size() < 2 || id[0] != 'j') return 0;
+  uint64_t n = 0;
+  for (size_t i = 1; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return 0;
+    n = n * 10 + static_cast<uint64_t>(id[i] - '0');
+  }
+  return n;
+}
+
 }  // namespace
 
 const char* JobStateName(JobState state) {
@@ -70,6 +188,8 @@ const char* JobStateName(JobState state) {
       return "deadline";
     case JobState::kFailed:
       return "failed";
+    case JobState::kFailedPoisoned:
+      return "failed_poisoned";
   }
   return "unknown";
 }
@@ -172,18 +292,266 @@ JobManager::JobManager(Options options) : options_(std::move(options)) {
   // startup error; this covers direct (test) construction.
   (void)EnsureDirectory(options_.work_dir).ok();
   if (options_.metrics != nullptr) {
-    // Pre-register the job counters so /metrics exports the full series
-    // from boot instead of materializing them on first use.
-    options_.metrics->GetCounter(kServerJobsSubmittedCounter);
-    options_.metrics->GetCounter(kServerJobsCompletedCounter);
-    options_.metrics->GetCounter(kServerJobsRejectedCounter);
-    options_.metrics->GetCounter(kServerModelCacheHitsCounter);
-    options_.metrics->GetCounter(kServerModelCacheMissesCounter);
+    // Pre-register the counters so /metrics exports the full series from
+    // boot instead of materializing them on first use.
+    for (const char* name :
+         {kServerJobsSubmittedCounter, kServerJobsCompletedCounter,
+          kServerJobsRejectedCounter, kServerModelCacheHitsCounter,
+          kServerModelCacheMissesCounter, kServerJournalRecordsCounter,
+          kServerJournalErrorsCounter, kServerJournalRotationsCounter,
+          kServerJournalTruncatedBytesCounter,
+          kServerJournalQuarantinedCounter, kServerJobsRecoveredCounter,
+          kServerJobsRetriedCounter, kServerJobsPoisonedCounter,
+          kServerWatchdogStallsCounter}) {
+      options_.metrics->GetCounter(name);
+    }
   }
+  OpenJournal();  // replays + rebuilds state; runs before any thread exists
   runner_ = std::thread([this] { RunnerLoop(); });
+  if (options_.stall_timeout_s > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 JobManager::~JobManager() { Shutdown(); }
+
+void JobManager::BumpCounter(const char* name, uint64_t delta) {
+  if (options_.metrics != nullptr && delta > 0) {
+    options_.metrics->GetCounter(name)->Increment(delta);
+  }
+}
+
+void JobManager::OpenJournal() {
+  JobJournal::ReplayResult replay;
+  auto opened = JobJournal::Open(options_.work_dir, options_.journal,
+                                 &replay);
+  if (!opened.ok()) {
+    // A journal we cannot replay (foreign magic, unsupported version) must
+    // not take the server down with it, and must not be silently deleted
+    // either: move the segments aside for inspection and boot fresh.
+    recovery_.journal_error = opened.status().ToString();
+    auto quarantined = JobJournal::QuarantineSegments(options_.work_dir);
+    if (quarantined.ok()) {
+      recovery_.quarantined_segments = quarantined.value();
+      BumpCounter(kServerJournalQuarantinedCounter, quarantined.value());
+    }
+    replay = JobJournal::ReplayResult{};
+    opened = JobJournal::Open(options_.work_dir, options_.journal, &replay);
+  }
+  if (opened.ok()) {
+    journal_ = std::move(opened).value();
+  } else if (recovery_.journal_error.empty()) {
+    // Unwritable work_dir etc.: degrade to the pre-durability in-memory
+    // behavior instead of refusing to serve.
+    recovery_.journal_error = opened.status().ToString();
+  }
+  recovery_.truncated_bytes = replay.truncated_bytes;
+  BumpCounter(kServerJournalTruncatedBytesCounter, replay.truncated_bytes);
+  recovery_.replayed_records = replay.records.size();
+  RecoverFromJournal(std::move(replay.records));
+}
+
+void JobManager::RecoverFromJournal(std::vector<JournalRecord> records) {
+  if (records.empty()) return;
+  struct Pending {
+    std::string config_text;
+    uint32_t attempts = 0;
+    uint64_t relations_done = 0;
+    bool terminal = false;
+    uint8_t terminal_state = 0;
+    std::string error;
+    uint64_t num_facts = 0;
+  };
+  // Replay state machine. Each rule is defensive: duplicated records
+  // (first submit wins, max attempt wins, last terminal wins) and orphaned
+  // records (no prior submit) apply idempotently or drop, so a journal
+  // mangled into reorderings still recovers without crashing.
+  std::vector<std::string> order;
+  std::unordered_map<std::string, Pending> pending;
+  for (JournalRecord& record : records) {
+    if (record.job_id.empty()) continue;
+    auto it = pending.find(record.job_id);
+    switch (record.type) {
+      case JournalRecord::Type::kSubmitted:
+        if (it == pending.end()) {
+          pending[record.job_id].config_text = std::move(record.config_text);
+          order.push_back(record.job_id);
+        }
+        break;
+      case JournalRecord::Type::kStarted:
+        if (it != pending.end()) {
+          it->second.attempts = std::max(it->second.attempts, record.attempt);
+        }
+        break;
+      case JournalRecord::Type::kProgress:
+        if (it != pending.end()) {
+          it->second.relations_done =
+              std::max(it->second.relations_done, record.relations_done);
+        }
+        break;
+      case JournalRecord::Type::kTerminal:
+        if (it != pending.end()) {
+          it->second.terminal = true;
+          it->second.terminal_state = record.terminal_state;
+          it->second.error = std::move(record.error);
+          it->second.num_facts = record.num_facts;
+        }
+        break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& id : order) {
+    Pending& entry = pending[id];
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->recovered = true;
+    job->attempts = entry.attempts;
+    job->relations_done.store(entry.relations_done,
+                              std::memory_order_relaxed);
+    job->token = std::make_unique<CancellationToken>();
+    next_id_ = std::max(next_id_, JobIdNumber(id) + 1);
+
+    auto parsed = JobRequest::Parse(entry.config_text);
+    if (parsed.ok()) {
+      job->request = std::move(parsed).value();
+    } else {
+      job->request.config_text = entry.config_text;
+    }
+
+    Job* raw = job.get();
+    jobs_.emplace(raw->id, std::move(job));
+    job_order_.push_back(raw);
+
+    if (entry.terminal) {
+      raw->state = JobStateFromJournal(entry.terminal_state);
+      raw->error = std::move(entry.error);
+      raw->num_facts = entry.num_facts;
+      raw->facts_tsv = ReadFileOrEmpty(FactsPathFor(options_.work_dir, id));
+      ++recovery_.jobs_restored;
+      continue;
+    }
+    if (!parsed.ok()) {
+      // The submitted bytes no longer parse (format skew across versions):
+      // fail the job descriptively instead of crashing the runner on it.
+      raw->state = JobState::kFailed;
+      raw->error = "recovered job config no longer parses: " +
+                   parsed.status().ToString();
+      PersistTerminalLocked(raw);
+      ++recovery_.jobs_restored;
+      continue;
+    }
+    // A restart grants one attempt beyond the in-process budget (the crash
+    // may have been nobody's fault); a job that exceeds even that without
+    // reaching terminal is crash-looping the server and gets quarantined
+    // instead of a fourth chance.
+    const uint32_t boot_budget =
+        static_cast<uint32_t>(std::max<size_t>(options_.retry.max_attempts,
+                                               1)) +
+        1;
+    if (raw->attempts >= boot_budget) {
+      raw->state = JobState::kFailedPoisoned;
+      raw->stopped_reason = StoppedReason::kNone;
+      raw->error = "quarantined at boot: " + std::to_string(raw->attempts) +
+                   " attempts started without reaching a terminal state "
+                   "(crash loop)";
+      PersistTerminalLocked(raw);
+      ++recovery_.jobs_poisoned;
+      BumpCounter(kServerJobsPoisonedCounter);
+      continue;
+    }
+    // Interrupted or never started: back on the queue in submission order.
+    // A job that was mid-sweep resumes through its manifest, so recovered
+    // output is byte-identical to an uninterrupted run.
+    raw->state = JobState::kQueued;
+    queue_.push_back(raw);
+    ++recovery_.jobs_recovered;
+    BumpCounter(kServerJobsRecoveredCounter);
+  }
+}
+
+void JobManager::JournalAppendLocked(const JournalRecord& record) {
+  if (journal_ == nullptr || crashed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const Status appended = journal_->Append(record);
+  if (appended.ok()) {
+    BumpCounter(kServerJournalRecordsCounter);
+  } else {
+    BumpCounter(kServerJournalErrorsCounter);
+    return;
+  }
+  if (journal_->ShouldRotate()) {
+    const Status rotated = journal_->Rotate(JournalSnapshotLocked());
+    if (rotated.ok()) {
+      BumpCounter(kServerJournalRotationsCounter);
+    } else {
+      // The old segment is still active and intact; compaction will be
+      // retried at the next append.
+      BumpCounter(kServerJournalErrorsCounter);
+    }
+  }
+}
+
+std::vector<JournalRecord> JobManager::JournalSnapshotLocked() const {
+  // Compacted live state: per job, its submission, its attempt high-water
+  // mark, and its terminal record. Progress records are cosmetic and are
+  // dropped by compaction.
+  std::vector<JournalRecord> snapshot;
+  snapshot.reserve(job_order_.size() * 3);
+  for (const Job* job : job_order_) {
+    JournalRecord submitted;
+    submitted.type = JournalRecord::Type::kSubmitted;
+    submitted.job_id = job->id;
+    submitted.config_text = job->request.config_text;
+    snapshot.push_back(std::move(submitted));
+    if (job->attempts > 0) {
+      JournalRecord started;
+      started.type = JournalRecord::Type::kStarted;
+      started.job_id = job->id;
+      started.attempt = job->attempts;
+      snapshot.push_back(std::move(started));
+    }
+    if (job->state != JobState::kQueued && job->state != JobState::kRunning) {
+      JournalRecord terminal;
+      terminal.type = JournalRecord::Type::kTerminal;
+      terminal.job_id = job->id;
+      terminal.terminal_state = JobStateToJournal(job->state);
+      terminal.error = job->error;
+      terminal.num_facts = job->num_facts;
+      snapshot.push_back(std::move(terminal));
+    }
+  }
+  return snapshot;
+}
+
+void JobManager::PersistTerminalLocked(Job* job) {
+  if (crashed_.load(std::memory_order_acquire)) return;
+  // The deterministic pre-terminal-flush crash point: a triggered spec
+  // here means the job finished in memory but neither its facts file nor
+  // its terminal record reach disk — on restart the job re-runs (fast,
+  // through its manifest) exactly as after a real kill in this window.
+  if (!FailPoints::Instance().Evaluate(kFailPointJournalTerminal).ok()) {
+    return;
+  }
+  // Facts before terminal record: a kTerminal in the journal implies the
+  // facts bytes are durable, so a restored `done` job can always serve
+  // them. If the facts write fails we skip the terminal record too — the
+  // job simply re-runs after a restart.
+  const Status facts_written = WriteFileAtomic(
+      FactsPathFor(options_.work_dir, job->id), job->facts_tsv);
+  if (!facts_written.ok()) {
+    BumpCounter(kServerJournalErrorsCounter);
+    return;
+  }
+  JournalRecord record;
+  record.type = JournalRecord::Type::kTerminal;
+  record.job_id = job->id;
+  record.terminal_state = JobStateToJournal(job->state);
+  record.error = job->error;
+  record.num_facts = job->num_facts;
+  JournalAppendLocked(record);
+}
 
 Result<std::string> JobManager::Submit(const std::string& config_text) {
   Counter* rejected =
@@ -204,6 +572,7 @@ Result<std::string> JobManager::Submit(const std::string& config_text) {
   auto job = std::make_unique<Job>();
   job->id = "j" + std::to_string(next_id_++);
   job->request = std::move(request);
+  job->token = std::make_unique<CancellationToken>();
   Job* raw = job.get();
   jobs_.emplace(raw->id, std::move(job));
   job_order_.push_back(raw);
@@ -211,6 +580,11 @@ Result<std::string> JobManager::Submit(const std::string& config_text) {
   if (options_.metrics != nullptr) {
     options_.metrics->GetCounter(kServerJobsSubmittedCounter)->Increment();
   }
+  JournalRecord record;
+  record.type = JournalRecord::Type::kSubmitted;
+  record.job_id = raw->id;
+  record.config_text = raw->request.config_text;
+  JournalAppendLocked(record);
   work_available_.notify_one();
   return raw->id;
 }
@@ -225,6 +599,8 @@ JobStatus JobManager::SnapshotLocked(const Job& job) const {
   status.num_facts = job.num_facts;
   status.stopped_reason = job.stopped_reason;
   status.runtime_seconds = job.runtime_seconds;
+  status.attempts = job.attempts;
+  status.recovered = job.recovered;
   return status;
 }
 
@@ -260,6 +636,8 @@ Status JobManager::Cancel(const std::string& id) {
   }
   Job* job = it->second.get();
   if (job->state == JobState::kQueued) {
+    // Dequeue immediately: the job never starts, never touches the model
+    // or discovery counters, and is terminal the moment this returns.
     for (auto queued = queue_.begin(); queued != queue_.end(); ++queued) {
       if (*queued == job) {
         queue_.erase(queued);
@@ -268,13 +646,16 @@ Status JobManager::Cancel(const std::string& id) {
     }
     job->state = JobState::kCancelled;
     job->stopped_reason = StoppedReason::kCancelled;
+    job->user_cancelled = true;
+    PersistTerminalLocked(job);
     if (options_.metrics != nullptr) {
       options_.metrics->GetCounter(kServerJobsCompletedCounter)->Increment();
     }
     return Status::OK();
   }
   if (job->state == JobState::kRunning) {
-    job->token.RequestCancel();
+    job->user_cancelled = true;
+    if (job->token != nullptr) job->token->RequestCancel();
     return Status::OK();
   }
   return Status::OK();  // already terminal — cancellation is idempotent
@@ -296,21 +677,48 @@ void JobManager::Shutdown() {
     if (draining_.exchange(true, std::memory_order_acq_rel)) {
       // Second caller: fall through to the join below (idempotent).
     } else {
-      // Queued jobs never run; the in-flight one is cancelled
-      // cooperatively so it flushes its manifest before the runner exits.
-      for (Job* job : queue_) {
-        job->state = JobState::kCancelled;
-        job->stopped_reason = StoppedReason::kCancelled;
-        job->error = "server shutdown before the job ran";
+      if (options_.cancel_queued_on_drain) {
+        // Queued jobs never run; the in-flight one is cancelled
+        // cooperatively so it flushes its manifest before the runner
+        // exits.
+        for (Job* job : queue_) {
+          job->state = JobState::kCancelled;
+          job->stopped_reason = StoppedReason::kCancelled;
+          job->error = "server shutdown before the job ran";
+          PersistTerminalLocked(job);
+        }
+        queue_.clear();
       }
-      queue_.clear();
+      // else: leave them queued — their kSubmitted records stay
+      // non-terminal in the journal, and the next boot re-enqueues them.
       for (Job* job : job_order_) {
-        if (job->state == JobState::kRunning) job->token.RequestCancel();
+        if (job->state == JobState::kRunning && job->token != nullptr) {
+          job->token->RequestCancel();
+        }
       }
     }
     work_available_.notify_all();
+    watchdog_wakeup_.notify_all();
   }
   if (runner_.joinable()) runner_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void JobManager::KillForTesting() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_.store(true, std::memory_order_release);
+    draining_.store(true, std::memory_order_release);
+    for (Job* job : job_order_) {
+      if (job->state == JobState::kRunning && job->token != nullptr) {
+        job->token->RequestCancel();
+      }
+    }
+    work_available_.notify_all();
+    watchdog_wakeup_.notify_all();
+  }
+  if (runner_.joinable()) runner_.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 void JobManager::RunnerLoop() {
@@ -321,7 +729,9 @@ void JobManager::RunnerLoop() {
       work_available_.wait(lock, [this] {
         return !queue_.empty() || draining_.load(std::memory_order_acquire);
       });
-      if (queue_.empty()) return;  // draining and nothing left
+      // On drain the queue is either already cleared
+      // (cancel_queued_on_drain) or deliberately left for the next boot.
+      if (draining_.load(std::memory_order_acquire)) return;
       job = queue_.front();
       queue_.pop_front();
       job->state = JobState::kRunning;
@@ -330,40 +740,152 @@ void JobManager::RunnerLoop() {
   }
 }
 
-void JobManager::RunOne(Job* job) {
-  WallTimer timer;
-  const Status status = job->request.kind == JobRequest::Kind::kDiscover
-                            ? RunDiscoverJob(job)
-                            : RunPipelineJob(job);
-  std::lock_guard<std::mutex> lock(mu_);
-  job->runtime_seconds = timer.ElapsedSeconds();
-  if (!status.ok()) {
-    if (status.code() == StatusCode::kCancelled) {
-      job->state = JobState::kCancelled;
-    } else if (status.code() == StatusCode::kDeadlineExceeded) {
-      job->state = JobState::kDeadline;
-    } else {
-      job->state = JobState::kFailed;
-    }
-    job->error = status.ToString();
-  } else {
-    // An OK run may still have stopped early (graceful degradation):
-    // partial facts were captured by the Run*Job body, the state records
-    // why the sweep ended.
-    switch (job->stopped_reason) {
-      case StoppedReason::kCancelled:
-        job->state = JobState::kCancelled;
-        break;
-      case StoppedReason::kDeadline:
-        job->state = JobState::kDeadline;
-        break;
-      case StoppedReason::kNone:
-        job->state = JobState::kDone;
-        break;
+void JobManager::WatchdogLoop() {
+  const auto poll = std::chrono::duration<double>(
+      options_.watchdog_poll_s > 0 ? options_.watchdog_poll_s : 0.05);
+  const int64_t stall_ns =
+      static_cast<int64_t>(options_.stall_timeout_s * 1e9);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!draining_.load(std::memory_order_acquire)) {
+    watchdog_wakeup_.wait_for(lock, poll);
+    if (draining_.load(std::memory_order_acquire)) return;
+    const int64_t now = NowNs();
+    for (Job* job : job_order_) {
+      if (job->state != JobState::kRunning) continue;
+      const int64_t beat =
+          job->last_heartbeat_ns.load(std::memory_order_relaxed);
+      if (beat == 0 || now - beat < stall_ns) continue;
+      if (!job->stall_cancelled.exchange(true, std::memory_order_acq_rel)) {
+        // The attempt is stuck: cancel cooperatively. RunOne sees the
+        // stall flag and routes the outcome through the retry budget
+        // instead of reporting a user cancellation.
+        if (job->token != nullptr) job->token->RequestCancel();
+        BumpCounter(kServerWatchdogStallsCounter);
+      }
     }
   }
-  if (options_.metrics != nullptr) {
-    options_.metrics->GetCounter(kServerJobsCompletedCounter)->Increment();
+}
+
+void JobManager::Heartbeat(Job* job) {
+  job->last_heartbeat_ns.store(NowNs(), std::memory_order_relaxed);
+}
+
+void JobManager::RunOne(Job* job) {
+  WallTimer timer;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (crashed_.load(std::memory_order_acquire)) return;
+      if (draining_.load(std::memory_order_acquire)) {
+        // Drain won the race between dequeue and attempt start (or hit a
+        // retry boundary): terminal now, without running.
+        job->state = JobState::kCancelled;
+        job->stopped_reason = StoppedReason::kCancelled;
+        job->error = "server shutdown before the job ran";
+        job->runtime_seconds = timer.ElapsedSeconds();
+        PersistTerminalLocked(job);
+        BumpCounter(kServerJobsCompletedCounter);
+        return;
+      }
+      ++job->attempts;
+      // A cancelled token stays cancelled; each attempt gets a fresh one.
+      job->token = std::make_unique<CancellationToken>();
+      job->stall_cancelled.store(false, std::memory_order_release);
+      Heartbeat(job);
+      JournalRecord record;
+      record.type = JournalRecord::Type::kStarted;
+      record.job_id = job->id;
+      record.attempt = job->attempts;
+      JournalAppendLocked(record);
+    }
+
+    const Status status = job->request.kind == JobRequest::Kind::kDiscover
+                              ? RunDiscoverJob(job)
+                              : RunPipelineJob(job);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    if (crashed_.load(std::memory_order_acquire)) return;
+    job->last_heartbeat_ns.store(0, std::memory_order_relaxed);
+    const bool stalled =
+        job->stall_cancelled.load(std::memory_order_acquire);
+    const bool user_stop = job->user_cancelled ||
+                           draining_.load(std::memory_order_acquire);
+
+    // A watchdog stall surfaces as a *graceful* cancellation (OK +
+    // stopped_reason=kCancelled, or a kCancelled error from a seam that
+    // observed the token first) — distinguish it from a real DELETE/drain
+    // by the stall flag.
+    bool stall_failure = false;
+    if (stalled && !user_stop) {
+      stall_failure =
+          (status.ok() && job->stopped_reason == StoppedReason::kCancelled) ||
+          (!status.ok() && status.code() == StatusCode::kCancelled);
+    }
+    const bool retryable_error =
+        !status.ok() && !user_stop &&
+        status.code() != StatusCode::kCancelled &&
+        status.code() != StatusCode::kDeadlineExceeded &&
+        RetryableCode(options_.retry, status.code());
+
+    if (stall_failure || retryable_error) {
+      if (job->attempts <
+          std::max<size_t>(options_.retry.max_attempts, 1)) {
+        BumpCounter(kServerJobsRetriedCounter);
+        continue;  // next attempt (fresh token; manifest resumes the sweep)
+      }
+      // Budget exhausted: quarantine. Plain kFailed is reserved for
+      // non-retryable errors with retries disabled — a job that consumed
+      // a multi-attempt budget is poisoned so operators can tell "broken
+      // input" from "repeatedly stalling/flaky job".
+      if (stall_failure || options_.retry.max_attempts > 1) {
+        job->state = JobState::kFailedPoisoned;
+        job->error =
+            "poisoned after " + std::to_string(job->attempts) +
+            " attempts: " +
+            (stall_failure
+                 ? "watchdog stall (no heartbeat for " +
+                       std::to_string(options_.stall_timeout_s) + "s)"
+                 : status.ToString());
+        BumpCounter(kServerJobsPoisonedCounter);
+      } else {
+        job->state = JobState::kFailed;
+        job->error = status.ToString();
+      }
+      job->runtime_seconds = timer.ElapsedSeconds();
+      PersistTerminalLocked(job);
+      BumpCounter(kServerJobsCompletedCounter);
+      return;
+    }
+
+    job->runtime_seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kCancelled) {
+        job->state = JobState::kCancelled;
+      } else if (status.code() == StatusCode::kDeadlineExceeded) {
+        job->state = JobState::kDeadline;
+      } else {
+        job->state = JobState::kFailed;
+      }
+      job->error = status.ToString();
+    } else {
+      // An OK run may still have stopped early (graceful degradation):
+      // partial facts were captured by the Run*Job body, the state records
+      // why the sweep ended.
+      switch (job->stopped_reason) {
+        case StoppedReason::kCancelled:
+          job->state = JobState::kCancelled;
+          break;
+        case StoppedReason::kDeadline:
+          job->state = JobState::kDeadline;
+          break;
+        case StoppedReason::kNone:
+          job->state = JobState::kDone;
+          break;
+      }
+    }
+    PersistTerminalLocked(job);
+    BumpCounter(kServerJobsCompletedCounter);
+    return;
   }
 }
 
@@ -425,16 +947,30 @@ Status JobManager::RunDiscoverJob(Job* job) {
       const std::shared_ptr<LoadedModel> loaded,
       GetOrLoadModel(job->request.data_dir, job->request.checkpoint));
   const TripleStore& kg = loaded->dataset->train();
+  Heartbeat(job);  // model load can be slow; it is a sign of life
 
   DiscoveryOptions options = job->request.discovery;
   options.metrics = options_.metrics;
   options.shared_cache = loaded->cache.get();
   options.cancel = CancelContext(
-      &job->token, job->request.deadline_s > 0
-                       ? Deadline::After(job->request.deadline_s)
-                       : Deadline());
-  options.on_relation_complete = [job](RelationCompletion&&) {
+      job->token.get(), job->request.deadline_s > 0
+                            ? Deadline::After(job->request.deadline_s)
+                            : Deadline());
+  options.on_relation_complete = [this, job](RelationCompletion&&) {
     job->relations_done.fetch_add(1, std::memory_order_relaxed);
+    Heartbeat(job);
+    std::lock_guard<std::mutex> lock(mu_);
+    JournalRecord record;
+    record.type = JournalRecord::Type::kProgress;
+    record.job_id = job->id;
+    record.relations_done =
+        job->relations_done.load(std::memory_order_relaxed);
+    record.rounds_done = job->rounds_done.load(std::memory_order_relaxed);
+    JournalAppendLocked(record);
+  };
+  options.on_round_complete = [this, job](AdaptiveRoundCompletion&&) {
+    job->rounds_done.fetch_add(1, std::memory_order_relaxed);
+    Heartbeat(job);
   };
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -470,11 +1006,12 @@ Status JobManager::RunPipelineJob(Job* job) {
   KGFD_ASSIGN_OR_RETURN(JobSpec spec, JobSpec::FromConfig(config));
   spec.metrics = options_.metrics;
   spec.cancel = CancelContext(
-      &job->token, job->request.deadline_s > 0
-                       ? Deadline::After(job->request.deadline_s)
-                       : Deadline());
-  spec.discovery.on_relation_complete = [job](RelationCompletion&&) {
+      job->token.get(), job->request.deadline_s > 0
+                            ? Deadline::After(job->request.deadline_s)
+                            : Deadline());
+  spec.discovery.on_relation_complete = [this, job](RelationCompletion&&) {
     job->relations_done.fetch_add(1, std::memory_order_relaxed);
+    Heartbeat(job);
   };
 
   KGFD_ASSIGN_OR_RETURN(const JobResult result, RunJob(spec));

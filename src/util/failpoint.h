@@ -40,6 +40,17 @@ inline constexpr char kFailPointDiscoveryCancel[] = "discovery.cancel";
 /// Delay-only site (task dispatch has no Status channel): return-mode specs
 /// enabled here count hits but never trigger.
 inline constexpr char kFailPointThreadPoolDispatch[] = "threadpool.dispatch";
+/// Job-journal seams (server durability, DESIGN.md §10): every record
+/// append, segment rotation, and boot-time replay. A return-mode spec on
+/// append/terminal simulates a crash between the in-memory transition and
+/// its durable record — exactly the window restart recovery must close.
+inline constexpr char kFailPointJournalAppend[] = "server.journal.append";
+inline constexpr char kFailPointJournalRotate[] = "server.journal.rotate";
+inline constexpr char kFailPointJournalReplay[] = "server.journal.replay";
+/// Evaluated by JobManager just before a job's terminal flush (facts TSV
+/// persist + terminal journal record): the deterministic
+/// "crash pre-terminal-flush" chaos point.
+inline constexpr char kFailPointJournalTerminal[] = "server.journal.terminal";
 
 /// Every instrumented site, for documentation and coverage tests.
 inline constexpr const char* kAllFailPointSites[] = {
@@ -49,7 +60,9 @@ inline constexpr const char* kAllFailPointSites[] = {
     kFailPointJobEval,         kFailPointJobDiscovery,
     kFailPointDiscoveryRelation, kFailPointResumeSave,
     kFailPointResumeLoad,      kFailPointDiscoveryCancel,
-    kFailPointThreadPoolDispatch,
+    kFailPointThreadPoolDispatch, kFailPointJournalAppend,
+    kFailPointJournalRotate,   kFailPointJournalReplay,
+    kFailPointJournalTerminal,
 };
 
 /// One parsed fail-point configuration. The textual grammar (inspired by

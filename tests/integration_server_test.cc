@@ -1,4 +1,7 @@
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -410,6 +413,97 @@ TEST_F(ServerTest, ApiErrorsUseTheRightStatusCodes) {
   auto list = HttpGet(kHost, port_, "/jobs");
   ASSERT_TRUE(list.ok());
   EXPECT_NE(list.value().body.find(id), std::string::npos);
+}
+
+/// Raw loopback client for the timeout tests below (HttpClient cannot
+/// model a misbehaving peer). Optionally shrinks SO_RCVBUF before connect
+/// so the server's send path back-pressures within a few KB.
+int ConnectRawClient(uint16_t port, int rcvbuf_bytes = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, kHost, &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(HttpTimeoutTest, StalledRequestBodyGetsA408) {
+  ThreadPool pool(2);
+  MetricsRegistry metrics;
+  HttpServer::Options options;
+  options.pool = &pool;
+  options.metrics = &metrics;
+  options.receive_timeout_s = 0.2;
+  HttpServer server(std::move(options), [](const HttpRequest&) {
+    return TextResponse(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Send the headers plus a fraction of the promised body, then go silent:
+  // the server must not hold the worker forever — it answers a descriptive
+  // 408 and closes.
+  const int fd = ConnectRawClient(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string partial =
+      "POST /jobs HTTP/1.1\r\ncontent-length: 1000\r\n\r\nonly a few bytes";
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  EXPECT_NE(response.find("timed out"), std::string::npos) << response;
+  EXPECT_EQ(metrics.GetCounter(kServerRecvTimeoutsCounter)->value(), 1u);
+  server.Stop();
+}
+
+TEST(HttpTimeoutTest, SlowLorisReaderCannotPinAConnectionWorker) {
+  ThreadPool pool(2);
+  MetricsRegistry metrics;
+  HttpServer::Options options;
+  options.pool = &pool;
+  options.metrics = &metrics;
+  options.send_timeout_s = 0.3;
+  options.send_buffer_bytes = 8 * 1024;  // back-pressure after a few KB
+  const std::string big(4u << 20, 'x');
+  HttpServer server(std::move(options), [&big](const HttpRequest&) {
+    return TextResponse(200, big);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Ask for a multi-MB response and then never read a byte of it. With the
+  // kernel buffers shrunk on both ends, SendAll jams long before the body
+  // fits in flight; SO_SNDTIMEO must unblock the worker.
+  const int fd = ConnectRawClient(server.port(), /*rcvbuf_bytes=*/4 * 1024);
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /big HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (metrics.GetCounter(kServerSendTimeoutsCounter)->value() == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(metrics.GetCounter(kServerSendTimeoutsCounter)->value(), 1u);
+  // The worker was released, so a graceful Stop() cannot hang on us.
+  server.Stop();
+  ::close(fd);
 }
 
 TEST_F(ServerTest, RunKindJobExecutesFullPipeline) {

@@ -1,0 +1,449 @@
+#include "server/job_journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace kgfd {
+namespace {
+
+namespace fs = std::filesystem;
+
+JournalRecord Submitted(const std::string& id, const std::string& config) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kSubmitted;
+  r.job_id = id;
+  r.config_text = config;
+  return r;
+}
+
+JournalRecord Started(const std::string& id, uint32_t attempt) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kStarted;
+  r.job_id = id;
+  r.attempt = attempt;
+  return r;
+}
+
+JournalRecord Progress(const std::string& id, uint64_t relations,
+                       uint64_t rounds) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kProgress;
+  r.job_id = id;
+  r.relations_done = relations;
+  r.rounds_done = rounds;
+  return r;
+}
+
+JournalRecord Terminal(const std::string& id, uint8_t state,
+                       const std::string& error, uint64_t num_facts) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kTerminal;
+  r.job_id = id;
+  r.terminal_state = state;
+  r.error = error;
+  r.num_facts = num_facts;
+  return r;
+}
+
+void ExpectRecordsEqual(const JournalRecord& want, const JournalRecord& got) {
+  EXPECT_EQ(static_cast<int>(want.type), static_cast<int>(got.type));
+  EXPECT_EQ(want.job_id, got.job_id);
+  EXPECT_EQ(want.config_text, got.config_text);
+  EXPECT_EQ(want.attempt, got.attempt);
+  EXPECT_EQ(want.relations_done, got.relations_done);
+  EXPECT_EQ(want.rounds_done, got.rounds_done);
+  EXPECT_EQ(want.terminal_state, got.terminal_state);
+  EXPECT_EQ(want.error, got.error);
+  EXPECT_EQ(want.num_facts, got.num_facts);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+class JobJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::Instance().Reset();
+    dir_ = ::testing::TempDir() + "/kgfd_journal_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    FailPoints::Instance().Reset();
+    fs::remove_all(dir_);
+  }
+
+  /// The representative record mix used by most tests below.
+  std::vector<JournalRecord> SampleRecords() const {
+    return {Submitted("j1", "data.dir = /x\nmodel.checkpoint = /y\n"),
+            Started("j1", 1),
+            Progress("j1", 3, 7),
+            Terminal("j1", 1, "", 42),
+            Submitted("j2", "job.kind = run\n"),
+            Started("j2", 2),
+            Terminal("j2", 5, "poisoned after 2 attempts", 0)};
+  }
+
+  /// Opens the journal and appends `records`, leaving a valid segment.
+  void WriteJournal(const std::vector<JournalRecord>& records) {
+    JobJournal::ReplayResult replay;
+    auto journal =
+        JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    for (const JournalRecord& record : records) {
+      ASSERT_TRUE(journal.value()->Append(record).ok());
+    }
+  }
+
+  std::string SegmentPath(int seq = 1) const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "journal.%06d.log", seq);
+    return dir_ + "/" + buf;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JobJournalTest, RoundTripsEveryRecordType) {
+  const std::vector<JournalRecord> records = SampleRecords();
+  WriteJournal(records);
+
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(replay.truncated_bytes, 0u);
+  ASSERT_EQ(replay.records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], replay.records[i]);
+  }
+}
+
+TEST_F(JobJournalTest, FreshDirectoryStartsAnEmptySegment) {
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.segment_seq, 1u);
+  EXPECT_TRUE(fs::exists(SegmentPath()));
+  EXPECT_EQ(journal.value()->bytes(), JobJournal::SegmentHeader().size());
+}
+
+TEST_F(JobJournalTest, EveryTruncationPrefixRecoversCleanly) {
+  // The central torn-tail contract: for EVERY byte-length prefix of a
+  // valid segment, replay must succeed with a record-prefix of the
+  // original sequence — never an error, never a crash.
+  const std::vector<JournalRecord> records = SampleRecords();
+  WriteJournal(records);
+  const std::string full = ReadFileBytes(SegmentPath());
+  ASSERT_GT(full.size(), JobJournal::SegmentHeader().size());
+
+  // Record boundaries (offset after header + each complete record).
+  std::vector<size_t> boundaries = {JobJournal::SegmentHeader().size()};
+  for (const JournalRecord& record : records) {
+    boundaries.push_back(boundaries.back() +
+                         JobJournal::EncodeRecord(record).size());
+  }
+  ASSERT_EQ(boundaries.back(), full.size());
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    WriteFileBytes(SegmentPath(), full.substr(0, cut));
+
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    ASSERT_TRUE(journal.ok())
+        << "cut=" << cut << ": " << journal.status().ToString();
+
+    // Replayed records must be the longest whole-record prefix <= cut.
+    size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() &&
+           boundaries[expect_records + 1] <= cut) {
+      ++expect_records;
+    }
+    ASSERT_EQ(replay.records.size(), expect_records) << "cut=" << cut;
+    for (size_t i = 0; i < expect_records; ++i) {
+      ExpectRecordsEqual(records[i], replay.records[i]);
+    }
+
+    // The torn tail was physically dropped: the file now ends at the last
+    // valid record, and the journal accepts appends that a re-open sees.
+    ASSERT_TRUE(journal.value()->Append(Started("jX", 9)).ok())
+        << "cut=" << cut;
+    journal.value().reset();
+    JobJournal::ReplayResult again;
+    auto reopened = JobJournal::Open(dir_, JobJournal::Options{}, &again);
+    ASSERT_TRUE(reopened.ok()) << "cut=" << cut;
+    EXPECT_EQ(again.truncated_bytes, 0u) << "cut=" << cut;
+    ASSERT_EQ(again.records.size(), expect_records + 1) << "cut=" << cut;
+    ExpectRecordsEqual(Started("jX", 9), again.records.back());
+  }
+}
+
+TEST_F(JobJournalTest, RandomBitFlipsNeverCrashAndNeverInventRecords) {
+  const std::vector<JournalRecord> records = SampleRecords();
+  WriteJournal(records);
+  const std::string full = ReadFileBytes(SegmentPath());
+
+  Rng rng(0xBADC0FFEEull);
+  for (int trial = 0; trial < 300; ++trial) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    std::string corrupt = full;
+    const size_t byte_at = rng.UniformInt(corrupt.size());
+    corrupt[byte_at] =
+        static_cast<char>(corrupt[byte_at] ^ (1 << rng.UniformInt(8)));
+    WriteFileBytes(SegmentPath(), corrupt);
+
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    if (!journal.ok()) {
+      // Only a damaged header may be rejected (foreign magic / version);
+      // the error must be descriptive, and nothing was deleted.
+      EXPECT_LT(byte_at, JobJournal::SegmentHeader().size())
+          << "trial=" << trial;
+      EXPECT_EQ(journal.status().code(), StatusCode::kIoError);
+      EXPECT_TRUE(fs::exists(SegmentPath()));
+      continue;
+    }
+    // CRC-32 catches every single-bit payload flip, so replay yields an
+    // exact prefix of the original records (the flip may sit in a length
+    // field, cutting the walk short, but can never alter a record's
+    // contents unnoticed).
+    ASSERT_LE(replay.records.size(), records.size()) << "trial=" << trial;
+    for (size_t i = 0; i < replay.records.size(); ++i) {
+      ExpectRecordsEqual(records[i], replay.records[i]);
+    }
+  }
+}
+
+TEST_F(JobJournalTest, EmptyAndSubHeaderFilesRecoverEmpty) {
+  for (size_t size : {size_t{0}, size_t{1}, size_t{7}, size_t{11}}) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    WriteFileBytes(SegmentPath(),
+                   std::string(size, '\x5a'));  // torn pre-header bytes
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    ASSERT_TRUE(journal.ok()) << "size=" << size;
+    EXPECT_TRUE(replay.records.empty());
+    EXPECT_EQ(replay.truncated_bytes, size);
+    // Usable from here on.
+    EXPECT_TRUE(journal.value()->Append(Started("j1", 1)).ok());
+  }
+}
+
+TEST_F(JobJournalTest, GarbageSegmentIsADescriptiveErrorAndQuarantines) {
+  WriteFileBytes(SegmentPath(), "definitely not a journal, but 12+ bytes");
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kIoError);
+  EXPECT_NE(journal.status().message().find("bad magic"),
+            std::string::npos);
+  EXPECT_TRUE(fs::exists(SegmentPath()));  // untouched
+
+  auto moved = JobJournal::QuarantineSegments(dir_);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 1u);
+  EXPECT_FALSE(fs::exists(SegmentPath()));
+  EXPECT_TRUE(fs::exists(SegmentPath() + ".corrupt"));
+
+  // With the bad segment aside, a fresh journal boots normally.
+  JobJournal::ReplayResult fresh;
+  auto reopened = JobJournal::Open(dir_, JobJournal::Options{}, &fresh);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(fresh.records.empty());
+}
+
+TEST_F(JobJournalTest, OversizedLengthFieldTruncatesInsteadOfAllocating) {
+  std::string data = JobJournal::SegmentHeader();
+  data += JobJournal::EncodeRecord(Started("j1", 1));
+  // A frame whose length field claims ~4 GiB: must be treated as a torn
+  // tail, not an allocation.
+  const uint32_t huge = 0xF0000000u;
+  data.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  data.append("\x01\x02\x03\x04garbage");
+  WriteFileBytes(SegmentPath(), data);
+
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_GT(replay.truncated_bytes, 0u);
+}
+
+TEST_F(JobJournalTest, DuplicatedAndReorderedRecordsReplayVerbatim) {
+  // The journal layer replays what the file holds — dedup/ordering rules
+  // live in JobManager's replay state machine (integration_recovery_test).
+  // What must hold here: a hand-scrambled but CRC-valid sequence replays
+  // fully and in file order, no crash, no reordering.
+  std::string data = JobJournal::SegmentHeader();
+  const JournalRecord a = Submitted("j1", "cfg");
+  const JournalRecord b = Started("j1", 1);
+  const JournalRecord t = Terminal("j1", 2, "", 0);
+  for (const JournalRecord* r : {&t, &a, &b, &a, &t, &b, &a}) {
+    data += JobJournal::EncodeRecord(*r);
+  }
+  WriteFileBytes(SegmentPath(), data);
+
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_EQ(replay.records.size(), 7u);
+  ExpectRecordsEqual(t, replay.records[0]);
+  ExpectRecordsEqual(a, replay.records[1]);
+  ExpectRecordsEqual(b, replay.records[2]);
+  ExpectRecordsEqual(a, replay.records[6]);
+}
+
+TEST_F(JobJournalTest, RotationCompactsAndSurvivesEveryCrashState) {
+  // Live rotation: a snapshot replaces the history, the old segment goes
+  // away, appends continue on the new one.
+  JobJournal::Options options;
+  options.rotate_bytes = 1;  // every append crosses the threshold
+  {
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, options, &replay);
+    ASSERT_TRUE(journal.ok());
+    for (const JournalRecord& record : SampleRecords()) {
+      ASSERT_TRUE(journal.value()->Append(record).ok());
+    }
+    ASSERT_TRUE(journal.value()->ShouldRotate());
+    const std::vector<JournalRecord> snapshot = {Submitted("j2", "cfg2"),
+                                                 Terminal("j2", 1, "", 3)};
+    ASSERT_TRUE(journal.value()->Rotate(snapshot).ok());
+    EXPECT_FALSE(fs::exists(SegmentPath(1)));
+    EXPECT_TRUE(fs::exists(SegmentPath(2)));
+    ASSERT_TRUE(journal.value()->Append(Started("j3", 1)).ok());
+  }
+  {
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, options, &replay);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_EQ(replay.records.size(), 3u);
+    EXPECT_EQ(replay.records[0].job_id, "j2");
+    EXPECT_EQ(replay.records[2].job_id, "j3");
+    EXPECT_EQ(replay.segment_seq, 2u);
+  }
+
+  // Crash states around the rename. (1) tmp written, rename never
+  // happened: old segment is authoritative, tmp is discarded.
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+  std::string old_segment = JobJournal::SegmentHeader();
+  old_segment += JobJournal::EncodeRecord(Submitted("j1", "old"));
+  WriteFileBytes(SegmentPath(1), old_segment);
+  WriteFileBytes(SegmentPath(2) + ".tmp", "half-written snapsho");
+  {
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].config_text, "old");
+    EXPECT_FALSE(fs::exists(SegmentPath(2) + ".tmp"));
+  }
+
+  // (2) rename done, old segment not yet unlinked: the NEWER segment wins
+  // and the older is cleaned up.
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+  WriteFileBytes(SegmentPath(1), old_segment);
+  std::string new_segment = JobJournal::SegmentHeader();
+  new_segment += JobJournal::EncodeRecord(Submitted("j1", "new"));
+  WriteFileBytes(SegmentPath(2), new_segment);
+  {
+    JobJournal::ReplayResult replay;
+    auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].config_text, "new");
+    EXPECT_EQ(replay.segment_seq, 2u);
+    EXPECT_FALSE(fs::exists(SegmentPath(1)));
+  }
+}
+
+TEST_F(JobJournalTest, AppendAndRotateFailpointsInjectAndRecover) {
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, JobJournal::Options{}, &replay);
+  ASSERT_TRUE(journal.ok());
+
+  ASSERT_TRUE(FailPoints::Instance()
+                  .Enable(kFailPointJournalAppend, "return(IoError)")
+                  .ok());
+  EXPECT_EQ(journal.value()->Append(Started("j1", 1)).code(),
+            StatusCode::kIoError);
+  FailPoints::Instance().Disable(kFailPointJournalAppend);
+  // The journal stays usable after an injected append failure.
+  EXPECT_TRUE(journal.value()->Append(Started("j1", 1)).ok());
+
+  ASSERT_TRUE(FailPoints::Instance()
+                  .Enable(kFailPointJournalRotate, "return(IoError)")
+                  .ok());
+  EXPECT_EQ(journal.value()->Rotate({}).code(), StatusCode::kIoError);
+  FailPoints::Instance().Disable(kFailPointJournalRotate);
+  // Failed rotation left the old segment active and intact.
+  EXPECT_TRUE(fs::exists(SegmentPath(1)));
+  EXPECT_TRUE(journal.value()->Append(Started("j1", 2)).ok());
+
+  ASSERT_TRUE(FailPoints::Instance()
+                  .Enable(kFailPointJournalReplay, "return(IoError)")
+                  .ok());
+  JobJournal::ReplayResult blocked;
+  EXPECT_EQ(
+      JobJournal::Open(dir_, JobJournal::Options{}, &blocked).status().code(),
+      StatusCode::kIoError);
+  FailPoints::Instance().Disable(kFailPointJournalReplay);
+}
+
+TEST_F(JobJournalTest, FsyncOptionRoundTrips) {
+  JobJournal::Options options;
+  options.fsync = true;
+  JobJournal::ReplayResult replay;
+  auto journal = JobJournal::Open(dir_, options, &replay);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal.value()->Append(Started("j1", 1)).ok());
+  journal.value().reset();
+  JobJournal::ReplayResult again;
+  auto reopened = JobJournal::Open(dir_, options, &again);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(again.records.size(), 1u);
+}
+
+TEST_F(JobJournalTest, JournalFailpointSitesAreRegistered) {
+  // The chaos battery scripts arm these by name; a rename must fail here,
+  // not silently no-op in CI.
+  const std::vector<std::string> all(std::begin(kAllFailPointSites),
+                                     std::end(kAllFailPointSites));
+  for (const char* site :
+       {kFailPointJournalAppend, kFailPointJournalRotate,
+        kFailPointJournalReplay, kFailPointJournalTerminal}) {
+    EXPECT_NE(std::find(all.begin(), all.end(), std::string(site)),
+              all.end())
+        << site;
+  }
+}
+
+}  // namespace
+}  // namespace kgfd

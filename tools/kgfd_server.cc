@@ -46,6 +46,15 @@ int ServerMain(const Flags& flags) {
     std::fprintf(stderr, "--max_queued must be positive\n");
     return 1;
   }
+  const double stall_timeout_s = flags.GetDouble("job_stall_timeout_s", 0.0);
+  const int64_t job_retries = flags.GetInt("job_retries", 1);
+  if (stall_timeout_s < 0 || job_retries <= 0) {
+    std::fprintf(stderr,
+                 "--job_stall_timeout_s must be >= 0 and --job_retries "
+                 "must be positive\n");
+    return 1;
+  }
+  const int64_t journal_rotate = flags.GetInt("journal_rotate_bytes", 0);
 
   EnsureJobWorkDir(work_dir).AbortIfNotOk("create --work_dir");
 
@@ -57,7 +66,31 @@ int ServerMain(const Flags& flags) {
   job_options.max_queued = static_cast<size_t>(max_queued);
   job_options.pool = &pool;
   job_options.metrics = &metrics;
+  job_options.stall_timeout_s = stall_timeout_s;
+  job_options.retry.max_attempts = static_cast<size_t>(job_retries);
+  if (journal_rotate > 0) {
+    job_options.journal.rotate_bytes = static_cast<uint64_t>(journal_rotate);
+  }
+  job_options.journal.fsync = flags.GetBool("journal_fsync", false);
+  job_options.cancel_queued_on_drain =
+      !flags.GetBool("drain_keep_queued", false);
   JobManager jobs(std::move(job_options));
+
+  // Recovery summary — one parseable line (server_smoke.sh contract 5 and
+  // the ops runbook grep for it), plus the journal health if degraded.
+  const JobManager::RecoveryInfo& recovery = jobs.recovery();
+  std::printf(
+      "kgfd_server recovery: records=%zu restored=%zu requeued=%zu "
+      "poisoned=%zu truncated_bytes=%llu\n",
+      recovery.replayed_records, recovery.jobs_restored,
+      recovery.jobs_recovered, recovery.jobs_poisoned,
+      static_cast<unsigned long long>(recovery.truncated_bytes));
+  if (!recovery.journal_error.empty()) {
+    std::printf("kgfd_server journal quarantined (%zu segments): %s\n",
+                recovery.quarantined_segments,
+                recovery.journal_error.c_str());
+  }
+  std::fflush(stdout);
 
   DiscoveryService service(&jobs, &metrics);
   HttpServer::Options http_options;
@@ -102,7 +135,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kgfd_server [--port N] [--bind ADDR] "
                  "[--work_dir DIR] [--threads N] [--max_queued N] "
-                 "[--embedding_backend ram|mmap]\n");
+                 "[--embedding_backend ram|mmap] [--job_stall_timeout_s S] "
+                 "[--job_retries N] [--journal_rotate_bytes N] "
+                 "[--journal_fsync] [--drain_keep_queued]\n");
     return 1;
   }
   // A typo'd kernel backend should be a startup error, not an abort the

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Chaos battery for kgfd_server durability (DESIGN.md §10): SIGKILL the
+# serving process at advancing points of one live discovery job, restart
+# it over the same --work_dir after every kill, and require the facts the
+# finally-recovered job serves to be BYTE-IDENTICAL to an undisturbed
+# `kgfd_cli discover` run on the same artifacts. Then corrupt the journal
+# on purpose and require the server to quarantine it (*.corrupt kept for
+# inspection) and keep serving instead of crashing or silently wiping it.
+#
+# Every restart must print the parseable recovery summary line
+#   kgfd_server recovery: records=... restored=... requeued=... ...
+# which the ops runbook (README) greps for.
+#
+# Usage: tools/server_chaos.sh [BUILD_DIR] [KILLS]   (default: build, 4)
+set -u
+
+BUILD_DIR="${1:-build}"
+KILLS="${2:-4}"
+CLI="$BUILD_DIR/tools/kgfd_cli"
+SRV="$BUILD_DIR/tools/kgfd_server"
+SCRATCH="$(mktemp -d)"
+SRVPID=""
+cleanup() {
+  [ -n "$SRVPID" ] && kill -KILL "$SRVPID" 2>/dev/null
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "server_chaos: FAIL: $*" >&2
+  [ -f "$SCRATCH/server.log" ] && sed 's/^/server_chaos:   server.log: /' \
+    "$SCRATCH/server.log" >&2
+  exit 1
+}
+
+for bin in "$CLI" "$SRV"; do
+  [ -x "$bin" ] || fail "missing binary $bin (build first)"
+done
+CLI="$(cd "$(dirname "$CLI")" && pwd)/$(basename "$CLI")"
+SRV="$(cd "$(dirname "$SRV")" && pwd)/$(basename "$SRV")"
+cd "$SCRATCH" || exit 1
+mkdir -p data
+
+# ---------------------------------------------------------------- artifacts
+"$CLI" generate --preset FB15K-237 --scale 400 --out data \
+  >/dev/null 2>&1 || fail "kgfd_cli generate"
+"$CLI" train --data data --model TransE --dim 16 --epochs 3 \
+  --checkpoint model.bin >/dev/null 2>&1 || fail "kgfd_cli train"
+"$CLI" discover --data data --checkpoint model.bin \
+  --top_n 50 --max_candidates 100 --out reference.tsv \
+  >/dev/null 2>&1 || fail "kgfd_cli discover (reference)"
+[ -s reference.tsv ] || fail "reference run produced no facts"
+
+cat >job.cfg <<CFG
+data.dir = data
+model.checkpoint = model.bin
+discovery.top_n = 50
+discovery.max_candidates = 100
+CFG
+
+# ------------------------------------------------------------------ helpers
+start_server() {  # $1 = work_dir, $2... = extra server flags
+  local work_dir="$1"
+  shift
+  : >server.log
+  "$SRV" --port 0 --work_dir "$work_dir" --job_retries 10 "$@" \
+    >server.log 2>&1 &
+  SRVPID=$!
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' server.log)"
+    [ -n "$PORT" ] && break
+    kill -0 "$SRVPID" 2>/dev/null || fail "server died on startup ($*)"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "server never printed its listening port ($*)"
+  BASE="http://127.0.0.1:$PORT"
+}
+
+kill9_server() {
+  kill -KILL "$SRVPID" 2>/dev/null
+  wait "$SRVPID" 2>/dev/null
+  SRVPID=""
+}
+
+job_state() { curl -fsS "$BASE/jobs/$1" 2>/dev/null | sed -n 's/^state = //p'; }
+
+# --------------------------------------------------- phase 1: kill-9 loop
+# The per-relation delay keeps the sweep slow enough that kills land
+# mid-job; the generous --job_retries keeps the chaos itself from tripping
+# the crash-loop quarantine (that path is tested separately below and in
+# integration_recovery_test).
+DELAY_SPEC="core.discovery.relation=delay(300)"
+start_server jobs --failpoints "$DELAY_SPEC"
+ID="$(curl -fsS -X POST "$BASE/jobs" --data-binary @job.cfg)" ||
+  fail "POST /jobs"
+
+RESTARTS=0
+for i in $(seq 1 "$KILLS"); do
+  [ "$(job_state "$ID")" = "done" ] && break
+  # Advancing kill point: each round lets the job get a little further
+  # before the SIGKILL, sweeping the kill across queued / early-sweep /
+  # late-sweep windows.
+  sleep "$(awk "BEGIN { print 0.2 * $i }")"
+  kill9_server
+  start_server jobs --failpoints "$DELAY_SPEC"
+  RESTARTS=$((RESTARTS + 1))
+  grep -q "kgfd_server recovery:" server.log ||
+    fail "restart $i printed no recovery summary"
+  STATE="$(job_state "$ID")"
+  case "$STATE" in
+    failed* | cancelled | deadline)
+      curl -fsS "$BASE/jobs/$ID" >&2
+      fail "job $ID ended in state '$STATE' after restart $i" ;;
+  esac
+done
+
+# Final restart without the delay so the recovered job finishes promptly.
+if [ "$(job_state "$ID")" != "done" ]; then
+  kill9_server
+  start_server jobs
+  RESTARTS=$((RESTARTS + 1))
+fi
+STATE=""
+for _ in $(seq 1 600); do
+  STATE="$(job_state "$ID")"
+  [ "$STATE" = "done" ] && break
+  case "$STATE" in
+    failed* | cancelled | deadline)
+      curl -fsS "$BASE/jobs/$ID" >&2
+      fail "job $ID ended in state '$STATE' after the kill loop" ;;
+  esac
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || fail "job $ID never finished after $RESTARTS restarts"
+
+curl -fsS "$BASE/jobs/$ID/facts" >recovered.tsv || fail "GET facts ($ID)"
+cmp -s reference.tsv recovered.tsv ||
+  fail "facts after $RESTARTS kill-9 restarts differ from the reference run"
+
+# The terminal state itself must be durable: one more restart has to
+# restore the finished job (with its facts) rather than re-run it.
+kill9_server
+start_server jobs
+RESTORED="$(sed -n 's/.*restored=\([0-9]*\).*/\1/p' server.log)"
+[ -n "$RESTORED" ] && [ "$RESTORED" -ge 1 ] 2>/dev/null ||
+  fail "final restart restored no terminal job (restored='$RESTORED')"
+[ "$(job_state "$ID")" = "done" ] || fail "terminal state lost across restart"
+curl -fsS "$BASE/jobs/$ID/facts" >restored.tsv || fail "GET facts (restored)"
+cmp -s reference.tsv restored.tsv ||
+  fail "restored facts differ from the reference run"
+kill -TERM "$SRVPID"
+wait "$SRVPID" || fail "SIGTERM drain after the chaos loop failed"
+SRVPID=""
+
+# ------------------------------------- phase 2: journal quarantine on boot
+mkdir -p jobs_quarantine
+printf 'this is definitely not a kgfd job journal segment' \
+  >jobs_quarantine/journal.000001.log
+start_server jobs_quarantine
+grep -q "kgfd_server journal quarantined" server.log ||
+  fail "corrupt journal did not print the quarantine line"
+ls jobs_quarantine/journal.*.corrupt >/dev/null 2>&1 ||
+  fail "corrupt segment was not kept as *.corrupt for inspection"
+curl -fsS "$BASE/healthz" >/dev/null || fail "quarantined server not healthy"
+
+# Degraded but serving: a job submitted after quarantine still completes.
+QID="$(curl -fsS -X POST "$BASE/jobs" --data-binary @job.cfg)" ||
+  fail "POST /jobs (quarantined server)"
+STATE=""
+for _ in $(seq 1 600); do
+  STATE="$(job_state "$QID")"
+  [ "$STATE" = "done" ] && break
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || fail "job on quarantined server ended '$STATE'"
+curl -fsS "$BASE/jobs/$QID/facts" >quarantine.tsv || fail "GET facts ($QID)"
+cmp -s reference.tsv quarantine.tsv ||
+  fail "facts served after quarantine differ from the reference run"
+kill -TERM "$SRVPID"
+wait "$SRVPID" || fail "SIGTERM drain after quarantine phase failed"
+SRVPID=""
+
+echo "server_chaos: OK ($RESTARTS kill-9 restarts recovered byte-identical" \
+  "facts; corrupt journal quarantined and serving continued)"

@@ -9,7 +9,10 @@
 #      via /metrics counters, and again byte-identical);
 #   3. SIGTERM drains gracefully and the server exits 0;
 #   4. the whole stack rerun under the mmap embedding backend (with full
-#      payload verification) serves the same bytes as the ram run.
+#      payload verification) serves the same bytes as the ram run;
+#   5. SIGKILL mid-job + restart over the same --work_dir recovers the job
+#      from the journal and serves BYTE-IDENTICAL facts (the durability
+#      contract; tools/server_chaos.sh hammers the same property harder).
 #
 # Usage: tools/server_smoke.sh [BUILD_DIR]   (default: build)
 set -u
@@ -155,5 +158,75 @@ STATUS=$?
 SRVPID=""
 [ "$STATUS" -eq 0 ] || fail "mmap server SIGTERM drain exited $STATUS"
 
+# Contract 5: kill -9 mid-job, restart over the same work_dir, and the
+# recovered job must finish with the exact bytes of the CLI run. The delay
+# failpoint slows the sweep so the SIGKILL reliably lands mid-job.
+"$SRV" --port 0 --work_dir jobs_kill \
+  --failpoints "core.discovery.relation=delay(300)" >server.log 2>&1 &
+SRVPID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' server.log)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SRVPID" 2>/dev/null || fail "kill-run server died on startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "kill-run server never printed its listening port"
+BASE="http://127.0.0.1:$PORT"
+
+ID5="$(curl -fsS -X POST "$BASE/jobs" --data-binary @job.cfg)" ||
+  fail "POST /jobs (kill run)"
+for _ in $(seq 1 100); do
+  DONE_COUNT="$(curl -fsS "$BASE/jobs/$ID5" 2>/dev/null |
+    sed -n 's/^relations_done = //p')"
+  [ -n "$DONE_COUNT" ] && [ "$DONE_COUNT" -ge 1 ] 2>/dev/null && break
+  sleep 0.1
+done
+kill -KILL "$SRVPID"
+wait "$SRVPID" 2>/dev/null
+SRVPID=""
+
+"$SRV" --port 0 --work_dir jobs_kill >server.log 2>&1 &
+SRVPID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' server.log)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SRVPID" 2>/dev/null || fail "server died on restart after kill -9"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "restarted server never printed its listening port"
+BASE="http://127.0.0.1:$PORT"
+
+grep -q "kgfd_server recovery:" server.log ||
+  fail "restart printed no recovery summary"
+REQUEUED="$(sed -n 's/.*requeued=\([0-9]*\).*/\1/p' server.log)"
+[ "$REQUEUED" = "1" ] ||
+  fail "expected 1 requeued job after SIGKILL, got '$REQUEUED'"
+
+STATE=""
+for _ in $(seq 1 300); do
+  STATE="$(curl -fsS "$BASE/jobs/$ID5" 2>/dev/null | sed -n 's/^state = //p')"
+  [ "$STATE" = "done" ] && break
+  case "$STATE" in failed* | cancelled | deadline)
+    curl -fsS "$BASE/jobs/$ID5" >&2
+    fail "recovered job $ID5 ended in state '$STATE'" ;;
+  esac
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || fail "recovered job $ID5 never finished"
+curl -fsS "$BASE/jobs/$ID5" | grep -q "^recovered = true" ||
+  fail "job status does not mark $ID5 as recovered"
+curl -fsS "$BASE/jobs/$ID5/facts" >http_facts_recovered.tsv ||
+  fail "GET facts ($ID5, recovered)"
+cmp -s cli_facts.tsv http_facts_recovered.tsv ||
+  fail "facts recovered after kill -9 differ from kgfd_cli output"
+
+kill -TERM "$SRVPID"
+wait "$SRVPID"
+STATUS=$?
+SRVPID=""
+[ "$STATUS" -eq 0 ] || fail "post-recovery SIGTERM drain exited $STATUS"
+
 echo "server_smoke: OK (facts byte-identical, caches hit, clean drain," \
-  "mmap backend identical)"
+  "mmap backend identical, kill -9 recovery byte-identical)"
